@@ -1,0 +1,60 @@
+"""Ablation — the TCP device's credit reservation (paper, Section 5.1).
+
+The receiver reserves memory per sender; the sender transmits
+optimistically against it.  Too small a reservation throttles bursts of
+eager messages (the sender stalls waiting for freed-credit returns);
+the paper-scale 64 KB keeps the pipe full.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.tables import format_table
+from repro.mpi import World
+from repro.mpi.device.cluster import ClusterConfig
+
+BURST = 16
+NBYTES = 4096
+RESERVES = (8_192, 16_384, 131_072, 262_144)
+
+
+def _burst_time(reserve: int) -> float:
+    cfg = ClusterConfig(reserve_bytes=reserve, credit_refresh=reserve // 2)
+
+    def main(comm):
+        if comm.rank == 0:
+            t0 = comm.wtime()
+            reqs = []
+            for _ in range(BURST):
+                r = yield from comm.isend(bytes(NBYTES), dest=1, tag=1)
+                reqs.append(r)
+            yield from comm.waitall(reqs)
+            yield from comm.recv(source=1, tag=2)
+            return comm.wtime() - t0
+        else:
+            for _ in range(BURST):
+                yield from comm.recv(source=0, tag=1)
+            yield from comm.send(b"k", dest=0, tag=2)
+
+    return World(2, platform="atm", device="tcp", device_config=cfg).run(main)[0]
+
+
+def _measure():
+    return {r: _burst_time(r) for r in RESERVES}
+
+
+def test_ablation_credit_reservation(benchmark):
+    times = run_once(benchmark, _measure)
+
+    # a small reservation stalls the burst behind credit returns
+    assert times[8_192] > times[131_072] * 1.05
+    # beyond the burst's footprint (16 x (4096+25) B), more buys nothing
+    assert abs(times[131_072] - times[262_144]) / times[131_072] < 0.05
+
+    benchmark.extra_info["burst_us"] = {str(r): round(v, 1) for r, v in times.items()}
+    print()
+    print(format_table(
+        ["reserve (B)", f"{BURST}x{NBYTES}B burst (us)"],
+        [[r, times[r]] for r in RESERVES],
+        title="Ablation: per-sender credit reservation (MPI over TCP/ATM)",
+    ))
+    print("Optimistic sending needs enough reserved memory to cover the burst;")
+    print("the paper's receiver-managed credits provide exactly that.")

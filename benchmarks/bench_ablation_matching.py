@@ -1,0 +1,80 @@
+"""Ablation — where to match: SPARC vs Elan (paper, Section 4.1).
+
+The paper's design discussion in one experiment pair:
+
+* **latency**: SPARC matching is fast, so the low-latency device wins
+  the 1-byte ping-pong (104 vs 210 µs);
+* **background progress**: SPARC matching only advances inside MPI
+  calls, so a rendezvous send to a busy receiver stalls until the
+  receiver re-enters the library — while MPICH's Elan matches, requests
+  and DMAs the data with the receiver's SPARC fully occupied.
+
+Both sides of the trade-off must reproduce.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench import harness
+from repro.bench.tables import format_table
+from repro.mpi import World
+
+COMPUTE_US = 50_000.0
+NBYTES = 65_536
+
+
+def _send_completion(device: str) -> float:
+    """Time for a standard rendezvous send to complete while the
+    receiver is busy computing (receive pre-posted)."""
+
+    def main(comm):
+        if comm.rank == 0:
+            yield comm.endpoint.sim.timeout(1000.0)  # let rank 1 post
+            t0 = comm.wtime()
+            yield from comm.send(bytes(NBYTES), dest=1, tag=1)
+            return comm.wtime() - t0
+        else:
+            buf = bytearray(NBYTES)
+            req = yield from comm.irecv(source=0, tag=1, buf=buf)
+            yield from comm.endpoint.host.compute(COMPUTE_US)
+            yield from comm.wait(req)
+
+    return World(2, platform="meiko", device=device).run(main)[0]
+
+
+def _measure():
+    return {
+        "latency": {
+            "lowlatency": harness.mpi_pingpong_rtt("meiko", "lowlatency", 1),
+            "mpich": harness.mpi_pingpong_rtt("meiko", "mpich", 1),
+        },
+        "progress": {
+            "lowlatency": _send_completion("lowlatency"),
+            "mpich": _send_completion("mpich"),
+        },
+    }
+
+
+def test_ablation_matching_location(benchmark):
+    result = run_once(benchmark, _measure)
+    lat, prog = result["latency"], result["progress"]
+
+    # side 1: SPARC matching wins latency by ~2x
+    assert lat["lowlatency"] < lat["mpich"] * 0.65
+    # side 2: Elan matching wins background progress by >10x
+    assert prog["mpich"] < prog["lowlatency"] / 10
+    # SPARC-side completion is pinned to the receiver's compute phase
+    assert prog["lowlatency"] >= COMPUTE_US * 0.9
+
+    benchmark.extra_info.update(
+        {k: {n: round(v, 1) for n, v in d.items()} for k, d in result.items()}
+    )
+    print()
+    print(format_table(
+        ["metric", "lowlatency (SPARC)", "mpich (Elan)"],
+        [
+            ["1B ping-pong RTT (us)", lat["lowlatency"], lat["mpich"]],
+            [f"rdv send vs busy receiver (us)", prog["lowlatency"], prog["mpich"]],
+        ],
+        title="Ablation: matching on the SPARC vs the Elan co-processor",
+    ))
+    print("SPARC matching buys latency; Elan matching buys background progress")
+    print("— the exact trade-off of the paper's Section 4.1.")

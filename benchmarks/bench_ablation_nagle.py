@@ -1,0 +1,102 @@
+"""Ablation — Nagle's algorithm vs MPI-style small-message traffic.
+
+The era's MPI-over-TCP implementations all set TCP_NODELAY; this bench
+shows why: with Nagle on, a burst of small messages coalesces into few
+segments (good for the wire) but the final sub-MSS piece is held until
+the previous data is acknowledged — and the receiver's *delayed* ACK
+only fires after its timer, so the tail of every burst eats a
+multi-millisecond stall.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.tables import format_table
+from repro.hw.cluster import ClusterMachine
+from repro.net.kernel import ATM_KERNEL
+from repro.net.tcp import TcpLayer
+from repro.sim import Simulator
+
+BURST = 10
+NBYTES = 100
+
+
+def _request(nagle: bool):
+    """The classic pathology: a request written as two pieces (header,
+    then payload) followed by a wait for the reply.  Nagle holds the
+    payload until the header is acked — and the ack is delayed."""
+    kp = ATM_KERNEL.with_overrides(nagle=nagle)
+    sim = Simulator()
+    m = ClusterMachine(sim, 2, network="atm", kernel_params=kp)
+    a, b = TcpLayer.connect_pair(m.kernels[0], m.kernels[1], 5000, 5000)
+
+    def client(sim):
+        t0 = sim.now
+        yield from a.send(bytes(25))    # the MPI header write
+        yield from a.send(bytes(100))   # the payload write
+        yield from a.recv_exact(1)
+        return sim.now - t0
+
+    def server(sim):
+        yield from b.recv_exact(125)
+        yield from b.send(b"k")
+
+    p = sim.process(client(sim))
+    sim.process(server(sim))
+    sim.run()
+    return p.value
+
+
+def _burst(nagle: bool):
+    kp = ATM_KERNEL.with_overrides(nagle=nagle)
+    sim = Simulator()
+    m = ClusterMachine(sim, 2, network="atm", kernel_params=kp)
+    a, b = TcpLayer.connect_pair(m.kernels[0], m.kernels[1], 5000, 5000)
+    total = BURST * NBYTES
+
+    def client(sim):
+        t0 = sim.now
+        for _ in range(BURST):
+            yield from a.send(bytes(NBYTES))
+        yield from a.recv_exact(1)
+        return sim.now - t0
+
+    def server(sim):
+        yield from b.recv_exact(total)
+        yield from b.send(b"k")
+
+    p = sim.process(client(sim))
+    sim.process(server(sim))
+    sim.run()
+    return p.value, a.segments_sent
+
+
+def _measure():
+    off_time, off_segs = _burst(False)
+    on_time, on_segs = _burst(True)
+    return {
+        "off": {"time": off_time, "segments": off_segs, "request": _request(False)},
+        "on": {"time": on_time, "segments": on_segs, "request": _request(True)},
+    }
+
+
+def test_ablation_nagle(benchmark):
+    result = run_once(benchmark, _measure)
+    off, on = result["off"], result["on"]
+
+    # Nagle coalesces: strictly fewer data segments on the burst
+    assert on["segments"] < off["segments"]
+    # ...at a real cost even there
+    assert on["time"] > off["time"] * 1.1
+    # and a header+payload request stalls on the delayed ACK: disastrous
+    assert on["request"] > off["request"] * 1.5
+
+    benchmark.extra_info["nagle_off"] = {k: round(v, 1) for k, v in off.items()}
+    benchmark.extra_info["nagle_on"] = {k: round(v, 1) for k, v in on.items()}
+    print()
+    print(format_table(
+        ["Nagle", f"{BURST}x{NBYTES}B burst (us)", "segments", "hdr+payload req (us)"],
+        [["off (TCP_NODELAY)", off["time"], off["segments"], off["request"]],
+         ["on", on["time"], on["segments"], on["request"]]],
+        title="Ablation: Nagle's algorithm under MPI-style small messages",
+    ))
+    print("Nagle saves segments but stalls on the delayed ACK — why every")
+    print("MPI-over-TCP of the era set TCP_NODELAY.")

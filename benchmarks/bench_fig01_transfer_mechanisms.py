@@ -1,0 +1,30 @@
+"""Figure 1 — Meiko transfer mechanisms: buffered (eager) vs
+no-buffering (rendezvous) round-trip time, and their crossover.
+
+Paper: the curves intersect at 180 bytes, which the implementation
+adopts as the eager/rendezvous threshold.
+"""
+
+from benchmarks.conftest import attach_series, run_once
+from repro.bench import figures
+from repro.bench.tables import format_series
+
+
+def test_fig01_transfer_mechanisms(benchmark):
+    result = run_once(benchmark, figures.fig01_transfer_mechanisms)
+    series = result["series"]
+    eager = dict(series["Buffering"])
+    rdv = dict(series["No buffering"])
+
+    # shape: buffering wins for tiny messages, rendezvous for large ones
+    assert eager[1] < rdv[1]
+    assert eager[512] > rdv[512]
+    # crossover in the paper's neighbourhood (DESIGN.md band)
+    assert result["crossover"] is not None
+    assert 120 <= result["crossover"] <= 260, result["crossover"]
+
+    attach_series(benchmark, result)
+    benchmark.extra_info["crossover_bytes"] = round(result["crossover"], 1)
+    print()
+    print(format_series(series, xlabel="bytes", title="Figure 1: Meiko transfer mechanisms (RTT us)"))
+    print(f"measured crossover: {result['crossover']:.0f} B (paper: 180 B)")

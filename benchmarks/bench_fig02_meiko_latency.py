@@ -1,0 +1,36 @@
+"""Figure 2 — Meiko round-trip latency: MPI(mpich) vs MPI(low latency)
+vs the bare tport widget.
+
+Paper: 1-byte round trips of 52 µs (tport), 104 µs (low-latency MPI,
++52 over the widget) and 210 µs (MPICH, +158 over the widget).
+"""
+
+from benchmarks.conftest import attach_series, run_once
+from repro.bench import figures
+from repro.bench.tables import format_series
+
+
+def test_fig02_meiko_latency(benchmark):
+    result = run_once(benchmark, figures.fig02_meiko_latency)
+    series = result["series"]
+    tport = dict(series["Meiko tport"])
+    ll = dict(series["MPI(low latency)"])
+    mpich = dict(series["MPI(mpich)"])
+
+    # ordering holds at every size
+    for n in tport:
+        assert tport[n] < ll[n] < mpich[n], f"ordering broken at {n} bytes"
+    # calibrated endpoints within 15% of the paper
+    assert abs(tport[1] - 52.0) / 52.0 < 0.15
+    assert abs(ll[1] - 104.0) / 104.0 < 0.15
+    assert abs(mpich[1] - 210.0) / 210.0 < 0.15
+    # the low-latency curve bends at the 180-byte protocol switch:
+    # the marginal per-byte cost drops after the threshold
+    slope_before = (ll[180] - ll[128]) / (180 - 128)
+    slope_after = (ll[512] - ll[256]) / (512 - 256)
+    assert slope_after < slope_before
+
+    attach_series(benchmark, result)
+    print()
+    print(format_series(series, xlabel="bytes", title="Figure 2: Meiko round-trip latency (us)"))
+    print("paper 1B: tport 52, low latency 104, mpich 210")

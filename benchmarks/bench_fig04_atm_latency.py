@@ -1,0 +1,35 @@
+"""Figure 4 — raw ATM round-trip latency: TCP vs UDP vs Fore AAL3/4.
+
+Paper: "Except for small message sizes, the latency of these protocols
+are indistinguishable from each other" — the STREAMS modules dominate,
+so the direct adaptation-layer API buys little.
+"""
+
+from benchmarks.conftest import attach_series, run_once
+from repro.bench import figures
+from repro.bench.tables import format_series
+
+
+def test_fig04_atm_latency(benchmark):
+    result = run_once(benchmark, figures.fig04_atm_latency)
+    series = result["series"]
+    tcp = dict(series["TCP"])
+    udp = dict(series["UDP"])
+    fore = dict(series["Fore aal4"])
+
+    # TCP 1-byte RTT within 15% of the paper's 1065 us
+    assert abs(tcp[1] - 1065.0) / 1065.0 < 0.15
+    # TCP and UDP track each other closely everywhere
+    for n in tcp:
+        assert abs(tcp[n] - udp[n]) / tcp[n] < 0.35, f"TCP/UDP diverge at {n}"
+    # the Fore API helps at small sizes but converges at larger ones
+    small_gap = (tcp[1] - fore[1]) / tcp[1]
+    big = max(tcp)
+    big_gap = abs(tcp[big] - fore[big]) / tcp[big]
+    assert small_gap > 0.05
+    assert big_gap < small_gap + 0.1
+
+    attach_series(benchmark, result)
+    print()
+    print(format_series(series, xlabel="bytes", title="Figure 4: ATM round-trip latency (us)"))
+    print("paper: indistinguishable except at small sizes; TCP 1B = 1065 us")

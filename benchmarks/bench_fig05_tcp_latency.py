@@ -1,0 +1,37 @@
+"""Figure 5 — TCP round-trip latency on Ethernet and ATM, raw vs MPI.
+
+Paper: raw 1-byte round trips of 925 µs (Ethernet) and 1065 µs (ATM);
+MPI adds the envelope/matching overheads of Table 1 on top.
+"""
+
+from benchmarks.conftest import attach_series, run_once
+from repro.bench import figures
+from repro.bench.tables import format_series
+
+
+def test_fig05_tcp_latency(benchmark):
+    result = run_once(benchmark, figures.fig05_tcp_latency)
+    series = result["series"]
+    tcp_eth = dict(series["tcp/eth"])
+    tcp_atm = dict(series["tcp/atm"])
+    mpi_eth = dict(series["mpi/tcp/eth"])
+    mpi_atm = dict(series["mpi/tcp/atm"])
+
+    # calibrated raw endpoints
+    assert abs(tcp_eth[1] - 925.0) / 925.0 < 0.15
+    assert abs(tcp_atm[1] - 1065.0) / 1065.0 < 0.15
+    # MPI sits above raw TCP at every size, by a few hundred us
+    for n in tcp_eth:
+        assert mpi_eth[n] > tcp_eth[n]
+        assert mpi_atm[n] > tcp_atm[n]
+    gap_eth = mpi_eth[1] - tcp_eth[1]
+    assert 250 <= gap_eth <= 650, gap_eth
+    # at small sizes ATM is *slower* than Ethernet (per-packet stack
+    # cost); at 1 KB the wire speed has flipped the ordering
+    assert tcp_atm[1] > tcp_eth[1]
+    assert tcp_atm[1024] < tcp_eth[1024]
+
+    attach_series(benchmark, result)
+    print()
+    print(format_series(series, xlabel="bytes", title="Figure 5: TCP round-trip latency (us)"))
+    print("paper 1B: tcp/eth 925, tcp/atm 1065; MPI adds envelope+matching overheads")

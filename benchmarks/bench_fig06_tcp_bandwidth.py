@@ -1,0 +1,35 @@
+"""Figure 6 — TCP bandwidth on Ethernet and ATM, raw vs MPI.
+
+Paper: ATM delivers roughly an order of magnitude more bandwidth than
+the shared 10 Mb/s Ethernet; MPI tracks raw TCP closely.
+"""
+
+from benchmarks.conftest import attach_series, run_once
+from repro.bench import figures
+from repro.bench.tables import format_series
+
+
+def test_fig06_tcp_bandwidth(benchmark):
+    result = run_once(benchmark, figures.fig06_tcp_bandwidth)
+    series = result["series"]
+    tcp_eth = dict(series["tcp/eth"])
+    tcp_atm = dict(series["tcp/atm"])
+    mpi_eth = dict(series["mpi/tcp/eth"])
+    mpi_atm = dict(series["mpi/tcp/atm"])
+    big = max(tcp_eth)
+
+    # Ethernet is wire-limited under 1.25 MB/s; ATM far above it
+    assert tcp_eth[big] < 1.25
+    assert tcp_atm[big] > 4 * tcp_eth[big]
+    # MPI costs a little bandwidth but stays in the same regime
+    assert mpi_eth[big] > 0.5 * tcp_eth[big]
+    assert mpi_atm[big] > 0.5 * tcp_atm[big]
+    # bandwidth grows with message size for all series
+    small = min(tcp_eth)
+    for s in (tcp_eth, tcp_atm, mpi_eth, mpi_atm):
+        assert s[small] < s[big]
+
+    attach_series(benchmark, result)
+    print()
+    print(format_series(series, xlabel="bytes", title="Figure 6: TCP bandwidth (MB/s)"))
+    print("paper: ATM >> shared Ethernet; MPI tracks raw TCP")

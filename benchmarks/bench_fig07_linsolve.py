@@ -1,0 +1,32 @@
+"""Figure 7 — Meiko linear equation solver, 1-32 processes.
+
+Paper: the hardware-broadcast implementation outperforms MPICH's
+point-to-point broadcast, increasingly so at higher process counts.
+"""
+
+from benchmarks.conftest import attach_series, run_once
+from repro.bench import figures
+from repro.bench.tables import format_series
+
+
+def test_fig07_linsolve(benchmark):
+    result = run_once(benchmark, figures.fig07_linsolve)
+    series = result["series"]
+    ll = dict(series["low latency"])
+    mp = dict(series["mpich"])
+
+    # identical at P=1 (no communication), low latency wins beyond
+    assert abs(ll[1] - mp[1]) / mp[1] < 0.05
+    for p in ll:
+        if p > 1:
+            assert ll[p] < mp[p], f"low latency not faster at P={p}"
+    # the advantage grows with process count
+    assert mp[32] / ll[32] > mp[2] / ll[2]
+    # parallelism helps the low-latency implementation throughout
+    assert ll[32] < ll[4] < ll[1]
+
+    attach_series(benchmark, result)
+    print()
+    print(format_series(series, xlabel="procs",
+                        title="Figure 7: Meiko linear equation solver (s, N=192)"))
+    print("paper: hardware broadcast beats pt2pt broadcast; gap grows with P")

@@ -1,0 +1,30 @@
+"""Figure 8 — Meiko particle pairwise interactions (24 particles,
+up to 8 processes).
+
+Paper: with evenly loaded processes interacting at nearly the same
+time, the lower-latency communication mechanism is beneficial.
+"""
+
+from benchmarks.conftest import attach_series, run_once
+from repro.bench import figures
+from repro.bench.tables import format_series
+
+
+def test_fig08_meiko_nbody(benchmark):
+    result = run_once(benchmark, figures.fig08_meiko_nbody)
+    series = result["series"]
+    ll = dict(series["low latency"])
+    mp = dict(series["mpich"])
+
+    for p in ll:
+        if p > 1:
+            assert ll[p] < mp[p], f"low latency not faster at P={p}"
+    # at only 24 particles, communication eventually dominates MPICH:
+    # its time at 8 processes is no better than at 4
+    assert mp[8] >= mp[4] * 0.8
+
+    attach_series(benchmark, result)
+    print()
+    print(format_series(series, xlabel="procs",
+                        title="Figure 8: Meiko pairwise interactions (us, 24 particles)"))
+    print("paper: low latency wins; scaling is communication-bound at 24 particles")

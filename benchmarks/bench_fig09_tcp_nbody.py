@@ -1,0 +1,30 @@
+"""Figure 9 — cluster particle pairwise interactions (128 particles,
+Ethernet vs ATM over TCP).
+
+Paper: "The ATM shows a clear performance gain, primarily because
+there is no network contention and fairly large messages are used,
+exploiting ATM's higher bandwidth."
+"""
+
+from benchmarks.conftest import attach_series, run_once
+from repro.bench import figures
+from repro.bench.tables import format_series
+
+
+def test_fig09_tcp_nbody(benchmark):
+    result = run_once(benchmark, figures.fig09_tcp_nbody)
+    series = result["series"]
+    atm = dict(series["ATM"])
+    eth = dict(series["Ethernet"])
+
+    for p in atm:
+        if p > 1:
+            assert atm[p] < eth[p], f"ATM not faster at P={p}"
+    # the gap widens with more processes (shared-segment contention)
+    assert eth[8] / atm[8] > eth[2] / atm[2]
+
+    attach_series(benchmark, result)
+    print()
+    print(format_series(series, xlabel="procs",
+                        title="Figure 9: TCP pairwise interactions (us, 128 particles)"))
+    print("paper: ATM clearly faster (no contention, higher bandwidth)")

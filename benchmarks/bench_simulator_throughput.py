@@ -1,0 +1,37 @@
+"""Simulator wall-clock throughput (not in the paper).
+
+Every other benchmark here reports *simulated* microseconds; this one
+guards the *simulator's own* performance — events per wall-clock second
+on a representative workload (the Figure 7 linear solver at 8 ranks) —
+so a kernel regression shows up as a benchmark regression rather than a
+mysteriously slow suite.
+"""
+
+from repro.apps import linsolve
+from repro.mpi import World
+
+
+def _solver_events():
+    """Run a mid-size solver and return how many events were scheduled."""
+    world = World(8, platform="meiko", device="lowlatency")
+
+    def main(comm):
+        _, elapsed = yield from linsolve(comm, n=96, seed=0)
+        return elapsed
+
+    world.run(main)
+    return world.sim._seq  # total events scheduled over the run
+
+
+def test_simulator_throughput(benchmark):
+    events = benchmark(_solver_events)
+    assert events > 10_000  # a real workload, not a trivial loop
+    wall_s = benchmark.stats["mean"]
+    throughput = events / wall_s
+    benchmark.extra_info["events"] = events
+    benchmark.extra_info["events_per_sec"] = int(throughput)
+    # floor: even a slow CI box should push > 50k events/s through the
+    # heap-based kernel; a big regression trips this before it hurts
+    assert throughput > 50_000, f"simulator at {throughput:.0f} events/s"
+    print(f"\nsimulator throughput: {throughput/1e6:.2f} M events/s "
+          f"({events} events per solver run)")

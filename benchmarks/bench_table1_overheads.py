@@ -1,0 +1,71 @@
+"""Table 1 — MPI round-trip overheads with TCP.
+
+Paper (µs):
+
+====================================  =====  ========
+row                                    ATM   Ethernet
+====================================  =====  ========
+1 byte round-trip latency              1065       925
+25 byte info overhead                     5        45
+Read for msg type                        85        65
+Read for envelope                        85        65
+Overheads for matching                   35        35
+====================================  =====  ========
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench import figures
+from repro.bench.tables import format_table
+
+
+def test_table1_overheads(benchmark):
+    result = run_once(benchmark, figures.table1_overheads)
+    rows = result["rows"]
+    paper = result["paper"]
+
+    for network in ("ATM", "Ethernet"):
+        got, want = rows[network], paper[network]
+        # base RTT calibrated within 15%
+        base = "1 byte round-trip latency"
+        assert abs(got[base] - want[base]) / want[base] < 0.15, (network, got[base])
+        # the syscall and matching rows are the calibrated model inputs
+        assert got["Read for msg type"] == want["Read for msg type"]
+        assert got["Read for envelope"] == want["Read for envelope"]
+        assert got["Overheads for matching"] == want["Overheads for matching"]
+    # the 25-byte info overhead is wire-dominated: far more expensive on
+    # 10 Mb/s Ethernet than on 155 Mb/s ATM
+    assert rows["Ethernet"]["25 byte info overhead"] > rows["ATM"]["25 byte info overhead"]
+    # the measured MPI RTT exceeds the raw RTT by roughly the sum of the
+    # per-message overheads, paid once per direction
+    for network in ("ATM", "Ethernet"):
+        got = rows[network]
+        per_msg = (
+            got["25 byte info overhead"] / 2
+            + got["Read for msg type"]
+            + got["Read for envelope"]
+            + got["Overheads for matching"]
+        )
+        gap = got["measured MPI 1B RTT"] - got["1 byte round-trip latency"]
+        assert 1.0 * per_msg <= gap <= 3.5 * per_msg, (network, gap, per_msg)
+
+    headers = ["row", "ATM (us)", "paper", "Ethernet (us)", "paper"]
+    table_rows = []
+    for key in (
+        "1 byte round-trip latency",
+        "25 byte info overhead",
+        "Read for msg type",
+        "Read for envelope",
+        "Overheads for matching",
+    ):
+        table_rows.append(
+            [key, rows["ATM"][key], paper["ATM"][key], rows["Ethernet"][key],
+             paper["Ethernet"][key]]
+        )
+    table_rows.append(
+        ["measured MPI 1B RTT", rows["ATM"]["measured MPI 1B RTT"], "-",
+         rows["Ethernet"]["measured MPI 1B RTT"], "-"]
+    )
+    for network in ("ATM", "Ethernet"):
+        benchmark.extra_info[network] = {k: round(v, 1) for k, v in rows[network].items()}
+    print()
+    print(format_table(headers, table_rows, title="Table 1: MPI round-trip overheads with TCP"))

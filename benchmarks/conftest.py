@@ -1,0 +1,29 @@
+"""Benchmark-suite helpers.
+
+Every target regenerates one figure/table of the paper.  The benchmark
+fixture measures wall-clock cost of the (deterministic) simulation; the
+*simulated* results are printed as paper-style tables and attached to
+``benchmark.extra_info`` so ``--benchmark-json`` output carries them.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run *fn* exactly once under the benchmark timer (simulations are
+    deterministic, so repeat rounds would measure the same thing)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def attach_series(benchmark, result, scale=1.0):
+    """Stash measured series into benchmark.extra_info."""
+    for name, points in result["series"].items():
+        benchmark.extra_info[name] = [(x, round(v * scale, 3)) for x, v in points]
+    if "paper" in result:
+        benchmark.extra_info["paper"] = {
+            k: v for k, v in result["paper"].items() if not isinstance(v, dict)
+        }

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""2D heat diffusion with Cartesian topology + MPI profiling.
+
+An extension beyond the paper's applications: Jacobi relaxation on a
+row-partitioned grid, halo rows exchanged along a 1D Cartesian
+communicator each iteration.  The PMPI-style profiling wrapper shows
+where the simulated microseconds go, and the result is verified against
+the serial NumPy reference.
+
+Run:  python examples/heat_diffusion.py [rows]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.apps import initial_grid, jacobi_heat, reference_jacobi
+from repro.apps.jacobi import FLOPS_PER_CELL
+from repro.bench.tables import format_table
+from repro.mpi import World
+from repro.mpi.profiling import profile
+
+
+def main():
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 32
+    iters = 20
+
+    def app(comm):
+        holder = {}
+
+        def wrap(cart):
+            p = profile(cart)
+            holder["stats"] = p.stats
+            return p
+
+        grid, elapsed = yield from jacobi_heat(comm, nx=n, ny=n, iters=iters, wrap=wrap)
+        return grid, elapsed, holder["stats"]
+
+    rows = []
+    stats0 = None
+    for device in ("lowlatency", "mpich"):
+        for nprocs in (1, 2, 4, 8):
+            world = World(nprocs, platform="meiko", device=device)
+            results = world.run(app)
+            grid = results[0][0]
+            elapsed = max(r[1] for r in results)
+            expected = reference_jacobi(initial_grid(n, n), iters)
+            assert np.allclose(grid, expected), "diverged from the serial reference!"
+            rows.append([device, nprocs, elapsed])
+            if device == "lowlatency" and nprocs == 8:
+                stats0 = results[0][2]
+    print(format_table(
+        ["device", "procs", "time (us)"],
+        rows,
+        title=f"Jacobi heat diffusion, {n}x{n} grid, {iters} iterations (verified)",
+    ))
+    print("\nMPI profile of rank 0 (lowlatency, 8 procs):")
+    print(stats0.summary())
+    print(f"\n(each iteration: 2 halo sendrecvs + "
+          f"{(n // 8) * (n - 2) * FLOPS_PER_CELL} flops per rank)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Distributed linear equation solver (paper, Section 6.1 / Figure 7).
+
+Solves a dense N×N system by broadcast-based Gaussian elimination on
+the simulated Meiko CS/2, comparing the low-latency implementation
+(hardware broadcast) against MPICH (point-to-point broadcast), and
+verifies the answer against NumPy.
+
+Run:  python examples/linear_solver.py [N]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.apps import generate_system, linsolve
+from repro.bench.tables import format_table
+from repro.mpi import World
+
+
+def main():
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 96
+
+    def app(comm):
+        x, elapsed = yield from linsolve(comm, n=n, seed=42)
+        return x, elapsed
+
+    rows = []
+    for device in ("lowlatency", "mpich"):
+        for nprocs in (1, 4, 16, 32):
+            world = World(nprocs, platform="meiko", device=device)
+            results = world.run(app)
+            x = results[0][0]
+            elapsed = max(r[1] for r in results)
+            # verify against the direct solve
+            a, b = generate_system(n, seed=42)
+            residual = float(np.linalg.norm(a @ x - b))
+            rows.append([device, nprocs, elapsed / 1e6, f"{residual:.2e}"])
+    print(format_table(
+        ["device", "procs", "time (s)", "|Ax-b|"],
+        rows,
+        title=f"Linear equation solver, N={n} (Figure 7 configuration)",
+    ))
+    print("\nThe hardware-broadcast (lowlatency) implementation scales;")
+    print("MPICH's point-to-point broadcast flattens out — the paper's Figure 7.")
+
+
+if __name__ == "__main__":
+    main()

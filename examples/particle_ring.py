@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Particle pairwise interactions in a ring (paper, Section 6.2,
+Figures 8 and 9).
+
+Runs the ring-pipeline n-body force computation on the Meiko (24
+particles, Figure 8) and on both workstation clusters (128 particles,
+Figure 9), verifying every result against the O(n²) NumPy reference.
+
+Run:  python examples/particle_ring.py
+"""
+
+import numpy as np
+
+from repro.apps import generate_particles, nbody_ring, reference_forces
+from repro.bench.tables import format_table
+from repro.mpi import World
+
+
+def run(platform, device, nprocs, nparticles, flop_time):
+    def app(comm):
+        f, elapsed = yield from nbody_ring(
+            comm, nparticles=nparticles, seed=9, flop_time=flop_time
+        )
+        return f, elapsed
+
+    world = World(nprocs, platform=platform, device=device)
+    results = world.run(app)
+    forces = results[0][0]
+    expected = reference_forces(generate_particles(nparticles, seed=9))
+    assert np.allclose(forces, expected, atol=1e-9), "forces diverge from reference!"
+    return max(r[1] for r in results)
+
+
+def main():
+    print("Figure 8 configuration: 24 particles on the Meiko CS/2")
+    rows = []
+    for device in ("lowlatency", "mpich"):
+        for nprocs in (1, 2, 4, 8):
+            t = run("meiko", device, nprocs, 24, flop_time=0.1)
+            rows.append([device, nprocs, t])
+    print(format_table(["device", "procs", "time (us)"], rows))
+
+    print("\nFigure 9 configuration: 128 particles on the clusters (TCP)")
+    rows = []
+    for platform in ("ethernet", "atm"):
+        for nprocs in (1, 2, 4, 8):
+            t = run(platform, "tcp", nprocs, 128, flop_time=0.03)
+            rows.append([platform, nprocs, t])
+    print(format_table(["network", "procs", "time (us)"], rows))
+    print("\nATM wins at scale: no shared-segment contention and higher bandwidth.")
+    print("All force results verified against the O(n^2) NumPy reference.")
+
+
+if __name__ == "__main__":
+    main()

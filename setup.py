@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, so the PEP-517
+editable install path (which builds a wheel) fails.  This shim lets
+``pip install -e . --no-build-isolation`` fall back to the legacy
+``setup.py develop`` route.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

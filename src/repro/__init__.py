@@ -1,0 +1,42 @@
+"""repro — reproduction of "Low Latency MPI for Meiko CS/2 and ATM Clusters".
+
+Jones, Singh & Agrawal, IPPS 1997.  The package contains:
+
+* :mod:`repro.sim` — a deterministic discrete-event simulation kernel;
+* :mod:`repro.hw` — models of the paper's hardware: the Meiko CS/2
+  (SPARC + Elan co-processor, remote transactions, DMA, hardware
+  broadcast, the tport widget), a 10 Mb/s shared Ethernet with CSMA/CD,
+  and a 155 Mb/s ATM fabric (cells, AAL5/AAL3-4, ForeRunner-style
+  switch);
+* :mod:`repro.net` — IP / TCP / UDP / reliable-UDP protocol stacks with
+  a kernel-crossing cost model;
+* :mod:`repro.mpi` — the paper's MPI library: tagged point-to-point
+  matching with MPI_ANY_SOURCE/ANY_TAG, all four send modes (blocking
+  and nonblocking), probe, datatypes, communicators, broadcast (plus a
+  set of extension collectives), running over four interchangeable
+  devices (low-latency Meiko, MPICH-over-tport, TCP, UDP);
+* :mod:`repro.apps` — the paper's applications (linear equation solver,
+  matrix multiply, particle pairwise interactions);
+* :mod:`repro.bench` — harness utilities that regenerate every figure
+  and table of the paper's evaluation.
+
+Quickstart::
+
+    from repro.mpi import World
+
+    def main(comm):
+        if comm.rank == 0:
+            yield from comm.send(b"hello", dest=1, tag=7)
+        else:
+            data, status = yield from comm.recv(source=0, tag=7)
+            return bytes(data)
+
+    world = World(nprocs=2, platform="meiko", device="lowlatency")
+    results = world.run(main)
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import ReproError
+
+__all__ = ["ReproError", "__version__"]

@@ -1,0 +1,32 @@
+"""The paper's applications (Section 6).
+
+* :mod:`repro.apps.linsolve` — linear equation solver: an initial
+  distribution phase by the initiator, N phases of broadcast +
+  elimination by all processes, and a final gathering phase (Figure 7);
+* :mod:`repro.apps.matmul` — matrix multiplication (mentioned alongside
+  the solver, "performance results are similar");
+* :mod:`repro.apps.nbody` — particle pairwise interactions in a ring,
+  using nonblocking sends + blocking receives + wait (Figures 8 and 9).
+
+Each application both *computes real numbers* (verified against NumPy
+in the tests) and *charges simulated CPU time* for its floating-point
+work, so communication/computation overlap behaves like the paper's
+runs.
+"""
+
+from repro.apps.jacobi import jacobi_heat, initial_grid, reference_jacobi
+from repro.apps.linsolve import linsolve, generate_system
+from repro.apps.matmul import matmul
+from repro.apps.nbody import nbody_ring, reference_forces, generate_particles
+
+__all__ = [
+    "jacobi_heat",
+    "initial_grid",
+    "reference_jacobi",
+    "linsolve",
+    "generate_system",
+    "matmul",
+    "nbody_ring",
+    "reference_forces",
+    "generate_particles",
+]

@@ -1,0 +1,63 @@
+"""Distributed matrix multiplication (paper, Section 6.1).
+
+Row-block distribution of A; B is broadcast; each process multiplies
+its block; the initiator gathers C.  Communication is broadcast +
+gather, so (like the solver) the hardware-broadcast implementation
+wins on the Meiko — the paper notes "performance results are similar
+to that of the linear equation solver".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["matmul"]
+
+DEFAULT_FLOP_TIME = 0.1
+
+
+def matmul(
+    comm,
+    n: int = 64,
+    seed: int = 0,
+    flop_time: float = DEFAULT_FLOP_TIME,
+    quantum: float = 50.0,
+    a: Optional[np.ndarray] = None,
+    b: Optional[np.ndarray] = None,
+):
+    """Generator: C = A @ B on *comm*.
+
+    Returns ``(C, elapsed_us)`` at rank 0 and ``(None, elapsed_us)``
+    elsewhere.
+    """
+    size, rank = comm.size, comm.rank
+    host = comm.endpoint.host
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+
+    if rank == 0:
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((n, n)) if a is None else np.array(a, dtype=float)
+        b = rng.standard_normal((n, n)) if b is None else np.array(b, dtype=float)
+        row_chunks = [a[np.arange(r, n, size)].copy() for r in range(size)]
+    else:
+        row_chunks = None
+        b = np.empty((n, n), dtype=np.float64)
+
+    my_a = yield from comm.scatter(row_chunks, root=0)
+    t0 = comm.wtime()
+    yield from comm.bcast(b.reshape(-1), root=0)
+    my_c = my_a @ b
+    yield from host.compute(my_a.shape[0] * n * n * 2 * flop_time, quantum=quantum)
+    gathered = yield from comm.gather(my_c, root=0)
+    elapsed = comm.wtime() - t0
+    if rank != 0:
+        return None, elapsed
+    c = np.empty((n, n))
+    for r, block in enumerate(gathered):
+        c[np.arange(r, n, size)] = block
+    return c, elapsed

@@ -1,0 +1,37 @@
+"""Benchmark harness: regenerates every figure and table of the paper.
+
+:mod:`repro.bench.harness` has the micro-benchmark drivers (ping-pong
+round trips, streaming bandwidth, raw-protocol probes);
+:mod:`repro.bench.figures` produces each figure's data series;
+:mod:`repro.bench.tables` formats paper-style output.
+
+The ``benchmarks/`` directory at the repo root wraps these in
+pytest-benchmark targets, one per figure/table.
+"""
+
+from repro.bench.harness import (
+    mpi_pingpong_rtt,
+    mpi_bandwidth,
+    tport_rtt,
+    tport_bandwidth,
+    raw_stream_rtt,
+    raw_stream_bandwidth,
+    fore_rtt,
+    sweep,
+    crossover,
+)
+from repro.bench.tables import format_table, format_series
+
+__all__ = [
+    "mpi_pingpong_rtt",
+    "mpi_bandwidth",
+    "tport_rtt",
+    "tport_bandwidth",
+    "raw_stream_rtt",
+    "raw_stream_bandwidth",
+    "fore_rtt",
+    "sweep",
+    "crossover",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,109 @@
+"""ASCII charts for benchmark figures.
+
+No plotting dependencies exist in the offline environment, so the
+benchmark harness renders its figures as monospace scatter/line charts
+— enough to eyeball a crossover or a scaling trend in a terminal or a
+CI log.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["ascii_chart", "MARKERS"]
+
+#: series markers, assigned in insertion order
+MARKERS = "ox+*#@%&"
+
+
+def _transform(v: float, log: bool) -> float:
+    if log:
+        if v <= 0:
+            raise ValueError(f"log scale requires positive values, got {v}")
+        return math.log10(v)
+    return v
+
+
+def _fmt(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) >= 10000 or abs(v) < 0.01:
+        return f"{v:.1e}"
+    return f"{v:.4g}"
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    logx: bool = False,
+    logy: bool = False,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render (x, y) series as a monospace chart.
+
+    >>> print(ascii_chart({"a": [(1, 1), (2, 4)]}, width=20, height=5))
+    ... # doctest: +SKIP
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    if width < 8 or height < 4:
+        raise ValueError("chart too small")
+    pts = [
+        (_transform(x, logx), _transform(y, logy))
+        for s in series.values()
+        for x, y in s
+    ]
+    if not pts:
+        raise ValueError("series contain no points")
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+    xmin, xmax = min(xs), max(xs)
+    ymin, ymax = min(ys), max(ys)
+    xspan = (xmax - xmin) or 1.0
+    yspan = (ymax - ymin) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for marker, (name, points) in zip(MARKERS, series.items()):
+        for x, y in points:
+            tx = (_transform(x, logx) - xmin) / xspan
+            ty = (_transform(y, logy) - ymin) / yspan
+            col = min(width - 1, int(round(tx * (width - 1))))
+            row = min(height - 1, int(round((1.0 - ty) * (height - 1))))
+            cell = grid[row][col]
+            grid[row][col] = marker if cell in (" ", marker) else "?"
+
+    # frame + y labels
+    def unscale_y(frac: float) -> float:
+        v = ymin + frac * yspan
+        return 10**v if logy else v
+
+    def unscale_x(frac: float) -> float:
+        v = xmin + frac * xspan
+        return 10**v if logx else v
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_w = 10
+    for i, row in enumerate(grid):
+        frac = 1.0 - i / (height - 1)
+        ylab = _fmt(unscale_y(frac)) if i in (0, height // 2, height - 1) else ""
+        lines.append(f"{ylab:>{label_w}} |" + "".join(row))
+    x_lo, x_mid, x_hi = (_fmt(unscale_x(f)) for f in (0.0, 0.5, 1.0))
+    lines.append(" " * label_w + " +" + "-" * width)
+    axis = " " * (label_w + 2) + x_lo
+    mid_pos = label_w + 2 + width // 2 - len(x_mid) // 2
+    axis = axis.ljust(mid_pos) + x_mid
+    axis = axis.ljust(label_w + 2 + width - len(x_hi)) + x_hi
+    lines.append(axis)
+    if xlabel or ylabel:
+        lines.append(" " * (label_w + 2) + f"x: {xlabel}   y: {ylabel}".rstrip())
+    legend = "   ".join(
+        f"{marker}={name}" for marker, name in zip(MARKERS, series.keys())
+    )
+    lines.append(" " * (label_w + 2) + legend)
+    return "\n".join(lines)

@@ -1,0 +1,44 @@
+"""Paper-style output formatting for benchmark results."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """A plain monospace table."""
+    cols = [[str(h)] for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            if isinstance(cell, float):
+                # keep 4 significant digits for small values, 1 decimal
+                # for large ones
+                cell = f"{cell:.4g}" if abs(cell) < 100 else f"{cell:.1f}"
+            cols[i].append(str(cell))
+    widths = [max(len(c) for c in col) for col in cols]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in range(1, len(cols[0])):
+        lines.append("  ".join(cols[i][r].rjust(widths[i]) for i in range(len(cols))))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Dict[str, List[Tuple[int, float]]], xlabel: str = "size", title: str = ""
+) -> str:
+    """Several (x, y) series as one table keyed by x."""
+    names = list(series)
+    xs = [x for x, _ in series[names[0]]]
+    for name in names:
+        if [x for x, _ in series[name]] != xs:
+            raise ValueError("series must share their x samples")
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [series[name][i][1] for name in names])
+    return format_table([xlabel] + names, rows, title=title)

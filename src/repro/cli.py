@@ -1,0 +1,237 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Platform/device inventory and calibrated endpoints.
+``pingpong``
+    MPI round-trip latency for one configuration and size sweep.
+``bandwidth``
+    One-way streaming bandwidth for one configuration.
+``figure``
+    Regenerate one of the paper's figures/tables (fig01..fig09, table1)
+    as a table and an ASCII chart.
+``app``
+    Run one of the applications (linsolve, matmul, nbody, jacobi) and
+    report time + verification.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench import figures, harness
+from repro.bench.ascii_chart import ascii_chart
+from repro.bench.tables import format_series, format_table
+
+__all__ = ["main", "build_parser"]
+
+FIGURES = {
+    "fig01": (figures.fig01_transfer_mechanisms, "bytes", False),
+    "fig02": (figures.fig02_meiko_latency, "bytes", False),
+    "fig03": (figures.fig03_meiko_bandwidth, "bytes", True),
+    "fig04": (figures.fig04_atm_latency, "bytes", False),
+    "fig05": (figures.fig05_tcp_latency, "bytes", False),
+    "fig06": (figures.fig06_tcp_bandwidth, "bytes", True),
+    "fig07": (figures.fig07_linsolve, "procs", False),
+    "fig08": (figures.fig08_meiko_nbody, "procs", False),
+    "fig09": (figures.fig09_tcp_nbody, "procs", False),
+}
+
+PLATFORM_DEVICES = {
+    "meiko": ("lowlatency", "mpich"),
+    "ethernet": ("tcp", "udp"),
+    "atm": ("tcp", "udp"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Low Latency MPI for Meiko CS/2 and ATM Clusters'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="platform/device inventory")
+
+    pp = sub.add_parser("pingpong", help="MPI round-trip latency sweep")
+    pp.add_argument("--platform", default="meiko", choices=sorted(PLATFORM_DEVICES))
+    pp.add_argument("--device", default=None)
+    pp.add_argument("--sizes", default="1,64,256,1024",
+                    help="comma-separated message sizes in bytes")
+
+    bw = sub.add_parser("bandwidth", help="one-way streaming bandwidth")
+    bw.add_argument("--platform", default="meiko", choices=sorted(PLATFORM_DEVICES))
+    bw.add_argument("--device", default=None)
+    bw.add_argument("--sizes", default="4096,65536,1048576")
+
+    fig = sub.add_parser("figure", help="regenerate a paper figure/table")
+    fig.add_argument("name", choices=sorted(FIGURES) + ["table1"])
+    fig.add_argument("--chart", action="store_true", help="also render an ASCII chart")
+
+    app = sub.add_parser("app", help="run an application")
+    app.add_argument("name", choices=["linsolve", "matmul", "nbody", "jacobi"])
+    app.add_argument("--platform", default="meiko", choices=sorted(PLATFORM_DEVICES))
+    app.add_argument("--device", default=None)
+    app.add_argument("--nprocs", type=int, default=4)
+    app.add_argument("--size", type=int, default=None,
+                     help="problem size (N / particles / grid rows)")
+    return parser
+
+
+def _parse_sizes(text: str) -> List[int]:
+    return [int(s) for s in text.split(",") if s.strip()]
+
+
+def cmd_info(args, out) -> int:
+    rows = []
+    for platform, devices in PLATFORM_DEVICES.items():
+        for device in devices:
+            rtt = harness.mpi_pingpong_rtt(platform, device, 1)
+            rows.append([platform, device, rtt])
+    print(format_table(
+        ["platform", "device", "1B RTT (us)"], rows,
+        title="Simulated platforms (paper: meiko 104/210; clusters 925/1065 + MPI overheads)",
+    ), file=out)
+    return 0
+
+
+def cmd_pingpong(args, out) -> int:
+    sizes = _parse_sizes(args.sizes)
+    device = args.device or PLATFORM_DEVICES[args.platform][0]
+    rows = [
+        [n, harness.mpi_pingpong_rtt(args.platform, device, n)] for n in sizes
+    ]
+    print(format_table(
+        ["bytes", "RTT (us)"], rows,
+        title=f"MPI ping-pong on {args.platform}/{device}",
+    ), file=out)
+    return 0
+
+
+def cmd_bandwidth(args, out) -> int:
+    sizes = _parse_sizes(args.sizes)
+    device = args.device or PLATFORM_DEVICES[args.platform][0]
+    rows = [
+        [n, harness.mpi_bandwidth(args.platform, device, n)] for n in sizes
+    ]
+    print(format_table(
+        ["bytes", "MB/s"], rows,
+        title=f"MPI bandwidth on {args.platform}/{device}",
+    ), file=out)
+    return 0
+
+
+def cmd_figure(args, out) -> int:
+    if args.name == "table1":
+        result = figures.table1_overheads()
+        rows = [
+            [key, result["rows"]["ATM"][key], result["paper"]["ATM"][key],
+             result["rows"]["Ethernet"][key], result["paper"]["Ethernet"][key]]
+            for key in result["paper"]["ATM"]
+        ]
+        print(format_table(
+            ["row", "ATM", "paper", "Ethernet", "paper"], rows,
+            title="Table 1: MPI round-trip overheads with TCP (us)",
+        ), file=out)
+        return 0
+    fn, xlabel, is_bandwidth = FIGURES[args.name]
+    result = fn()
+    unit = "MB/s" if is_bandwidth else "us"
+    print(format_series(result["series"], xlabel=xlabel,
+                        title=f"{args.name} ({unit})"), file=out)
+    if "crossover" in result and result["crossover"]:
+        print(f"crossover: {result['crossover']:.0f} B "
+              f"(paper: {result['paper'].get('crossover')})", file=out)
+    if args.chart:
+        logx = xlabel == "bytes"
+        print(file=out)
+        print(ascii_chart(result["series"], logx=logx, title=args.name,
+                          xlabel=xlabel, ylabel=unit), file=out)
+    return 0
+
+
+def cmd_app(args, out) -> int:
+    import numpy as np
+
+    from repro import apps
+    from repro.mpi import World
+
+    device = args.device or PLATFORM_DEVICES[args.platform][0]
+    flop_time = 0.1 if args.platform == "meiko" else 0.03
+
+    if args.name == "linsolve":
+        n = args.size or 64
+
+        def main(comm):
+            x, elapsed = yield from apps.linsolve(comm, n=n, seed=1, flop_time=flop_time)
+            return x, elapsed
+
+        results = World(args.nprocs, platform=args.platform, device=device).run(main)
+        a, b = apps.generate_system(n, seed=1)
+        ok = np.allclose(a @ results[0][0], b, atol=1e-8)
+    elif args.name == "matmul":
+        n = args.size or 32
+
+        def main(comm):
+            c, elapsed = yield from apps.matmul(comm, n=n, seed=1, flop_time=flop_time)
+            return c, elapsed
+
+        results = World(args.nprocs, platform=args.platform, device=device).run(main)
+        rng = np.random.default_rng(1)
+        ok = np.allclose(results[0][0], rng.standard_normal((n, n)) @ rng.standard_normal((n, n)))
+    elif args.name == "nbody":
+        n = args.size or (args.nprocs * 8)
+
+        def main(comm):
+            f, elapsed = yield from apps.nbody_ring(
+                comm, nparticles=n, seed=1, flop_time=flop_time
+            )
+            return f, elapsed
+
+        results = World(args.nprocs, platform=args.platform, device=device).run(main)
+        ok = np.allclose(
+            results[0][0],
+            apps.reference_forces(apps.generate_particles(n, seed=1)),
+            atol=1e-9,
+        )
+    else:  # jacobi
+        n = args.size or 32
+
+        def main(comm):
+            g, elapsed = yield from apps.jacobi_heat(
+                comm, nx=n, ny=n, iters=10, flop_time=flop_time
+            )
+            return g, elapsed
+
+        results = World(args.nprocs, platform=args.platform, device=device).run(main)
+        ok = np.allclose(
+            results[0][0], apps.reference_jacobi(apps.initial_grid(n, n), 10)
+        )
+
+    elapsed = max(r[1] for r in results)
+    print(
+        f"{args.name} on {args.platform}/{device} x{args.nprocs}: "
+        f"{elapsed:.1f} us simulated, verification {'OK' if ok else 'FAILED'}",
+        file=out,
+    )
+    return 0 if ok else 1
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    handler = {
+        "info": cmd_info,
+        "pingpong": cmd_pingpong,
+        "bandwidth": cmd_bandwidth,
+        "figure": cmd_figure,
+        "app": cmd_app,
+    }[args.command]
+    return handler(args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,29 @@
+"""Exception hierarchy shared across the library."""
+
+__all__ = [
+    "ReproError",
+    "HardwareError",
+    "NetworkError",
+    "ConnectionClosed",
+    "ConfigurationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class HardwareError(ReproError):
+    """Misuse of a simulated hardware component."""
+
+
+class NetworkError(ReproError):
+    """A protocol-level failure (reset, unreachable, reassembly error)."""
+
+
+class ConnectionClosed(NetworkError):
+    """Operation on a connection that the peer has closed."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid platform/world/benchmark configuration."""

@@ -1,0 +1,5 @@
+"""Simulated hardware: hosts, the Meiko CS/2, Ethernet, and ATM."""
+
+from repro.hw.node import Host, Processor
+
+__all__ = ["Host", "Processor"]

@@ -1,0 +1,23 @@
+"""155 Mb/s ATM: cells, AAL segmentation/reassembly, switch, NICs.
+
+Models the paper's Fore Systems hardware: a ForeRunner ASX-200 switch
+with eight 155 Mb/s ports, and GIA-200 interface cards whose on-board
+i960 performs AAL3/4 and AAL5 segmentation and reassembly without the
+host processor.
+"""
+
+from repro.hw.atm.params import AtmParams
+from repro.hw.atm.aal import AAL5, AAL34, aal_cells, aal_wire_bytes
+from repro.hw.atm.switch import AtmSwitch
+from repro.hw.atm.nic import AtmNic, Pdu
+
+__all__ = [
+    "AtmParams",
+    "AAL5",
+    "AAL34",
+    "aal_cells",
+    "aal_wire_bytes",
+    "AtmSwitch",
+    "AtmNic",
+    "Pdu",
+]

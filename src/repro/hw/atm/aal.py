@@ -1,0 +1,35 @@
+"""ATM adaptation layers: cell counts for AAL5 and AAL3/4.
+
+AAL5 packs 48 payload bytes per cell with an 8-byte trailer (plus
+padding) in the final cell.  AAL3/4 spends 4 bytes of every cell on its
+own SAR header, leaving 44 — so the same PDU needs more cells, which is
+why the Fore AAL3/4 path is not faster than AAL5/TCP for large
+messages (paper, Figure 4 discussion).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.hw.atm.params import AtmParams
+
+__all__ = ["AAL5", "AAL34", "aal_cells", "aal_wire_bytes"]
+
+AAL5 = "aal5"
+AAL34 = "aal3/4"
+
+
+def aal_cells(nbytes: int, aal: str, params: AtmParams) -> int:
+    """Number of 53-byte cells to carry an *nbytes* PDU."""
+    if nbytes < 0:
+        raise ValueError(f"negative PDU size {nbytes}")
+    if aal == AAL5:
+        return max(1, math.ceil((nbytes + params.aal5_trailer) / params.aal5_payload))
+    if aal == AAL34:
+        return max(1, math.ceil(max(1, nbytes) / params.aal34_payload))
+    raise ValueError(f"unknown adaptation layer {aal!r}")
+
+
+def aal_wire_bytes(nbytes: int, aal: str, params: AtmParams) -> int:
+    """Bytes serialized on the wire for an *nbytes* PDU."""
+    return aal_cells(nbytes, aal, params) * params.cell_bytes

@@ -1,0 +1,36 @@
+"""ATM constants (times in µs, sizes in bytes)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["AtmParams"]
+
+
+@dataclass(frozen=True)
+class AtmParams:
+    """155.52 Mb/s ATM over a ForeRunner ASX-200-class switch."""
+
+    #: line rate: 155.52 Mb/s = 19.44 B/µs (per byte on the wire)
+    per_byte: float = 1.0 / 19.44
+    #: cell size / payload capacities
+    cell_bytes: int = 53
+    aal5_payload: int = 48
+    #: AAL3/4 carries 44 payload bytes per cell (4 bytes of SAR header)
+    aal34_payload: int = 44
+    #: AAL5 trailer (pad + 8-byte trailer included in the last cell(s))
+    aal5_trailer: int = 8
+    #: fixed switch forwarding latency per PDU train
+    switch_latency: float = 10.0
+    #: maximum AAL5 PDU (classical IP over ATM default MTU 9180 + LLC)
+    max_pdu: int = 9188
+    #: i960 SAR engine: fixed per-PDU cost on the interface card
+    sar_per_pdu: float = 6.0
+    #: i960 SAR engine: per-cell segmentation/reassembly cost
+    sar_per_cell: float = 0.4
+
+    def cell_time(self) -> float:
+        return self.cell_bytes * self.per_byte
+
+    def with_overrides(self, **kw) -> "AtmParams":
+        return replace(self, **kw)

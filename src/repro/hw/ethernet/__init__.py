@@ -1,0 +1,16 @@
+"""10 Mb/s shared Ethernet: frames, CSMA/CD medium, NICs.
+
+The paper's cluster connects eight SGI Indys and a Challenge over a
+single shared 10 Mb/s segment — every frame contends with every other
+(Figure 9's Ethernet curves degrade with process count for exactly this
+reason).  The model implements carrier sense, collision detection
+within the propagation window, and truncated binary exponential
+backoff, all with per-host seeded RNGs so runs are deterministic.
+"""
+
+from repro.hw.ethernet.params import EthernetParams
+from repro.hw.ethernet.frame import Frame, BROADCAST
+from repro.hw.ethernet.medium import Medium
+from repro.hw.ethernet.nic import EthernetNic
+
+__all__ = ["EthernetParams", "Frame", "BROADCAST", "Medium", "EthernetNic"]

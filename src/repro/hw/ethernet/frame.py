@@ -1,0 +1,29 @@
+"""Ethernet frames (payloads are opaque upper-layer bytes/objects)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Frame", "BROADCAST"]
+
+#: broadcast destination address
+BROADCAST = -1
+
+
+@dataclass
+class Frame:
+    """A link-layer frame.
+
+    ``payload`` is the upper-layer object (an IP packet); ``nbytes`` is
+    its serialized length, which determines wire time.
+    """
+
+    src: int
+    dst: int
+    nbytes: int
+    payload: Any
+
+    def __post_init__(self):
+        if self.nbytes < 0:
+            raise ValueError(f"negative frame payload size {self.nbytes}")

@@ -1,0 +1,53 @@
+"""Ethernet NIC: one transmit queue per station, receive hand-off.
+
+The NIC serializes this station's outgoing frames (a second send waits
+for the first to clear the transceiver) and hands received frames to
+the host's protocol stack via ``rx_handler``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.errors import NetworkError
+from repro.hw.ethernet.frame import Frame
+from repro.hw.ethernet.medium import Medium
+from repro.sim import Store
+
+__all__ = ["EthernetNic"]
+
+
+class EthernetNic:
+    """One station's attachment to the shared segment."""
+
+    def __init__(self, host, medium: Medium, addr: Optional[int] = None):
+        self.host = host
+        self.sim = host.sim
+        self.medium = medium
+        self.addr = host.hostid if addr is None else addr
+        #: set by the protocol stack: called with each received Frame
+        self.rx_handler: Optional[Callable[[Frame], None]] = None
+        self._txq: Store = Store(host.sim, name=f"eth{self.addr}.txq")
+        self.mtu = medium.params.mtu
+        self.sim.process(self._tx_worker(), name=f"eth{self.addr}.tx")
+
+    @property
+    def max_payload(self) -> int:
+        return self.mtu
+
+    def send(self, dst: int, nbytes: int, payload: Any) -> None:
+        """Queue a frame for transmission (returns immediately; the NIC
+        transmits in the background)."""
+        if nbytes > self.mtu:
+            raise NetworkError(f"payload {nbytes} exceeds Ethernet MTU {self.mtu}")
+        self._txq.put(Frame(self.addr, dst, nbytes, payload))
+
+    def _tx_worker(self):
+        while True:
+            frame = yield self._txq.get()
+            yield from self.medium.transmit(frame, self.host.rng)
+
+    def on_frame(self, frame: Frame) -> None:
+        """Called by the medium on delivery."""
+        if self.rx_handler is not None:
+            self.rx_handler(frame)

@@ -1,0 +1,53 @@
+"""Classic 10BASE Ethernet constants (times in µs, sizes in bytes)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["EthernetParams"]
+
+
+@dataclass(frozen=True)
+class EthernetParams:
+    """10 Mb/s shared-segment Ethernet."""
+
+    #: wire time per byte: 10 Mb/s = 1.25 MB/s
+    per_byte: float = 0.8
+    #: preamble + start-frame delimiter
+    preamble: int = 8
+    #: destination + source + ethertype
+    header: int = 14
+    #: frame check sequence
+    fcs: int = 4
+    #: minimum frame (header+payload+fcs); shorter frames are padded
+    min_frame: int = 64
+    #: maximum payload (MTU)
+    mtu: int = 1500
+    #: inter-frame gap (9.6 µs at 10 Mb/s)
+    ifg: float = 9.6
+    #: end-to-end propagation delay of the segment (~120 m of coax)
+    prop_delay: float = 0.6
+    #: station restart jitter after deferring to a busy wire — real
+    #: transceivers do not all resume at the identical instant; without
+    #: this the model deterministically collides every deferred pair,
+    #: an artificial capture effect
+    defer_jitter: float = 6.4
+    #: collision backoff slot (51.2 µs at 10 Mb/s)
+    slot_time: float = 51.2
+    #: jam signal duration after a collision
+    jam_time: float = 3.2
+    #: ceiling exponent of truncated binary exponential backoff
+    backoff_limit: int = 10
+    #: give up after this many attempts (excessive collisions)
+    max_attempts: int = 16
+
+    def frame_wire_bytes(self, payload: int) -> int:
+        """Bytes actually serialized for a frame with *payload* bytes."""
+        body = self.header + payload + self.fcs
+        return self.preamble + max(body, self.min_frame)
+
+    def frame_time(self, payload: int) -> float:
+        return self.frame_wire_bytes(payload) * self.per_byte
+
+    def with_overrides(self, **kw) -> "EthernetParams":
+        return replace(self, **kw)

@@ -1,0 +1,33 @@
+"""Meiko CS/2 hardware model.
+
+The CS/2 node pairs a 40 MHz SPARC with a 10 MHz Elan communications
+co-processor on a fat-tree data network.  User-level communication uses
+three hardware mechanisms, all modeled here:
+
+* **remote transactions** (:mod:`repro.hw.meiko.txn`) — small word-by-word
+  writes into a remote node's memory, low latency but low bandwidth;
+* **DMA** (:mod:`repro.hw.meiko.dma`) — block transfers streamed by the
+  Elan/DMA engine at ≈39 MB/s after a setup cost;
+* **hardware broadcast** — a single network traversal delivering to every
+  node of a segment.
+
+On top of these, :mod:`repro.hw.meiko.tport` implements Meiko's tagged
+message-passing widget (matching on the Elan), the base of the MPICH
+comparison implementation in the paper.
+"""
+
+from repro.hw.meiko.params import MeikoParams
+from repro.hw.meiko.events import HwEvent
+from repro.hw.meiko.node import MeikoNode, Region
+from repro.hw.meiko.machine import MeikoMachine
+from repro.hw.meiko.tport import TPort, TPortHandle
+
+__all__ = [
+    "MeikoParams",
+    "HwEvent",
+    "MeikoNode",
+    "Region",
+    "MeikoMachine",
+    "TPort",
+    "TPortHandle",
+]

@@ -1,0 +1,17 @@
+"""Hardware events: the CS/2's remote-settable synchronization words.
+
+An Elan event is a memory word that hardware (a completing DMA, a
+remote transaction) can *set* and a processor can *wait on* or *poll*.
+Sets are counted, so a set that arrives before the wait is not lost —
+semaphore semantics, which is how the real hardware's event wait
+operates.  The implementation is the generic counted notification from
+:mod:`repro.sim.notify`.
+"""
+
+from repro.sim.notify import Notify
+
+__all__ = ["HwEvent"]
+
+
+class HwEvent(Notify):
+    """A counted hardware event word (set/wait/poll)."""

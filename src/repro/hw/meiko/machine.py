@@ -1,0 +1,55 @@
+"""Machine builder: a complete simulated Meiko CS/2."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+from repro.hw.meiko.network import MeikoNetwork
+from repro.hw.meiko.node import MeikoNode
+from repro.hw.meiko.params import MeikoParams
+from repro.sim import Simulator
+
+__all__ = ["MeikoMachine"]
+
+
+class MeikoMachine:
+    """A CS/2 with *nnodes* nodes on one fat-tree fabric.
+
+    >>> sim = Simulator()
+    >>> machine = MeikoMachine(sim, nnodes=4)
+    >>> machine.nodes[0].name
+    'meiko0'
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nnodes: int,
+        params: Optional[MeikoParams] = None,
+        seed: int = 0,
+    ):
+        if nnodes < 1:
+            raise ConfigurationError(f"nnodes must be >= 1, got {nnodes}")
+        self.sim = sim
+        self.params = params or MeikoParams()
+        self.network = MeikoNetwork(sim, nnodes, self.params)
+        self.nodes: List[MeikoNode] = [
+            MeikoNode(sim, i, self.params, self.network, seed=seed) for i in range(nnodes)
+        ]
+        self.network.nodes = self.nodes
+        for node in self.nodes:
+            node.start()
+        self._tports = None
+
+    @property
+    def nnodes(self) -> int:
+        return len(self.nodes)
+
+    def tports(self):
+        """The machine-wide tport widget set (created on first use)."""
+        if self._tports is None:
+            from repro.hw.meiko.tport import TPort
+
+            self._tports = [TPort(node, self) for node in self.nodes]
+        return self._tports

@@ -1,0 +1,92 @@
+"""Calibrated cost model for the Meiko CS/2.
+
+All times are microseconds, all rates are microseconds per byte.  The
+constants are calibrated (see ``tests/calibration``) so the model's
+endpoints match the paper's measurements:
+
+* tport 1-byte round trip          ≈ 52 µs   (paper, Figure 2)
+* low-latency MPI 1-byte round trip ≈ 104 µs (paper, Figure 2)
+* MPICH/tport 1-byte round trip    ≈ 210 µs  (paper, Figure 2)
+* DMA peak bandwidth               ≈ 39 MB/s (paper, Figure 3)
+* eager/rendezvous crossover       ≈ 180 B   (paper, Figure 1)
+
+The split between SPARC, Elan and wire components follows the paper's
+qualitative description (40 MHz SPARC ≫ 10 MHz Elan; remote
+transactions are word-by-word and therefore an order of magnitude
+slower per byte than DMA).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["MeikoParams"]
+
+
+@dataclass(frozen=True)
+class MeikoParams:
+    """Timing constants of the simulated CS/2.  See module docstring."""
+
+    # --- network fabric (fat tree, radix 4) -----------------------------
+    #: per-packet base latency of entering/leaving the fabric
+    net_base: float = 1.0
+    #: added latency per fat-tree stage traversed
+    net_per_stage: float = 0.4
+    #: wire serialization per byte (≈50 MB/s links)
+    wire_per_byte: float = 0.02
+    #: fixed header bytes added to every packet on the wire
+    packet_header: int = 16
+    #: radix of the fat tree (stage count is log_radix of span)
+    fat_tree_radix: int = 4
+
+    # --- SPARC (40 MHz main processor) ----------------------------------
+    #: entering a user-level communication call
+    sparc_call: float = 1.5
+    #: writing a command descriptor to the Elan command queue
+    txn_issue: float = 2.0
+    #: SPARC memcpy rate (bounce buffer -> user buffer)
+    sparc_copy_per_byte: float = 0.015
+    #: cost of one matching attempt on the SPARC
+    sparc_match: float = 1.5
+    #: SPARC noticing an Elan-side completion (event sync)
+    sparc_elan_sync: float = 5.0
+    #: waking from / checking a hardware event
+    event_poll: float = 1.0
+
+    # --- Elan (10 MHz communications co-processor) ----------------------
+    #: dequeue + decode one command
+    elan_cmd: float = 3.0
+    #: per-packet receive processing
+    elan_rx: float = 3.0
+    #: one matching attempt on the Elan (tport)
+    elan_match: float = 6.5
+    #: Elan-side copy rate (tport buffer -> user buffer)
+    elan_copy_per_byte: float = 0.02
+    #: remote-transaction data cost per byte (word-by-word stores,
+    #: ≈7 MB/s — this is what makes eager transfers expensive per byte)
+    txn_per_byte: float = 0.14
+    #: setting or forwarding a hardware event
+    elan_event: float = 0.5
+
+    # --- DMA engine ------------------------------------------------------
+    #: issue cost of a DMA descriptor (SPARC->Elan->engine)
+    dma_setup: float = 8.0
+    #: streamed transfer rate (peak ≈39 MB/s, paper Figure 3)
+    dma_per_byte: float = 1.0 / 39.0
+    #: receiver-side cost of accepting a DMA (engine writes memory directly)
+    dma_rx: float = 1.0
+
+    # --- tport widget ----------------------------------------------------
+    #: above this size the tport switches to rendezvous + DMA (where the
+    #: word-by-word eager path crosses the DMA cost for the widget)
+    tport_rdv_threshold: int = 200
+    #: SPARC-side overhead of a tport call beyond the raw primitives
+    tport_call_overhead: float = 1.3
+
+    # --- hardware broadcast ----------------------------------------------
+    #: extra fabric latency of a broadcast traversal vs a point-to-point
+    bcast_extra: float = 2.0
+
+    def with_overrides(self, **kw) -> "MeikoParams":
+        """A copy with selected constants replaced (for sweeps/ablations)."""
+        return replace(self, **kw)

@@ -1,0 +1,121 @@
+"""Host and processor models.
+
+A :class:`Host` is a simulated machine: it owns one or more
+:class:`Processor` resources and a deterministic per-host RNG.  The
+application and the (simulated) kernel protocol code share the host's
+main CPU, so protocol processing delays computation and vice versa —
+the non-preemptive approximation documented in DESIGN.md.
+
+Costs are charged in microseconds.  Where a cost is derived from work
+(bytes copied, flops executed), the per-unit rates live in the platform
+parameter dataclasses, not here.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.sim import Resource, Simulator
+
+__all__ = ["Processor", "Host"]
+
+#: Default compute-slice length: long computations yield the CPU every
+#: this many microseconds so kernel protocol work can interleave.
+DEFAULT_QUANTUM = 50.0
+
+
+class Processor:
+    """A single execution unit (SPARC, Elan, i960, ...) as a FIFO resource.
+
+    ``speed`` scales all costs: a cost of *c* µs of reference work takes
+    ``c / speed`` µs here — how the cluster models the faster SGI
+    Challenge next to the Indys.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "cpu", speed: float = 1.0):
+        if speed <= 0:
+            raise ValueError(f"speed must be positive, got {speed!r}")
+        self.sim = sim
+        self.name = name
+        self.speed = speed
+        self._res = Resource(sim, capacity=1, name=name)
+        self.busy_time = 0.0
+
+    @property
+    def queued(self) -> int:
+        """Processes waiting for this processor."""
+        return self._res.queued
+
+    @property
+    def in_use(self) -> bool:
+        return self._res.in_use > 0
+
+    def execute(self, cost: float):
+        """Generator: occupy the processor for *cost* µs of reference work."""
+        if cost < 0:
+            raise ValueError(f"negative execution cost {cost!r}")
+        scaled = cost / self.speed
+        self.busy_time += scaled
+        yield from self._res.use(scaled)
+
+    def request(self):
+        return self._res.request()
+
+    def release(self, req) -> None:
+        self._res.release(req)
+
+
+class Host:
+    """A simulated machine.
+
+    Parameters
+    ----------
+    sim:
+        The simulator this host lives in.
+    hostid:
+        Small integer identity (also used as the network address by the
+        cluster fabrics).
+    name:
+        Human-readable name for traces.
+    seed:
+        Per-host RNG seed; combined with *hostid* so hosts draw distinct
+        but reproducible random streams (Ethernet backoff etc.).
+    """
+
+    def __init__(
+        self, sim: Simulator, hostid: int, name: str = "", seed: int = 0, speed: float = 1.0
+    ):
+        self.sim = sim
+        self.hostid = hostid
+        self.name = name or f"host{hostid}"
+        self.cpu = Processor(sim, name=f"{self.name}.cpu", speed=speed)
+        self.rng = random.Random((seed << 16) ^ (hostid * 2654435761 % 2**32))
+        #: attachment point for NICs / protocol stacks, filled in by builders
+        self.nic = None
+        self.stack = None
+
+    def wtime(self) -> float:
+        """Wall-clock time on this host (the global simulated clock), µs."""
+        return self.sim.now
+
+    def compute(self, total: float, quantum: Optional[float] = None):
+        """Generator: perform *total* µs of application computation.
+
+        The work is sliced into *quantum*-sized pieces, releasing the CPU
+        between slices so kernel work queued behind the application can
+        run (coarse model of interrupt handling).
+        """
+        if total < 0:
+            raise ValueError(f"negative compute time {total!r}")
+        q = DEFAULT_QUANTUM if quantum is None else quantum
+        if q <= 0:
+            raise ValueError(f"quantum must be positive, got {q!r}")
+        remaining = total
+        while remaining > 0:
+            piece = min(q, remaining)
+            yield from self.cpu.execute(piece)
+            remaining -= piece
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Host {self.name}>"

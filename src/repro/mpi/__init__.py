@@ -1,0 +1,107 @@
+"""The MPI library (the paper's primary contribution).
+
+Point-to-point tagged message passing with MPI semantics — four send
+modes (standard, buffered, synchronous, ready), blocking and
+nonblocking variants, ``MPI_ANY_SOURCE``/``MPI_ANY_TAG`` matching,
+probe, derived datatypes, communicators — plus broadcast (hardware
+broadcast on the Meiko) and a set of extension collectives, running
+over interchangeable *devices*:
+
+============  ==========================================================
+device        transport
+============  ==========================================================
+lowlatency    the paper's implementation: SPARC-side matching, eager
+              transfer overlapped with matching below 180 bytes,
+              receiver-initiated DMA rendezvous above (Meiko CS/2)
+mpich         the comparison implementation: layered over the tport
+              widget, matching on the Elan co-processor (Meiko CS/2)
+tcp           envelope + piggybacked data over TCP with credit-based
+              flow control (ATM or Ethernet cluster)
+udp           the same protocol over a reliable-UDP layer
+============  ==========================================================
+
+Application code is written as generator coroutines; every blocking MPI
+call is used with ``yield from``::
+
+    def main(comm):
+        if comm.rank == 0:
+            yield from comm.send(b"ping", dest=1, tag=0)
+        else:
+            data, status = yield from comm.recv(source=ANY_SOURCE, tag=0)
+
+    World(nprocs=2, platform="meiko", device="lowlatency").run(main)
+"""
+
+from repro.mpi.constants import (
+    ANY_SOURCE,
+    ANY_TAG,
+    PROC_NULL,
+    UNDEFINED,
+    MODE_STANDARD,
+    MODE_BUFFERED,
+    MODE_SYNCHRONOUS,
+    MODE_READY,
+)
+from repro.mpi.exceptions import (
+    MPIError,
+    TruncationError,
+    BufferError_,
+    ReadyModeError,
+    ResourceExhausted,
+)
+from repro.mpi.datatypes import (
+    Datatype,
+    BYTE,
+    CHAR,
+    INT,
+    LONG,
+    FLOAT,
+    DOUBLE,
+    Contiguous,
+    Vector,
+    Indexed,
+    infer_datatype,
+)
+from repro.mpi.status import Status
+from repro.mpi.request import Request
+from repro.mpi.persistent import PersistentRequest
+from repro.mpi.group import Group
+from repro.mpi.communicator import Communicator
+from repro.mpi.topology import CartComm, create_cart, dims_create
+from repro.mpi.world import World
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "PROC_NULL",
+    "UNDEFINED",
+    "MODE_STANDARD",
+    "MODE_BUFFERED",
+    "MODE_SYNCHRONOUS",
+    "MODE_READY",
+    "MPIError",
+    "TruncationError",
+    "BufferError_",
+    "ReadyModeError",
+    "ResourceExhausted",
+    "Datatype",
+    "BYTE",
+    "CHAR",
+    "INT",
+    "LONG",
+    "FLOAT",
+    "DOUBLE",
+    "Contiguous",
+    "Vector",
+    "Indexed",
+    "infer_datatype",
+    "Status",
+    "Request",
+    "PersistentRequest",
+    "Group",
+    "Communicator",
+    "CartComm",
+    "create_cart",
+    "dims_create",
+    "World",
+]

@@ -1,0 +1,327 @@
+"""Collective operations.
+
+The paper implements **broadcast** (hardware broadcast on the Meiko,
+a succession of point-to-point messages on the cluster; the MPICH
+baseline uses point-to-point on both).  The remaining collectives —
+barrier, reduce, allreduce, gather, scatter, allgather, alltoall — are
+extensions built over point-to-point exactly the way MPICH builds them,
+so they run on every device.
+
+Buffer-based: ``bcast``, ``reduce``, ``allreduce`` (NumPy arrays or
+bytes).  Object-based (pickled, mpi4py-lowercase style): ``gather``,
+``scatter``, ``allgather``, ``alltoall``.
+
+All collective traffic uses tags at or above
+:data:`~repro.mpi.constants.INTERNAL_TAG_BASE`, which user wildcard
+receives never match.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Callable, List, Optional
+
+import numpy as np
+
+from repro.mpi.constants import INTERNAL_TAG_BASE
+from repro.mpi.exceptions import MPIError
+
+__all__ = [
+    "Op",
+    "SUM",
+    "PROD",
+    "MAX",
+    "MIN",
+    "LAND",
+    "LOR",
+    "BAND",
+    "BOR",
+    "bcast",
+    "barrier",
+    "reduce",
+    "allreduce",
+    "gather",
+    "scatter",
+    "allgather",
+    "allgather_obj",
+    "alltoall",
+    "scan",
+    "exscan",
+    "reduce_scatter",
+]
+
+TAG_BCAST = INTERNAL_TAG_BASE + 1
+TAG_BARRIER = INTERNAL_TAG_BASE + 2
+TAG_REDUCE = INTERNAL_TAG_BASE + 3
+TAG_GATHER = INTERNAL_TAG_BASE + 4
+TAG_SCATTER = INTERNAL_TAG_BASE + 5
+TAG_ALLGATHER = INTERNAL_TAG_BASE + 6
+TAG_ALLTOALL = INTERNAL_TAG_BASE + 7
+TAG_OBJ = INTERNAL_TAG_BASE + 8
+TAG_SCAN = INTERNAL_TAG_BASE + 9
+TAG_RSCAT = INTERNAL_TAG_BASE + 10
+
+
+class Op:
+    """A reduction operator over NumPy arrays (elementwise, associative)."""
+
+    def __init__(self, name: str, fn: Callable):
+        self.name = name
+        self.fn = fn
+
+    def __call__(self, a, b):
+        return self.fn(a, b)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Op {self.name}>"
+
+
+SUM = Op("MPI_SUM", np.add)
+PROD = Op("MPI_PROD", np.multiply)
+MAX = Op("MPI_MAX", np.maximum)
+MIN = Op("MPI_MIN", np.minimum)
+LAND = Op("MPI_LAND", np.logical_and)
+LOR = Op("MPI_LOR", np.logical_or)
+BAND = Op("MPI_BAND", np.bitwise_and)
+BOR = Op("MPI_BOR", np.bitwise_or)
+
+
+# --------------------------------------------------------------------- bcast
+def bcast(comm, buf, root: int, count: int, datatype, style=None):
+    """Broadcast *buf* from *root*; returns the (filled) buffer.
+
+    Algorithm selection follows the paper (overridable via *style*):
+
+    * ``hardware`` (low-latency Meiko device): single hardware-broadcast
+      injection;
+    * ``binomial`` (MPICH): log₂P point-to-point rounds;
+    * ``linear`` (TCP/UDP cluster): root sends to each rank in turn
+      ("a succession of point-to-point messages").
+    """
+    if comm.size == 1:
+        return buf
+    if style is None:
+        style = comm.endpoint.bcast_style
+    if style == "hardware":
+        gen = comm.endpoint.bcast_hw(comm, buf, count, datatype, root)
+        if gen is not None:
+            yield from gen
+            return buf
+        style = "binomial"
+    if style == "linear":
+        if comm.rank == root:
+            for r in range(comm.size):
+                if r != root:
+                    yield from comm.send(buf, r, TAG_BCAST, count, datatype)
+        else:
+            yield from comm.recv(source=root, tag=TAG_BCAST, buf=buf, count=count,
+                                 datatype=datatype)
+        return buf
+    # binomial tree (the classic MPICH algorithm)
+    size, rank = comm.size, comm.rank
+    vrank = (rank - root) % size
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            src = (vrank - mask + root) % size
+            yield from comm.recv(source=src, tag=TAG_BCAST, buf=buf, count=count,
+                                 datatype=datatype)
+            break
+        mask <<= 1
+    mask >>= 1
+    while mask > 0:
+        if vrank + mask < size:
+            dst = (vrank + mask + root) % size
+            yield from comm.send(buf, dst, TAG_BCAST, count, datatype)
+        mask >>= 1
+    return buf
+
+
+# -------------------------------------------------------------------- barrier
+def barrier(comm):
+    """Dissemination barrier: ⌈log₂P⌉ rounds of pairwise messages."""
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return
+    offset = 1
+    while offset < size:
+        dst = (rank + offset) % size
+        src = (rank - offset) % size
+        req = yield from comm.isend(b"", dst, TAG_BARRIER)
+        yield from comm.recv(source=src, tag=TAG_BARRIER)
+        yield from comm.wait(req)
+        offset <<= 1
+
+
+# --------------------------------------------------------------------- reduce
+def reduce(comm, sendbuf, root: int, op: Op):
+    """Binomial-tree reduction to *root*; returns the result there."""
+    if not isinstance(sendbuf, np.ndarray):
+        raise MPIError("reduce requires a NumPy array buffer")
+    size, rank = comm.size, comm.rank
+    result = np.array(sendbuf, copy=True)
+    if size == 1:
+        return result
+    vrank = (rank - root) % size
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            parent = (vrank - mask + root) % size
+            yield from comm.send(result, parent, TAG_REDUCE)
+            return None
+        peer = vrank + mask
+        if peer < size:
+            partial = np.empty_like(result)
+            src = (peer + root) % size
+            yield from comm.recv(source=src, tag=TAG_REDUCE, buf=partial)
+            result = op(result, partial)
+        mask <<= 1
+    return result if rank == root else None
+
+
+def allreduce(comm, sendbuf, op: Op):
+    """Reduce to rank 0 then broadcast; returns the result everywhere."""
+    result = yield from reduce(comm, sendbuf, 0, op)
+    if comm.rank != 0:
+        result = np.empty_like(np.asarray(sendbuf))
+    from repro.mpi.datatypes import from_numpy_dtype
+
+    dtype = from_numpy_dtype(result.dtype)
+    yield from bcast(comm, result, 0, result.size, dtype)
+    return result
+
+
+def scan(comm, sendbuf, op: Op):
+    """Inclusive prefix reduction (MPI_Scan): rank r gets
+    op(sendbuf_0, ..., sendbuf_r).  Linear chain algorithm."""
+    if not isinstance(sendbuf, np.ndarray):
+        raise MPIError("scan requires a NumPy array buffer")
+    result = np.array(sendbuf, copy=True)
+    if comm.rank > 0:
+        partial = np.empty_like(result)
+        yield from comm.recv(source=comm.rank - 1, tag=TAG_SCAN, buf=partial)
+        result = op(partial, result)
+    if comm.rank < comm.size - 1:
+        yield from comm.send(result, comm.rank + 1, TAG_SCAN)
+    return result
+
+
+def exscan(comm, sendbuf, op: Op):
+    """Exclusive prefix reduction (MPI_Exscan): rank r gets
+    op(sendbuf_0, ..., sendbuf_{r-1}); rank 0 gets None."""
+    if not isinstance(sendbuf, np.ndarray):
+        raise MPIError("exscan requires a NumPy array buffer")
+    prefix = None
+    if comm.rank > 0:
+        prefix = np.empty_like(np.asarray(sendbuf))
+        yield from comm.recv(source=comm.rank - 1, tag=TAG_SCAN, buf=prefix)
+    if comm.rank < comm.size - 1:
+        outgoing = (
+            np.array(sendbuf, copy=True) if prefix is None else op(prefix, sendbuf)
+        )
+        yield from comm.send(outgoing, comm.rank + 1, TAG_SCAN)
+    return prefix
+
+
+def reduce_scatter(comm, sendbuf, op: Op):
+    """MPI_Reduce_scatter_block: reduce elementwise across ranks, then
+    scatter equal blocks — rank r gets block r of the reduction.
+
+    ``sendbuf`` must have ``size * blocklen`` elements on every rank.
+    """
+    if not isinstance(sendbuf, np.ndarray):
+        raise MPIError("reduce_scatter requires a NumPy array buffer")
+    if sendbuf.size % comm.size:
+        raise MPIError(
+            f"reduce_scatter buffer of {sendbuf.size} elements does not split "
+            f"over {comm.size} ranks"
+        )
+    total = yield from reduce(comm, sendbuf, 0, op)
+    blocklen = sendbuf.size // comm.size
+    if comm.rank == 0:
+        flat = total.reshape(-1)
+        chunks = [flat[r * blocklen : (r + 1) * blocklen].copy() for r in range(comm.size)]
+    else:
+        chunks = None
+    mine = yield from scatter(comm, chunks, 0)
+    return mine
+
+
+# -------------------------------------------------- object-based collectives
+def _send_obj(comm, obj: Any, dest: int, tag: int):
+    wire = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    yield from comm.send(wire, dest, tag)
+
+
+def _isend_obj(comm, obj: Any, dest: int, tag: int):
+    wire = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    return (yield from comm.isend(wire, dest, tag))
+
+
+def _recv_obj(comm, source: int, tag: int):
+    data, status = yield from comm.recv(source=source, tag=tag)
+    return pickle.loads(data), status
+
+
+def gather(comm, obj: Any, root: int) -> Optional[List[Any]]:
+    """Gather one object per rank to *root* (rank order)."""
+    if comm.rank == root:
+        out: List[Any] = [None] * comm.size
+        out[root] = obj
+        for r in range(comm.size):
+            if r != root:
+                out[r], _ = yield from _recv_obj(comm, r, TAG_GATHER)
+        return out
+    yield from _send_obj(comm, obj, root, TAG_GATHER)
+    return None
+
+
+def scatter(comm, objs: Optional[List[Any]], root: int) -> Any:
+    """Scatter a list of per-rank objects from *root*."""
+    if comm.rank == root:
+        if objs is None or len(objs) != comm.size:
+            raise MPIError(f"scatter needs one object per rank ({comm.size})")
+        for r in range(comm.size):
+            if r != root:
+                yield from _send_obj(comm, objs[r], r, TAG_SCATTER)
+        return objs[root]
+    obj, _ = yield from _recv_obj(comm, root, TAG_SCATTER)
+    return obj
+
+
+def allgather(comm, obj: Any) -> List[Any]:
+    """Ring allgather: P-1 steps, each forwarding the newest block."""
+    return (yield from allgather_obj(comm, obj, tag=TAG_ALLGATHER))
+
+
+def allgather_obj(comm, obj: Any, tag: int = TAG_OBJ) -> List[Any]:
+    size, rank = comm.size, comm.rank
+    out: List[Any] = [None] * size
+    out[rank] = obj
+    if size == 1:
+        return out
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+    for step in range(size - 1):
+        outgoing = out[(rank - step) % size]
+        req = yield from _isend_obj(comm, outgoing, right, tag)
+        incoming, _ = yield from _recv_obj(comm, left, tag)
+        out[(rank - step - 1) % size] = incoming
+        yield from comm.wait(req)
+    return out
+
+
+def alltoall(comm, objs: List[Any]) -> List[Any]:
+    """Pairwise-exchange alltoall: objs[r] goes to rank r."""
+    size, rank = comm.size, comm.rank
+    if len(objs) != size:
+        raise MPIError(f"alltoall needs one object per rank ({size})")
+    out: List[Any] = [None] * size
+    out[rank] = objs[rank]
+    for offset in range(1, size):
+        dst = (rank + offset) % size
+        src = (rank - offset) % size
+        req = yield from _isend_obj(comm, objs[dst], dst, TAG_ALLTOALL)
+        out[src], _ = yield from _recv_obj(comm, src, TAG_ALLTOALL)
+        yield from comm.wait(req)
+    return out

@@ -1,0 +1,527 @@
+"""Communicators: the user-facing MPI API.
+
+All blocking calls are generators used with ``yield from`` inside a
+simulated rank::
+
+    def main(comm):
+        req = yield from comm.isend(data, dest=1, tag=5)
+        other, status = yield from comm.recv(source=1, tag=5)
+        yield from comm.wait(req)
+
+Buffers are NumPy arrays or bytes-like objects; ``count``/``datatype``
+are inferred for basic types.  ``recv(buf=None)`` is a convenience that
+allocates from the envelope (returns ``bytes``) — handy, though stricter
+than MPI proper.
+
+Communicator creation (``dup``/``split``) is collective and allocates
+context ids deterministically: every member derives the same allocation
+key from (parent context, per-parent creation counter), and a barrier
+preserves the synchronizing semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.mpi import collectives as _coll
+from repro.mpi.constants import (
+    ANY_SOURCE,
+    ANY_TAG,
+    MODE_BUFFERED,
+    MODE_READY,
+    MODE_STANDARD,
+    MODE_SYNCHRONOUS,
+    PROC_NULL,
+    TAG_UB,
+)
+from repro.mpi.datatypes import Datatype, infer_datatype
+from repro.mpi.exceptions import CommunicatorError, MPIError
+from repro.mpi.group import Group
+from repro.mpi.persistent import PersistentRequest
+from repro.mpi.request import Request
+from repro.mpi.status import Status
+
+__all__ = ["Communicator"]
+
+
+def _byte_type():
+    from repro.mpi.datatypes import BYTE
+
+    return BYTE
+
+
+class Communicator:
+    """An MPI communicator bound to one rank's endpoint."""
+
+    def __init__(self, world, group: Group, context_id: int, endpoint):
+        self.world = world
+        self.group = group
+        self.context_id = context_id
+        self.endpoint = endpoint
+        self.rank = group.rank_of(endpoint.world_rank)
+        if self.rank < 0:
+            raise CommunicatorError(
+                f"world rank {endpoint.world_rank} is not a member of {group}"
+            )
+        self.size = group.size
+        self._creation_counter = 0
+
+    # ------------------------------------------------------------- plumbing
+    def world_rank(self, rank: int) -> int:
+        """World rank of a communicator rank."""
+        return self.group.world_rank(rank)
+
+    def wtime(self) -> float:
+        """Wall-clock time (simulated microseconds)."""
+        return self.endpoint.wtime()
+
+    def _check_rank(self, rank: int, what: str) -> None:
+        if not (0 <= rank < self.size):
+            raise CommunicatorError(f"{what} {rank} out of range [0, {self.size})")
+
+    def _check_send_tag(self, tag: int) -> None:
+        # Tags above TAG_UB are the library's internal collective tags;
+        # they are reserved but legal at this layer.
+        if tag < 0:
+            raise MPIError(f"send tag {tag} outside [0, {TAG_UB}]")
+
+    @staticmethod
+    def _resolve(buf, count: Optional[int], datatype: Optional[Datatype]):
+        if datatype is None:
+            if buf is None:
+                raise MPIError("datatype required when no buffer is given")
+            datatype = infer_datatype(buf)
+        if count is None:
+            if buf is None:
+                raise MPIError("count required when no buffer is given")
+            if isinstance(buf, np.ndarray):
+                if datatype.extent_elems == 0:
+                    raise MPIError("cannot infer count for zero-extent datatype")
+                count = buf.size // max(1, datatype.extent_elems)
+                if datatype.basic is datatype:
+                    count = buf.size
+            else:
+                count = len(buf) // max(1, datatype.extent)
+        return count, datatype
+
+    # ------------------------------------------------------ point to point
+    def isend(
+        self,
+        buf,
+        dest: int,
+        tag: int = 0,
+        count: Optional[int] = None,
+        datatype: Optional[Datatype] = None,
+        mode: str = MODE_STANDARD,
+    ):
+        """Generator -> Request: nonblocking send (MPI_Isend family)."""
+        self._check_send_tag(tag)
+        if dest == PROC_NULL:
+            if datatype is None:
+                datatype = infer_datatype(buf) if buf is not None else _byte_type()
+            req = Request("send", self, buf, 0, datatype, dest, tag)
+            req._complete(Status(source=PROC_NULL, tag=tag, count_bytes=0))
+            return req
+        self._check_rank(dest, "destination")
+        count, datatype = self._resolve(buf, count, datatype)
+        req = Request("send", self, buf, count, datatype, dest, tag, mode)
+        if mode == MODE_BUFFERED:
+            yield from self.endpoint.start_bsend(req)
+        else:
+            yield from self.endpoint.start_send(req)
+        return req
+
+    def irecv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        buf=None,
+        count: Optional[int] = None,
+        datatype: Optional[Datatype] = None,
+    ):
+        """Generator -> Request: nonblocking receive (MPI_Irecv)."""
+        if source == PROC_NULL:
+            if datatype is None:
+                datatype = infer_datatype(buf) if buf is not None else _byte_type()
+            req = Request("recv", self, buf, 0, datatype, source, tag)
+            req._complete(Status(source=PROC_NULL, tag=ANY_TAG, count_bytes=0))
+            return req
+        if source != ANY_SOURCE:
+            self._check_rank(source, "source")
+        if buf is not None:
+            count, datatype = self._resolve(buf, count, datatype)
+        else:
+            from repro.mpi.datatypes import BYTE
+
+            count, datatype = 0, BYTE
+        req = Request("recv", self, buf, count, datatype, source, tag)
+        yield from self.endpoint.start_recv(req)
+        return req
+
+    def send(self, buf, dest, tag: int = 0, count=None, datatype=None):
+        """Generator: blocking standard-mode send (MPI_Send)."""
+        req = yield from self.isend(buf, dest, tag, count, datatype, MODE_STANDARD)
+        yield from self.wait(req)
+
+    def bsend(self, buf, dest, tag: int = 0, count=None, datatype=None):
+        """Generator: blocking buffered-mode send (MPI_Bsend)."""
+        req = yield from self.isend(buf, dest, tag, count, datatype, MODE_BUFFERED)
+        yield from self.wait(req)
+
+    def ssend(self, buf, dest, tag: int = 0, count=None, datatype=None):
+        """Generator: blocking synchronous-mode send (MPI_Ssend)."""
+        req = yield from self.isend(buf, dest, tag, count, datatype, MODE_SYNCHRONOUS)
+        yield from self.wait(req)
+
+    def rsend(self, buf, dest, tag: int = 0, count=None, datatype=None):
+        """Generator: blocking ready-mode send (MPI_Rsend)."""
+        req = yield from self.isend(buf, dest, tag, count, datatype, MODE_READY)
+        yield from self.wait(req)
+
+    def issend(self, buf, dest, tag: int = 0, count=None, datatype=None):
+        """Generator -> Request: nonblocking synchronous send (MPI_Issend)."""
+        return (yield from self.isend(buf, dest, tag, count, datatype, MODE_SYNCHRONOUS))
+
+    def ibsend(self, buf, dest, tag: int = 0, count=None, datatype=None):
+        """Generator -> Request: nonblocking buffered send (MPI_Ibsend)."""
+        return (yield from self.isend(buf, dest, tag, count, datatype, MODE_BUFFERED))
+
+    def irsend(self, buf, dest, tag: int = 0, count=None, datatype=None):
+        """Generator -> Request: nonblocking ready send (MPI_Irsend)."""
+        return (yield from self.isend(buf, dest, tag, count, datatype, MODE_READY))
+
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        buf=None,
+        count: Optional[int] = None,
+        datatype: Optional[Datatype] = None,
+    ):
+        """Generator -> (data, Status): blocking receive (MPI_Recv).
+
+        With a buffer: fills it and returns ``(buf, status)``.  Without:
+        returns the received payload as ``bytes``.
+        """
+        req = yield from self.irecv(source, tag, buf, count, datatype)
+        status = yield from self.wait(req)
+        return (req.data if buf is None else buf), status
+
+    def sendrecv(
+        self,
+        sendbuf,
+        dest: int,
+        recvbuf=None,
+        source: int = ANY_SOURCE,
+        sendtag: int = 0,
+        recvtag: int = ANY_TAG,
+        count=None,
+        datatype=None,
+    ):
+        """Generator -> (data, Status): MPI_Sendrecv (deadlock-free)."""
+        rreq = yield from self.irecv(source, recvtag, recvbuf)
+        sreq = yield from self.isend(sendbuf, dest, sendtag, count, datatype)
+        yield from self.waitall([sreq, rreq])
+        return (rreq.data if recvbuf is None else recvbuf), rreq.status
+
+    def sendrecv_replace(
+        self,
+        buf,
+        dest: int,
+        source: int = ANY_SOURCE,
+        sendtag: int = 0,
+        recvtag: int = ANY_TAG,
+    ):
+        """Generator -> Status: MPI_Sendrecv_replace — the received
+        message overwrites the send buffer."""
+        count, datatype = self._resolve(buf, None, None)
+        # stage the outgoing data so the receive can land in *buf*
+        staged = datatype.pack(buf, count)
+        rreq = yield from self.irecv(source, recvtag, buf, count, datatype)
+        sreq = yield from self.isend(staged, dest, sendtag)
+        yield from self.waitall([sreq, rreq])
+        return rreq.status
+
+    # ---------------------------------------------------------- completion
+    @staticmethod
+    def _inner(request):
+        """Unwrap a persistent request to its in-flight inner Request.
+
+        An inactive persistent handle yields a fresh completed Request
+        (MPI: waiting on an inactive handle returns immediately with an
+        empty status).
+        """
+        if isinstance(request, PersistentRequest):
+            if request.inner is None:
+                dummy = Request("send", None, None, 0, None, PROC_NULL, 0)
+                dummy._complete(Status())
+                return dummy
+            return request.inner
+        return request
+
+    @staticmethod
+    def _settle(request) -> None:
+        """Post-completion bookkeeping: persistent handles go inactive."""
+        if isinstance(request, PersistentRequest):
+            request._reset()
+
+    def wait(self, request):
+        """Generator -> Status: block until *request* completes (MPI_Wait)."""
+        inner = self._inner(request)
+        yield from self.endpoint.wait([inner], mode="all")
+        inner.raise_if_failed()
+        status = inner.status
+        self._settle(request)
+        return status
+
+    def test(self, request):
+        """Generator -> (bool, Optional[Status]): MPI_Test."""
+        inner = self._inner(request)
+        done = yield from self.endpoint.test(inner)
+        if not done:
+            return False, None
+        status = inner.status
+        self._settle(request)
+        return True, status
+
+    def waitall(self, requests: Sequence):
+        """Generator -> [Status]: MPI_Waitall."""
+        inners = [self._inner(r) for r in requests]
+        yield from self.endpoint.wait(inners, mode="all")
+        for r in inners:
+            r.raise_if_failed()
+        statuses = [r.status for r in inners]
+        for r in requests:
+            self._settle(r)
+        return statuses
+
+    def waitany(self, requests: Sequence):
+        """Generator -> (index, Status): MPI_Waitany."""
+        requests = list(requests)
+        if not requests:
+            raise MPIError("waitany of no requests")
+        inners = [self._inner(r) for r in requests]
+        while True:
+            for i, r in enumerate(inners):
+                if r.complete:
+                    r.raise_if_failed()
+                    status = r.status
+                    self._settle(requests[i])
+                    return i, status
+            yield from self.endpoint.wait(inners, mode="any")
+
+    def waitsome(self, requests: Sequence):
+        """Generator -> (indices, statuses): MPI_Waitsome — at least one
+        completion, returning every request done at that moment."""
+        requests = list(requests)
+        if not requests:
+            raise MPIError("waitsome of no requests")
+        inners = [self._inner(r) for r in requests]
+        while not any(r.complete for r in inners):
+            yield from self.endpoint.wait(inners, mode="any")
+        indices, statuses = [], []
+        for i, r in enumerate(inners):
+            if r.complete:
+                r.raise_if_failed()
+                indices.append(i)
+                statuses.append(r.status)
+                self._settle(requests[i])
+        return indices, statuses
+
+    def testall(self, requests: Sequence):
+        """Generator -> (bool, Optional[[Status]]): MPI_Testall."""
+        inners = [self._inner(r) for r in requests]
+        all_done = True
+        for r in inners:
+            done = yield from self.endpoint.test(r)
+            all_done = all_done and done
+        if not all_done:
+            return False, None
+        for r in inners:
+            r.raise_if_failed()
+        statuses = [r.status for r in inners]
+        for r in requests:
+            self._settle(r)
+        return True, statuses
+
+    def testany(self, requests: Sequence):
+        """Generator -> (bool, index, Optional[Status]): MPI_Testany."""
+        requests = list(requests)
+        inners = [self._inner(r) for r in requests]
+        for i, r in enumerate(inners):
+            done = yield from self.endpoint.test(r)
+            if done:
+                r.raise_if_failed()
+                status = r.status
+                self._settle(requests[i])
+                return True, i, status
+        return False, None, None
+
+    def cancel(self, request: Request):
+        """Generator -> bool: MPI_Cancel for a not-yet-matched receive.
+
+        Returns True if the receive was withdrawn (its status reports
+        ``cancelled``); False if it had already matched.  Cancelling
+        sends is not supported (like most real MPIs of the era).
+        """
+        inner = self._inner(request)
+        if inner.kind != "recv":
+            raise MPIError("cancelling send requests is not supported")
+        if inner.complete:
+            return False
+        ok = yield from self.endpoint.cancel_recv(inner)
+        return ok
+
+    # ---------------------------------------------------- persistent requests
+    def send_init(self, buf, dest, tag: int = 0, count=None, datatype=None,
+                  mode: str = MODE_STANDARD) -> PersistentRequest:
+        """MPI_Send_init: a startable persistent send template."""
+        self._check_send_tag(tag)
+        if dest != PROC_NULL:
+            self._check_rank(dest, "destination")
+        count, datatype = self._resolve(buf, count, datatype)
+        return PersistentRequest(self, "send", buf, count, datatype, dest, tag, mode)
+
+    def ssend_init(self, buf, dest, tag: int = 0, count=None, datatype=None):
+        """MPI_Ssend_init."""
+        return self.send_init(buf, dest, tag, count, datatype, MODE_SYNCHRONOUS)
+
+    def bsend_init(self, buf, dest, tag: int = 0, count=None, datatype=None):
+        """MPI_Bsend_init."""
+        return self.send_init(buf, dest, tag, count, datatype, MODE_BUFFERED)
+
+    def rsend_init(self, buf, dest, tag: int = 0, count=None, datatype=None):
+        """MPI_Rsend_init."""
+        return self.send_init(buf, dest, tag, count, datatype, MODE_READY)
+
+    def recv_init(self, buf, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+                  count=None, datatype=None) -> PersistentRequest:
+        """MPI_Recv_init: a startable persistent receive template."""
+        if source != ANY_SOURCE and source != PROC_NULL:
+            self._check_rank(source, "source")
+        count, datatype = self._resolve(buf, count, datatype)
+        return PersistentRequest(self, "recv", buf, count, datatype, source, tag)
+
+    def start(self, request: PersistentRequest):
+        """Generator: MPI_Start."""
+        yield from request.start()
+        return request
+
+    def startall(self, requests: Sequence[PersistentRequest]):
+        """Generator: MPI_Startall."""
+        for r in requests:
+            yield from r.start()
+        return list(requests)
+
+    # --------------------------------------------------------------- probe
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Generator -> Status: blocking MPI_Probe."""
+        if source != ANY_SOURCE and source != PROC_NULL:
+            self._check_rank(source, "source")
+        return (yield from self.endpoint.probe(source, tag, self))
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Generator -> (bool, Optional[Status]): MPI_Iprobe."""
+        if source != ANY_SOURCE and source != PROC_NULL:
+            self._check_rank(source, "source")
+        status = yield from self.endpoint.iprobe(source, tag, self)
+        return (status is not None), status
+
+    # ----------------------------------------------------------- buffering
+    def buffer_attach(self, nbytes: int) -> None:
+        """MPI_Buffer_attach (per process, like MPI)."""
+        self.endpoint.attach_buffer(nbytes)
+
+    def buffer_detach(self) -> int:
+        """MPI_Buffer_detach."""
+        return self.endpoint.detach_buffer()
+
+    # ---------------------------------------------------------- collectives
+    def bcast(self, buf, root: int = 0, count=None, datatype=None, style=None):
+        """Generator -> buf: broadcast from *root* (MPI_Bcast).
+
+        Uses the CS/2 hardware broadcast on the low-latency device; a
+        binomial tree on MPICH; sequential point-to-point sends on the
+        cluster devices (matching the paper's implementations).  Pass
+        ``style`` ("hardware", "binomial", "linear") to override the
+        device default — all ranks must pass the same value.
+        """
+        self._check_rank(root, "root")
+        count, datatype = self._resolve(buf, count, datatype)
+        return (yield from _coll.bcast(self, buf, root, count, datatype, style=style))
+
+    def barrier(self):
+        """Generator: MPI_Barrier (dissemination algorithm)."""
+        yield from _coll.barrier(self)
+
+    def reduce(self, sendbuf, root: int = 0, op=None):
+        """Generator -> result at root (None elsewhere): MPI_Reduce."""
+        self._check_rank(root, "root")
+        return (yield from _coll.reduce(self, sendbuf, root, op or _coll.SUM))
+
+    def allreduce(self, sendbuf, op=None):
+        """Generator -> result everywhere: MPI_Allreduce."""
+        return (yield from _coll.allreduce(self, sendbuf, op or _coll.SUM))
+
+    def gather(self, sendbuf, root: int = 0):
+        """Generator -> list of per-rank buffers at root: MPI_Gather."""
+        self._check_rank(root, "root")
+        return (yield from _coll.gather(self, sendbuf, root))
+
+    def scatter(self, chunks, root: int = 0):
+        """Generator -> this rank's chunk: MPI_Scatter."""
+        self._check_rank(root, "root")
+        return (yield from _coll.scatter(self, chunks, root))
+
+    def scan(self, sendbuf, op=None):
+        """Generator -> inclusive prefix reduction at this rank: MPI_Scan."""
+        return (yield from _coll.scan(self, sendbuf, op or _coll.SUM))
+
+    def exscan(self, sendbuf, op=None):
+        """Generator -> exclusive prefix reduction (None at rank 0): MPI_Exscan."""
+        return (yield from _coll.exscan(self, sendbuf, op or _coll.SUM))
+
+    def reduce_scatter(self, sendbuf, op=None):
+        """Generator -> this rank's block of the reduction: MPI_Reduce_scatter_block."""
+        return (yield from _coll.reduce_scatter(self, sendbuf, op or _coll.SUM))
+
+    def allgather(self, sendbuf):
+        """Generator -> list of per-rank buffers: MPI_Allgather (ring)."""
+        return (yield from _coll.allgather(self, sendbuf))
+
+    def alltoall(self, chunks):
+        """Generator -> list of received chunks: MPI_Alltoall."""
+        return (yield from _coll.alltoall(self, chunks))
+
+    # ------------------------------------------------- communicator algebra
+    def dup(self):
+        """Generator -> Communicator: MPI_Comm_dup (collective)."""
+        self._creation_counter += 1
+        ctx = self.world.allocate_context((self.context_id, self._creation_counter, "dup"))
+        yield from self.barrier()
+        return Communicator(self.world, self.group, ctx, self.endpoint)
+
+    def split(self, color: Optional[int], key: int = 0):
+        """Generator -> Optional[Communicator]: MPI_Comm_split (collective).
+
+        ``color=None`` plays MPI_UNDEFINED: the caller gets no new
+        communicator.
+        """
+        self._creation_counter += 1
+        counter = self._creation_counter
+        pairs = yield from _coll.allgather_obj(self, (color, key))
+        if color is None:
+            return None
+        members = [
+            (k, r) for r, (c, k) in enumerate(pairs) if c == color
+        ]
+        members.sort()
+        ranks = [r for _k, r in members]
+        group = Group([self.group.world_rank(r) for r in ranks])
+        ctx = self.world.allocate_context((self.context_id, counter, "split", color))
+        return Communicator(self.world, group, ctx, self.endpoint)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Communicator ctx={self.context_id} rank={self.rank}/{self.size}>"

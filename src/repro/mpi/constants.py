@@ -1,0 +1,38 @@
+"""MPI constants (mirroring the MPI-1.1 names the paper targets)."""
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "PROC_NULL",
+    "UNDEFINED",
+    "TAG_UB",
+    "MODE_STANDARD",
+    "MODE_BUFFERED",
+    "MODE_SYNCHRONOUS",
+    "MODE_READY",
+    "INTERNAL_TAG_BASE",
+]
+
+#: wildcard source for receive/probe (MPI_ANY_SOURCE)
+ANY_SOURCE = -1
+#: wildcard tag for receive/probe (MPI_ANY_TAG)
+ANY_TAG = -1
+#: null process: sends/receives to it complete immediately (MPI_PROC_NULL)
+PROC_NULL = -2
+#: returned by Status.get_count when the byte count is not a whole
+#: number of datatype elements (MPI_UNDEFINED)
+UNDEFINED = -3
+
+#: largest user tag value (MPI guarantees at least 32767; we allow 2**30-1)
+TAG_UB = 2**30 - 1
+
+#: send modes
+MODE_STANDARD = "standard"
+MODE_BUFFERED = "buffered"
+MODE_SYNCHRONOUS = "synchronous"
+MODE_READY = "ready"
+
+#: tags at or above this value are reserved for the library's internal
+#: collective algorithms (never matched by user wildcards, because user
+#: tags must be <= TAG_UB)
+INTERNAL_TAG_BASE = 2**30

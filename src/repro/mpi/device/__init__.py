@@ -1,0 +1,24 @@
+"""MPI devices: the transport-specific protocol engines.
+
+========================  ==================================================
+:class:`LowLatencyEndpoint`  the paper's Meiko implementation (SPARC
+                             matching, 180-byte eager/rendezvous hybrid)
+:class:`MpichEndpoint`       MPICH layered over the tport widget (Elan
+                             matching) — the paper's comparison baseline
+:class:`TcpEndpoint`         envelopes + piggybacked data over TCP with
+                             credit flow control (ATM/Ethernet cluster)
+:class:`UdpEndpoint`         the same protocol over reliable UDP
+========================  ==================================================
+"""
+
+from repro.mpi.device.base import Endpoint
+from repro.mpi.device.lowlatency import LowLatencyEndpoint, LowLatencyConfig
+from repro.mpi.device.mpich import MpichEndpoint, MpichConfig
+
+__all__ = [
+    "Endpoint",
+    "LowLatencyEndpoint",
+    "LowLatencyConfig",
+    "MpichEndpoint",
+    "MpichConfig",
+]

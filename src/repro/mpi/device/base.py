@@ -1,0 +1,203 @@
+"""The endpoint contract shared by all MPI devices.
+
+An *endpoint* is one rank's attachment to the transport.  The
+communicator layer calls:
+
+* ``start_send(req)`` / ``start_recv(req)`` — generators that charge
+  CPU time and launch the protocol, returning without blocking;
+* ``wait(reqs, mode)`` — generator blocking until all/any requests
+  complete, driving protocol progress while it waits;
+* ``test(req)`` — one nonblocking progress pass;
+* ``iprobe`` / ``probe`` — envelope peeking;
+* ``bcast_hw`` — optional hardware broadcast fast path.
+
+The base class provides the progress-loop wait used by every device
+that matches on the main processor (low-latency Meiko, TCP, UDP): those
+devices implement ``_progress(block)``.  The MPICH device overrides
+``wait`` wholesale since its matching runs on the Elan.
+
+Buffered sends (MPI_Bsend) are implemented here once: the payload is
+copied into the attached buffer, the user request completes locally,
+and the actual transfer proceeds in the background; buffer space is
+reclaimed when the underlying transfer finishes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.mpi.constants import MODE_STANDARD
+from repro.mpi.exceptions import BufferError_, MPIError
+from repro.mpi.matching import MatchQueues
+from repro.mpi.request import Request
+from repro.mpi.status import Status
+
+__all__ = ["Endpoint", "BSEND_OVERHEAD"]
+
+#: per-message bookkeeping bytes reserved in the attached buffer
+#: (MPI_BSEND_OVERHEAD)
+BSEND_OVERHEAD = 32
+
+
+class Endpoint:
+    """Per-rank device endpoint (abstract)."""
+
+    def __init__(self, world_rank: int, host):
+        self.world_rank = world_rank
+        self.host = host
+        self.sim = host.sim
+        self.queues = MatchQueues()
+        # bsend buffer accounting
+        self._bsend_capacity = 0
+        self._bsend_used = 0
+
+    # -- to be provided by subclasses ----------------------------------------
+    def start_send(self, req: Request):  # pragma: no cover - abstract
+        """Generator: launch the send protocol for *req* (non-blocking)."""
+        raise NotImplementedError
+        yield  # noqa: unreachable - marks this as a generator to readers
+
+    def start_recv(self, req: Request):  # pragma: no cover - abstract
+        """Generator: post the receive *req* (non-blocking)."""
+        raise NotImplementedError
+        yield
+
+    def _progress(self, block: bool):  # pragma: no cover - abstract
+        """Generator: one progress pass.  If *block*, sleep until there
+        might be new work.  Returns True if anything was processed."""
+        raise NotImplementedError
+        yield
+
+    def iprobe(self, source: int, tag: int, comm):  # pragma: no cover - abstract
+        """Generator -> Optional[Status]: nonblocking envelope peek.
+
+        *source* is a communicator rank (or ANY_SOURCE); the returned
+        Status carries communicator-scoped ranks.
+        """
+        raise NotImplementedError
+        yield
+
+    # -- optional device fast paths ------------------------------------------
+    #: broadcast style the device prefers: "hardware", "binomial", "linear"
+    bcast_style = "binomial"
+
+    def bcast_hw(self, comm, buf, count, datatype, root: int):
+        """Hardware broadcast fast path; None if unsupported."""
+        return None
+
+    # -- provided machinery -----------------------------------------------------
+    def wtime(self) -> float:
+        return self.sim.now
+
+    def wait(self, reqs: Sequence[Request], mode: str = "all"):
+        """Generator: block until all (or any) of *reqs* complete.
+
+        Progress is driven from inside the call — with main-processor
+        matching, this is where the paper's implementation matches
+        envelopes and issues queued transfers.
+        """
+        if mode not in ("all", "any"):
+            raise MPIError(f"wait mode must be 'all' or 'any', got {mode!r}")
+        while not self._satisfied(reqs, mode):
+            did = yield from self._progress(block=False)
+            if self._satisfied(reqs, mode):
+                break
+            if not did:
+                yield from self._progress(block=True)
+        for r in reqs:
+            if r.complete:
+                r.raise_if_failed()
+
+    @staticmethod
+    def _satisfied(reqs: Sequence[Request], mode: str) -> bool:
+        if mode == "all":
+            return all(r.complete for r in reqs)
+        return any(r.complete for r in reqs)
+
+    def test(self, req: Request):
+        """Generator -> bool: one progress pass, then check completion."""
+        yield from self._progress(block=False)
+        if req.complete:
+            req.raise_if_failed()
+        return req.complete
+
+    def cancel_recv(self, req: Request):
+        """Generator -> bool: withdraw a posted, unmatched receive.
+
+        Works for every device that matches on the main processor (the
+        posted queue lives in ``self.queues``); the MPICH device
+        overrides this to ask the Elan.
+        """
+        yield from self._progress(block=False)
+        if req.complete:
+            return False
+        if self.queues.cancel_post(req):
+            status = Status()
+            status.cancelled = True
+            req._complete(status)
+            return True
+        return False
+
+    def probe(self, source: int, tag: int, comm):
+        """Generator -> Status: block until a matching envelope is present."""
+        while True:
+            status = yield from self.iprobe(source, tag, comm)
+            if status is not None:
+                return status
+            yield from self._progress(block=True)
+
+    # -- buffered sends ----------------------------------------------------------
+    def attach_buffer(self, nbytes: int) -> None:
+        """MPI_Buffer_attach: provide *nbytes* of bsend buffering."""
+        if self._bsend_capacity and self._bsend_used:
+            raise BufferError_("cannot attach while the previous buffer is in use")
+        if nbytes < 0:
+            raise BufferError_(f"negative buffer size {nbytes}")
+        self._bsend_capacity = nbytes
+        self._bsend_used = 0
+
+    def detach_buffer(self) -> int:
+        """MPI_Buffer_detach: returns the detached capacity.
+
+        Real MPI blocks until pending buffered sends drain; ours requires
+        they already have (raises otherwise), which is stricter but
+        deterministic.
+        """
+        if self._bsend_used:
+            raise BufferError_(
+                f"{self._bsend_used} bytes of buffered sends still pending at detach"
+            )
+        cap = self._bsend_capacity
+        self._bsend_capacity = 0
+        return cap
+
+    def start_bsend(self, req: Request):
+        """Generator: buffered-mode send — complete locally, transfer behind."""
+        need = req.datatype.size * req.count + BSEND_OVERHEAD
+        if self._bsend_used + need > self._bsend_capacity:
+            raise BufferError_(
+                f"bsend of {need} bytes exceeds attached buffer "
+                f"({self._bsend_used}/{self._bsend_capacity} in use)"
+            )
+        self._bsend_used += need
+        # Copy out of the user buffer (that is the semantic point of bsend).
+        wire = req.datatype.pack(req.buf, req.count)
+        shadow = Request(
+            "send", req.comm, wire, len(wire), _BYTE_REF(), req.peer, req.tag, MODE_STANDARD
+        )
+
+        def release(_req=shadow, need=need):
+            self._bsend_used -= need
+
+        shadow._device_state = None
+        shadow.on_complete = release
+        yield from self.start_send(shadow)
+        req._device_state = shadow
+        req._complete(Status(source=self.world_rank, tag=req.tag, count_bytes=len(wire)))
+
+
+def _BYTE_REF():
+    # late import to avoid a cycle datatypes -> ... -> base
+    from repro.mpi.datatypes import BYTE
+
+    return BYTE

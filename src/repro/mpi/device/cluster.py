@@ -1,0 +1,406 @@
+"""The cluster MPI device: the paper's protocol over a byte stream.
+
+Implements Section 5 of the paper on top of any reliable in-order
+stream (kernel TCP or user-level reliable-UDP):
+
+* **Wire format** — every protocol message starts with a 25-byte
+  header: 1 type byte, 4 bytes of piggybacked freed-credit count, and a
+  20-byte envelope / DMA-request record (exactly Table 1's accounting).
+* **Credit flow control** — the receiver reserves memory per sender;
+  envelopes and eager payloads are sent *optimistically* against that
+  reservation and the receiver piggybacks freed byte counts on its own
+  traffic (or sends an explicit credit message when idle).  Classic
+  sliding windows don't work here because tags/communicators mean
+  messages are not consumed in FIFO order — this is the paper's
+  explicit design point.
+* **Eager vs rendezvous** — small messages piggyback their data on the
+  envelope (latency); large ones send the envelope first and the data
+  only after the receiver's request, straight into the user buffer
+  (no intermediate copy).
+* **Receive path** — the progress loop reads 1 byte of message type,
+  then the 24 remaining header bytes, then any payload: three separate
+  read syscalls whose costs are the rows of Table 1.
+* **Broadcast** — a succession of point-to-point messages
+  (``bcast_style = "linear"``), as the paper implements on the cluster.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import defaultdict, deque
+from dataclasses import dataclass, replace
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.mpi.constants import MODE_BUFFERED, MODE_READY, MODE_STANDARD, MODE_SYNCHRONOUS
+from repro.mpi.device.base import Endpoint
+from repro.mpi.envelope import Envelope
+from repro.mpi.exceptions import ReadyModeError, TruncationError
+from repro.mpi.matching import Arrival
+from repro.mpi.request import Request
+from repro.mpi.status import Status
+from repro.sim.notify import Notify
+
+__all__ = ["ClusterConfig", "StreamEndpoint"]
+
+# message types (the 1-byte discriminator of Table 1)
+MSG_EAGER = 1
+MSG_RDV_ENV = 2
+MSG_RDV_REQ = 3
+MSG_RDV_DATA = 4
+MSG_CREDIT = 5
+MSG_SYNC_ACK = 6
+
+#: 20-byte envelope record: src rank, context, tag, nbytes, cookie, mode
+_ENV = struct.Struct("<hHiiiB3x")
+assert _ENV.size == 20
+#: full header: type byte + 4 credit bytes + envelope
+HEADER_BYTES = 1 + 4 + _ENV.size
+
+_MODES = {MODE_STANDARD: 0, MODE_BUFFERED: 1, MODE_SYNCHRONOUS: 2, MODE_READY: 3}
+_MODES_REV = {v: k for k, v in _MODES.items()}
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Tunables of the cluster device (bytes / µs)."""
+
+    #: eager data travels with the envelope up to this size
+    eager_threshold: int = 16384
+    #: reserved receive memory per sender (the credit pool)
+    reserve_bytes: int = 65536
+    #: send an explicit credit message once this much is owed and idle
+    credit_refresh: int = 32768
+    #: CPU cost of the MPI send call surface
+    send_overhead: float = 10.0
+    #: CPU cost of posting a receive
+    recv_overhead: float = 10.0
+    #: CPU cost of matching a message (paper, Table 1: 35 µs)
+    match_cost: float = 35.0
+    #: additional cost per extra queue comparison beyond the first
+    match_per_comparison: float = 2.0
+    #: unexpected-queue capacity
+    max_unexpected: int = 4096
+    #: raise on ready-mode violations (see LowLatencyConfig)
+    strict_ready: bool = True
+    #: establish the mesh with real 3-way handshakes at startup instead
+    #: of pre-established static pairs.  The paper uses static
+    #: connections ("connection setup time is not of major importance");
+    #: enabling this measures exactly what they excluded.  TCP only.
+    handshake: bool = False
+
+    def with_overrides(self, **kw) -> "ClusterConfig":
+        return replace(self, **kw)
+
+
+class _RxState:
+    """Per-peer incremental parse state (keeps progress non-blocking)."""
+
+    __slots__ = ("header", "need")
+
+    def __init__(self):
+        self.header: Optional[Tuple[int, int, Envelope]] = None
+        self.need = 0
+
+
+class _QueuedSend:
+    __slots__ = ("req", "env", "wire", "msg_type")
+
+    def __init__(self, req, env, wire, msg_type):
+        self.req = req
+        self.env = env
+        self.wire = wire
+        self.msg_type = msg_type
+
+
+class StreamEndpoint(Endpoint):
+    """One rank's endpoint over per-peer reliable streams.
+
+    Subclasses provide :meth:`wire` (mesh construction) and the
+    ``conns`` mapping (peer world rank -> stream connection exposing
+    ``send``/``recv_exact``/``available``/``on_data``).
+    """
+
+    bcast_style = "linear"
+
+    def __init__(self, world_rank: int, host, config: Optional[ClusterConfig] = None):
+        super().__init__(world_rank, host)
+        self.host = host
+        self.kernel = host.stack
+        self.config = config or ClusterConfig()
+        self.queues.max_unexpected = self.config.max_unexpected
+        self.peers = []
+        #: peer world rank -> stream connection
+        self.conns: Dict[int, object] = {}
+        self.kick = Notify(self.sim, f"mpi{world_rank}-kick")
+        self._rx: Dict[int, _RxState] = defaultdict(_RxState)
+        #: send credit remaining at each peer
+        self.credits: Dict[int, int] = defaultdict(lambda: self.config.reserve_bytes)
+        #: freed bytes owed to each peer (piggybacked on the next send)
+        self.owed: Dict[int, int] = defaultdict(int)
+        self.sendq: Dict[int, Deque[_QueuedSend]] = defaultdict(deque)
+        self.pending_rdv: Dict[int, Tuple[bytes, Request]] = {}
+        self.awaiting_ack: Dict[int, Request] = {}
+        self.rdv_recv: Dict[Tuple[int, int], Tuple[Request, Envelope, bool]] = {}
+        self._cookie = 0
+        self._seq: Dict[Tuple[int, int], int] = defaultdict(int)
+        self.ready_violations = 0
+
+    # ------------------------------------------------------------- plumbing
+    def attach_conn(self, peer_world: int, conn) -> None:
+        self.conns[peer_world] = conn
+        conn.on_data = self.kick.set
+
+    def _next_cookie(self) -> int:
+        self._cookie += 1
+        return self._cookie
+
+    def _pack_header(self, msg_type: int, peer: int, env: Envelope) -> bytes:
+        credits = self.owed[peer]
+        self.owed[peer] = 0
+        return (
+            bytes([msg_type])
+            + credits.to_bytes(4, "little")
+            + _ENV.pack(
+                env.src,
+                env.context,
+                env.tag,
+                env.nbytes,
+                env.cookie or 0,
+                _MODES[env.mode],
+            )
+        )
+
+    @staticmethod
+    def _unpack_env(raw: bytes, src_world: int) -> Envelope:
+        src, context, tag, nbytes, cookie, mode = _ENV.unpack(raw)
+        return Envelope(
+            src=src,
+            tag=tag,
+            context=context,
+            nbytes=nbytes,
+            mode=_MODES_REV[mode],
+            cookie=cookie,
+            extra=src_world,
+        )
+
+    # ------------------------------------------------------------------ send
+    def start_send(self, req: Request):
+        cfg = self.config
+        yield from self.host.cpu.execute(cfg.send_overhead)
+        wire = req.datatype.pack(req.buf, req.count)
+        dest_world = req.comm.world_rank(req.peer)
+        key = (dest_world, req.comm.context_id)
+        env = Envelope(
+            src=req.comm.rank,
+            tag=req.tag,
+            context=req.comm.context_id,
+            nbytes=len(wire),
+            mode=req.mode,
+            seq=self._seq[key],
+            extra=self.world_rank,
+        )
+        self._seq[key] += 1
+        msg_type = MSG_EAGER if len(wire) <= cfg.eager_threshold else MSG_RDV_ENV
+        self.sendq[dest_world].append(_QueuedSend(req, env, wire, msg_type))
+        yield from self._issue_sends()
+
+    def _issue_sends(self):
+        issued = False
+        for dest in list(self.sendq):
+            if dest not in self.conns:
+                continue  # connection still being established; stay queued
+            q = self.sendq[dest]
+            while q:
+                op = q[0]
+                need = HEADER_BYTES + (len(op.wire) if op.msg_type == MSG_EAGER else 0)
+                if self.credits[dest] < need:
+                    break  # optimistic sending stops when the reservation is full
+                q.popleft()
+                self.credits[dest] -= need
+                yield from self._issue_one(dest, op)
+                issued = True
+            if not q:
+                del self.sendq[dest]
+        return issued
+
+    def _issue_one(self, dest: int, op: _QueuedSend):
+        env, req = op.env, op.req
+        conn = self.conns[dest]
+        if op.msg_type == MSG_EAGER:
+            if env.mode == MODE_SYNCHRONOUS:
+                env.cookie = self._next_cookie()
+                self.awaiting_ack[env.cookie] = req
+            header = self._pack_header(MSG_EAGER, dest, env)
+            yield from conn.send(header + op.wire)
+            if env.mode != MODE_SYNCHRONOUS:
+                req._complete(Status(tag=env.tag, count_bytes=env.nbytes))
+        else:
+            env.cookie = self._next_cookie()
+            self.pending_rdv[env.cookie] = (op.wire, req)
+            header = self._pack_header(MSG_RDV_ENV, dest, env)
+            yield from conn.send(header)
+
+    # ---------------------------------------------------------------- receive
+    def start_recv(self, req: Request):
+        cfg = self.config
+        yield from self.host.cpu.execute(cfg.recv_overhead)
+        arrival, comparisons = self.queues.post(req)
+        if comparisons:
+            yield from self.host.cpu.execute(
+                cfg.match_cost + cfg.match_per_comparison * max(0, comparisons - 1)
+            )
+        if arrival is not None:
+            yield from self._fulfill(req, arrival)
+
+    # --------------------------------------------------------------- progress
+    def _progress(self, block: bool):
+        did = False
+        for peer in list(self.conns):
+            got = yield from self._drain_conn(peer)
+            did = did or got
+        issued = yield from self._issue_sends()
+        did = did or issued
+        yield from self._refresh_credits()
+        if block and not did:
+            yield self.kick.wait()
+            return True
+        return did
+
+    def _drain_conn(self, peer: int):
+        """Parse as many complete messages as are buffered (never blocks)."""
+        conn = self.conns[peer]
+        st = self._rx[peer]
+        did = False
+        while True:
+            if st.header is None:
+                if conn.available < HEADER_BYTES:
+                    break
+                type_raw = yield from conn.recv_exact(1)  # read for msg type
+                rest = yield from conn.recv_exact(HEADER_BYTES - 1)  # read for envelope
+                msg_type = type_raw[0]
+                credits = int.from_bytes(rest[:4], "little")
+                if credits:
+                    self.credits[peer] += credits
+                env = self._unpack_env(rest[4:], peer)
+                payload = 0
+                if msg_type in (MSG_EAGER, MSG_RDV_DATA):
+                    payload = env.nbytes
+                st.header = (msg_type, payload, env)
+                st.need = payload
+            msg_type, payload, env = st.header
+            if conn.available < st.need:
+                break
+            data = b""
+            if st.need:
+                data = yield from conn.recv_exact(st.need)
+            st.header = None
+            st.need = 0
+            yield from self._dispatch(peer, msg_type, env, data)
+            did = True
+        return did
+
+    def _dispatch(self, peer: int, msg_type: int, env: Envelope, data: bytes):
+        cfg = self.config
+        if msg_type == MSG_CREDIT:
+            return
+        if msg_type == MSG_SYNC_ACK:
+            req = self.awaiting_ack.pop(env.cookie)
+            req._complete(Status(tag=req.tag, count_bytes=req.datatype.size * req.count))
+            return
+        if msg_type == MSG_RDV_REQ:
+            # the receiver asks for our rendezvous payload
+            wire, sreq = self.pending_rdv.pop(env.cookie)
+            conn = self.conns[peer]
+            header = self._pack_header(MSG_RDV_DATA, peer, env)
+            yield from conn.send(header + wire)
+            sreq._complete(Status(tag=sreq.tag, count_bytes=len(wire)))
+            return
+        if msg_type == MSG_RDV_DATA:
+            req, orig_env, truncated = self.rdv_recv.pop((peer, env.cookie))
+            status = Status(source=orig_env.src, tag=orig_env.tag, count_bytes=orig_env.nbytes)
+            if truncated:
+                req._fail(
+                    TruncationError(
+                        f"{orig_env.nbytes} bytes into a "
+                        f"{self._capacity_bytes(req)}-byte receive"
+                    )
+                )
+            else:
+                self._store(req, data, status)
+            return
+        # EAGER or RDV_ENV: run the matching engine
+        arrival = Arrival(env, data=data if msg_type == MSG_EAGER else None)
+        req, comparisons = self.queues.arrive(arrival)
+        yield from self.host.cpu.execute(
+            cfg.match_cost + cfg.match_per_comparison * max(0, comparisons - 1)
+        )
+        # the reserved space is drained as soon as we've read the message
+        self.owed[peer] += HEADER_BYTES + (len(data) if msg_type == MSG_EAGER else 0)
+        if req is not None:
+            yield from self._fulfill(req, arrival)
+        elif env.mode == MODE_READY:
+            self.ready_violations += 1
+            if cfg.strict_ready:
+                raise ReadyModeError(
+                    f"ready-mode send from rank {env.src} (tag {env.tag}) "
+                    "arrived before the matching receive was posted"
+                )
+
+    def _fulfill(self, req: Request, arrival: Arrival):
+        env = arrival.envelope
+        capacity = self._capacity_bytes(req)
+        truncated = env.nbytes > capacity
+        status = Status(source=env.src, tag=env.tag, count_bytes=env.nbytes)
+        peer = env.extra
+        if arrival.data is not None:
+            if truncated:
+                req._fail(TruncationError(f"{env.nbytes} bytes into a {capacity}-byte receive"))
+            else:
+                self._store(req, arrival.data, status)
+            if env.mode == MODE_SYNCHRONOUS:
+                conn = self.conns[peer]
+                header = self._pack_header(MSG_SYNC_ACK, peer, env)
+                yield from conn.send(header)
+        else:
+            # rendezvous: ask the sender for the data
+            self.rdv_recv[(peer, env.cookie)] = (req, env, truncated)
+            conn = self.conns[peer]
+            header = self._pack_header(MSG_RDV_REQ, peer, env)
+            yield from conn.send(header)
+
+    def _refresh_credits(self):
+        """Explicit credit messages when a lot is owed and we are idle."""
+        for peer, owed in list(self.owed.items()):
+            if owed >= self.config.credit_refresh:
+                env = Envelope(src=0, tag=0, context=0, nbytes=0, extra=self.world_rank)
+                header = self._pack_header(MSG_CREDIT, peer, env)
+                yield from self.conns[peer].send(header)
+
+    # ----------------------------------------------------------------- helpers
+    @staticmethod
+    def _capacity_bytes(req: Request) -> float:
+        if req.buf is None:
+            return float("inf")
+        return req.datatype.size * req.count
+
+    def _store(self, req: Request, data: bytes, status: Status) -> None:
+        if req.buf is None:
+            req.data = data
+        else:
+            count = len(data) // req.datatype.size if req.datatype.size else 0
+            req.datatype.unpack(data, req.buf, count)
+        req._complete(status)
+
+    # ------------------------------------------------------------------ probe
+    def iprobe(self, source: int, tag: int, comm):
+        yield from self._progress(block=False)
+        arrival = self.queues.probe(source, tag, comm.context_id)
+        if arrival is None:
+            return None
+        env = arrival.envelope
+        return Status(source=env.src, tag=env.tag, count_bytes=env.nbytes)
+
+    # --------------------------------------------------------------- wiring
+    @classmethod
+    def wire(cls, machine, endpoints) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError

@@ -1,0 +1,399 @@
+"""The paper's low-latency Meiko MPI device.
+
+Protocol summary (paper, Section 4):
+
+* **Matching on the SPARC.**  Envelopes arriving from the network are
+  queued by the Elan; the SPARC matches them against posted receives
+  whenever the application is inside an MPI call.  This gives fast
+  (40 MHz) matching at the cost of no background receive progress —
+  exactly the trade-off the paper studies against MPICH's Elan-side
+  matching.
+* **Hybrid transfer.**  Messages of at most
+  :attr:`LowLatencyConfig.eager_threshold` = 180 bytes travel *with*
+  the envelope (overlapping data transfer with matching), buffered at
+  the receiver if no receive is posted.  Larger messages send the
+  envelope only; after the match the receiver sends a request and the
+  sender's Elan DMAs the data straight into the receive buffer — no
+  intermediate copy.
+* **One envelope slot per sender.**  Each receiver pre-allocates a
+  single envelope slot per sending processor; a sender with an
+  outstanding unacknowledged envelope queues further sends until the
+  receiver's SPARC drains the slot and acknowledges it.
+* **Background sending on the Elan.**  Send calls only enqueue a
+  command; the Elan transmits in the background, so nonblocking sends
+  return in constant time.
+* **Hardware broadcast.**  ``MPI_Bcast`` maps to the CS/2's hardware
+  broadcast: one injection, one fabric traversal, every node receives
+  (the MPICH device, by contrast, broadcasts over point-to-point).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, replace
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.mpi.constants import INTERNAL_TAG_BASE, MODE_READY, MODE_SYNCHRONOUS
+from repro.mpi.device.base import Endpoint
+from repro.mpi.envelope import Envelope
+from repro.mpi.exceptions import ReadyModeError, TruncationError
+from repro.mpi.matching import Arrival
+from repro.mpi.request import Request
+from repro.mpi.status import Status
+
+__all__ = ["LowLatencyConfig", "LowLatencyEndpoint"]
+
+#: bytes of the envelope record written into the remote slot
+SLOT_ENV_BYTES = 32
+#: bytes of a rendezvous request-to-send transaction
+RTS_BYTES = 16
+
+#: internal tag used by the hardware-broadcast fast path
+_BCAST_TAG = INTERNAL_TAG_BASE + 101
+
+
+@dataclass(frozen=True)
+class LowLatencyConfig:
+    """Tunables of the low-latency device (µs / bytes).
+
+    ``send_overhead``/``recv_overhead`` are the SPARC cost of the MPI
+    call surface (communicator and datatype handling, request setup) —
+    calibrated so the 1-byte ping-pong round trip lands at the paper's
+    104 µs.
+    """
+
+    #: eager/rendezvous crossover (paper, Figure 1: 180 bytes)
+    eager_threshold: int = 180
+    #: SPARC cost of a send call beyond the raw primitives
+    send_overhead: float = 33.5
+    #: SPARC cost of a receive post beyond the raw primitives
+    recv_overhead: float = 30.5
+    #: envelope slots per (sender, receiver) pair.  The paper allocates
+    #: exactly one ("space for a single send envelope for each sending
+    #: processor at each receiver"); raising it is the ablation knob of
+    #: benchmarks/bench_ablation_slots.py
+    slots_per_sender: int = 1
+    #: unexpected-queue capacity (envelope resources, Burns & Daoud)
+    max_unexpected: int = 4096
+    #: raise at the receiver when a ready-mode send finds no posted
+    #: receive (MPI declares the program erroneous); if False, count it
+    #: in ``ready_violations`` and deliver anyway
+    strict_ready: bool = True
+
+    def with_overrides(self, **kw) -> "LowLatencyConfig":
+        return replace(self, **kw)
+
+
+class _Hook:
+    """Duck-typed completion target (has ``set()``) running a callback."""
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn):
+        self.fn = fn
+
+    def set(self) -> None:
+        self.fn()
+
+
+class _QueuedSend:
+    __slots__ = ("req", "env", "wire")
+
+    def __init__(self, req: Request, env: Envelope, wire: bytes):
+        self.req = req
+        self.env = env
+        self.wire = wire
+
+
+class LowLatencyEndpoint(Endpoint):
+    """One rank's endpoint of the low-latency Meiko device."""
+
+    bcast_style = "hardware"
+
+    def __init__(self, world_rank: int, node, config: Optional[LowLatencyConfig] = None):
+        super().__init__(world_rank, node)
+        self.node = node
+        self.config = config or LowLatencyConfig()
+        self.queues.max_unexpected = self.config.max_unexpected
+        #: set by the platform builder: world rank -> LowLatencyEndpoint
+        self.peers: List["LowLatencyEndpoint"] = []
+        #: anything-happened event: arrivals, acks, completions
+        self.kick = node.event("mpi-kick")
+        #: envelope arrivals deposited by the Elan, drained by the SPARC
+        self.arrivals: Deque[Arrival] = deque()
+        #: per-destination envelope-slot tokens (free slots remaining)
+        slots = self.config.slots_per_sender
+        self.tokens: Dict[int, int] = defaultdict(lambda: slots)
+        #: sends waiting for a free slot, per destination world rank
+        self.sendq: Dict[int, Deque[_QueuedSend]] = defaultdict(deque)
+        #: rendezvous sends awaiting the receiver's request, by cookie
+        self.pending_rdv: Dict[int, Tuple[bytes, Request]] = {}
+        #: synchronous sends awaiting the matched acknowledgement
+        self.awaiting_ack: Dict[int, Request] = {}
+        self._cookie = 0
+        #: per-(dest, context) envelope sequence numbers (testability)
+        self._seq: Dict[Tuple[int, int], int] = defaultdict(int)
+        #: count of ready-mode sends that found no posted receive
+        self.ready_violations = 0
+
+    # ------------------------------------------------------------------ sends
+    def start_send(self, req: Request):
+        p = self.node.params
+        cfg = self.config
+        yield from self.node.cpu.execute(cfg.send_overhead)
+        wire = req.datatype.pack(req.buf, req.count)
+        if not req.datatype.contiguous:
+            # gathering a derived datatype costs a real copy
+            yield from self.node.cpu.execute(len(wire) * p.sparc_copy_per_byte)
+        dest_world = req.comm.world_rank(req.peer)
+        key = (dest_world, req.comm.context_id)
+        env = Envelope(
+            src=req.comm.rank,
+            tag=req.tag,
+            context=req.comm.context_id,
+            nbytes=len(wire),
+            mode=req.mode,
+            seq=self._seq[key],
+            extra=self.world_rank,
+        )
+        self._seq[key] += 1
+        self.sendq[dest_world].append(_QueuedSend(req, env, wire))
+        yield from self._issue_sends()
+
+    def _issue_sends(self):
+        """Issue queued sends whose destination slot is free."""
+        issued = False
+        for dest in list(self.sendq):
+            q = self.sendq[dest]
+            while q and self.tokens[dest] > 0:
+                self.tokens[dest] -= 1
+                op = q.popleft()
+                yield from self._issue_one(dest, op)
+                issued = True
+            if not q:
+                del self.sendq[dest]
+        return issued
+
+    def _issue_one(self, dest_world: int, op: _QueuedSend):
+        receiver = self.peers[dest_world]
+        env, wire, req = op.env, op.wire, op.req
+        if env.nbytes <= self.config.eager_threshold:
+            # Eager: data rides with the envelope into the remote slot.
+            arrival = Arrival(env, data=wire)
+            yield from self.node.issue_txn(
+                dest_world,
+                SLOT_ENV_BYTES + len(wire),
+                lambda: receiver._deliver(arrival),
+                debug=f"ll-eager tag={env.tag}",
+            )
+            if env.mode == MODE_SYNCHRONOUS:
+                cookie = self._next_cookie()
+                env.cookie = cookie
+                self.awaiting_ack[cookie] = req
+            else:
+                # complete once the payload has left the user buffer
+                req._complete(Status(tag=env.tag, count_bytes=env.nbytes))
+        else:
+            # Rendezvous: envelope only; data will be DMAed on request.
+            cookie = self._next_cookie()
+            env.cookie = cookie
+            self.pending_rdv[cookie] = (wire, req)
+            arrival = Arrival(env, data=None, claim=(self.world_rank, cookie))
+            yield from self.node.issue_txn(
+                dest_world,
+                SLOT_ENV_BYTES,
+                lambda: receiver._deliver(arrival),
+                debug=f"ll-rdv-env tag={env.tag}",
+            )
+
+    def _next_cookie(self) -> int:
+        self._cookie += 1
+        return self._cookie
+
+    # ---------------------------------------------------------------- receives
+    def start_recv(self, req: Request):
+        cfg = self.config
+        p = self.node.params
+        yield from self.node.cpu.execute(cfg.recv_overhead)
+        arrival, comparisons = self.queues.post(req)
+        if comparisons:
+            yield from self.node.cpu.execute(comparisons * p.sparc_match)
+        if arrival is not None:
+            yield from self._fulfill(req, arrival)
+
+    # ------------------------------------------------------------- progress
+    def _deliver(self, arrival: Arrival) -> None:
+        """Runs in this node's Elan receive context: queue for the SPARC."""
+        self.arrivals.append(arrival)
+        self.kick.set()
+
+    def _progress(self, block: bool):
+        did = False
+        while self.arrivals:
+            arrival = self.arrivals.popleft()
+            yield from self._handle_arrival(arrival)
+            did = True
+        issued = yield from self._issue_sends()
+        did = did or issued
+        if block and not did:
+            yield self.kick.wait()
+            yield from self.node.cpu.execute(self.node.params.event_poll)
+            return True
+        return did
+
+    def _handle_arrival(self, arrival: Arrival):
+        p = self.node.params
+        env = arrival.envelope
+        req, comparisons = self.queues.arrive(arrival)
+        yield from self.node.cpu.execute(max(1, comparisons) * p.sparc_match)
+        if env.extra is not None:
+            # Free the sender's envelope slot: the SPARC has drained it.
+            sender = self.peers[env.extra]
+            me = self.world_rank
+            yield from self.node.issue_txn(
+                env.extra, 0, lambda: sender._on_slot_ack(me), debug="ll-slot-ack"
+            )
+        if req is not None:
+            yield from self._fulfill(req, arrival)
+        else:
+            if env.mode == MODE_READY:
+                self.ready_violations += 1
+                if self.config.strict_ready:
+                    raise ReadyModeError(
+                        f"ready-mode send from rank {env.src} (tag {env.tag}) "
+                        "arrived before the matching receive was posted"
+                    )
+            if arrival.data is not None:
+                # copy out of the slot into the unexpected heap
+                yield from self.node.cpu.execute(len(arrival.data) * p.sparc_copy_per_byte)
+
+    def _on_slot_ack(self, dest_world: int) -> None:
+        """Runs in Elan context at the *sender*: slot is free again."""
+        self.tokens[dest_world] += 1
+        self.kick.set()
+
+    def _fulfill(self, req: Request, arrival: Arrival):
+        """Complete a matched receive (eager) or launch the DMA (rendezvous)."""
+        p = self.node.params
+        env = arrival.envelope
+        capacity = self._capacity_bytes(req)
+        status = Status(source=env.src, tag=env.tag, count_bytes=env.nbytes)
+        truncated = env.nbytes > capacity
+        if arrival.data is not None:
+            yield from self.node.cpu.execute(env.nbytes * p.sparc_copy_per_byte)
+            if truncated:
+                req._fail(TruncationError(f"{env.nbytes} bytes into a {capacity}-byte receive"))
+            else:
+                self._store(req, arrival.data, status)
+            if env.mode == MODE_SYNCHRONOUS:
+                sender = self.peers[env.extra]
+                cookie = env.cookie
+                yield from self.node.issue_txn(
+                    env.extra, 0, lambda: sender._on_sync_ack(cookie), debug="ll-sync-ack"
+                )
+        else:
+            sender_world, cookie = arrival.claim
+            sender = self.peers[sender_world]
+            endpoint = self
+
+            def on_dma(data: bytes) -> None:
+                # runs at the receiver when the DMA lands in user memory
+                if truncated:
+                    req._fail(
+                        TruncationError(f"{env.nbytes} bytes into a {capacity}-byte receive")
+                    )
+                else:
+                    endpoint._store(req, data, status)
+                endpoint.kick.set()
+
+            yield from self.node.issue_txn(
+                sender_world,
+                RTS_BYTES,
+                lambda: sender._elan_rts(cookie, self.world_rank, on_dma),
+                debug="ll-rts",
+            )
+
+    def _elan_rts(self, cookie: int, dest_world: int, on_dma) -> None:
+        """Runs at the *sender's* Elan when the data request arrives:
+        start the DMA with no SPARC involvement."""
+        wire, sreq = self.pending_rdv.pop(cookie)
+        endpoint = self
+
+        def local_done() -> None:
+            sreq._complete(Status(tag=sreq.tag, count_bytes=len(wire)))
+            endpoint.kick.set()
+
+        from repro.hw.meiko.node import DmaCommand
+
+        self.node.issue(
+            DmaCommand(dest_world, len(wire), lambda: on_dma(wire), _Hook(local_done), "ll-dma")
+        )
+
+    def _on_sync_ack(self, cookie: int) -> None:
+        """Runs in Elan context at the sender: synchronous send matched."""
+        req = self.awaiting_ack.pop(cookie)
+        req._complete(Status(tag=req.tag, count_bytes=req.datatype.size * req.count))
+        self.kick.set()
+
+    # ----------------------------------------------------------------- helpers
+    @staticmethod
+    def _capacity_bytes(req: Request) -> float:
+        if req.buf is None:
+            return float("inf")
+        return req.datatype.size * req.count
+
+    def _store(self, req: Request, data: bytes, status: Status) -> None:
+        if req.buf is None:
+            req.data = data
+        else:
+            count = len(data) // req.datatype.size if req.datatype.size else 0
+            req.datatype.unpack(data, req.buf, count)
+        req._complete(status)
+
+    # ------------------------------------------------------------------ probe
+    def iprobe(self, source: int, tag: int, comm):
+        yield from self._progress(block=False)
+        arrival = self.queues.probe(source, tag, comm.context_id)
+        if arrival is None:
+            return None
+        env = arrival.envelope
+        return Status(source=env.src, tag=env.tag, count_bytes=env.nbytes)
+
+    # ---------------------------------------------------------- hw broadcast
+    def bcast_hw(self, comm, buf, count, datatype, root: int):
+        """The CS/2 hardware broadcast: root injects once, all receive.
+
+        Returns a generator implementing both the root and leaf sides.
+        """
+        return self._bcast_hw(comm, buf, count, datatype, root)
+
+    def _bcast_hw(self, comm, buf, count, datatype, root: int):
+        cfg = self.config
+        if comm.rank == root:
+            yield from self.node.cpu.execute(cfg.send_overhead)
+            wire = datatype.pack(buf, count)
+            group_worlds = set(comm.group.world_ranks)
+            env_src = comm.rank
+            ctx = comm.context_id
+
+            def make_deliver(dst_world: int):
+                if dst_world == self.world_rank or dst_world not in group_worlds:
+                    return None
+                peer = self.peers[dst_world]
+                env = Envelope(
+                    src=env_src,
+                    tag=_BCAST_TAG,
+                    context=ctx,
+                    nbytes=len(wire),
+                    # extra=None: broadcast bypasses the envelope slots, no ack
+                    extra=None,
+                )
+                arrival = Arrival(env, data=wire)
+                return lambda: peer._deliver(arrival)
+
+            yield from self.node.issue_bcast(len(wire), make_deliver)
+        else:
+            req = Request("recv", comm, buf, count, datatype, root, _BCAST_TAG)
+            yield from self.start_recv(req)
+            yield from self.wait([req])
+        return None

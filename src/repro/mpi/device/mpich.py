@@ -1,0 +1,315 @@
+"""The MPICH comparison device: MPI layered over the tport widget.
+
+This models the stock ANL/MSU MPICH port for the CS/2 that the paper
+measures against (Figure 2): all matching is delegated to the **Elan**
+via the tport widget — sends and receives progress in the background
+without the SPARC, but each operation pays
+
+* the MPICH call-surface overhead on the SPARC (communicator and
+  datatype translation, request bookkeeping), and
+* slow 10 MHz Elan matching plus SPARC↔Elan completion synchronization,
+
+which together account for the paper's measured 158 µs of added
+round-trip latency over the bare widget.
+
+MPI (source, tag, context) matching is encoded into wide tport tags:
+
+    bits 45..      communicator context id
+    bits 44..45    channel (0 = user message, 1 = internal ack,
+                   2 = library-internal collective traffic — kept off
+                   the user channel so ANY_TAG cannot match it)
+    bits 12..43    user tag, or ack cookie
+    bits 0..11     flags (not matched): FLAG_SYNC
+
+Synchronous sends carry an 8-byte cookie prefix in the payload; the
+receiver strips it and returns an ack on the internal channel.
+
+Broadcast: MPICH has no hardware-broadcast path — ``MPI_Bcast`` runs
+over point-to-point messages (binomial tree), which is exactly the
+contrast Figure 7 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence
+
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG, INTERNAL_TAG_BASE, MODE_SYNCHRONOUS
+from repro.mpi.device.base import Endpoint
+from repro.mpi.exceptions import MPIError, TruncationError
+from repro.mpi.request import Request
+from repro.mpi.status import Status
+from repro.hw.meiko.tport import ANY_SENDER, TPort, TPortHandle
+
+__all__ = ["MpichConfig", "MpichEndpoint"]
+
+# --- tag-word layout ---------------------------------------------------------
+_FLAG_BITS = 12
+_FIELD_BITS = 32
+_CHAN_SHIFT = _FLAG_BITS + _FIELD_BITS  # 44
+_CHAN_BITS = 2  # 0 = user, 1 = internal ack, 2 = collective
+_CTX_SHIFT = _CHAN_SHIFT + _CHAN_BITS  # 46
+
+FLAG_SYNC = 0x001
+
+#: match context+channel+field, ignore flags
+MASK_EXACT = ~((1 << _FLAG_BITS) - 1)
+#: match context+channel only (ANY_TAG)
+MASK_CHAN = ~((1 << _CHAN_SHIFT) - 1)
+
+_COOKIE_BYTES = 8
+
+
+def encode_tag(context: int, field: int, chan: int = 0, flags: int = 0) -> int:
+    """Pack (context, channel, field, flags) into a tport tag word."""
+    return (context << _CTX_SHIFT) | (chan << _CHAN_SHIFT) | (field << _FLAG_BITS) | flags
+
+
+def decode_tag(word: int):
+    """Unpack a tport tag word -> (context, chan, field, flags)."""
+    return (
+        word >> _CTX_SHIFT,
+        (word >> _CHAN_SHIFT) & ((1 << _CHAN_BITS) - 1),
+        (word >> _FLAG_BITS) & ((1 << _FIELD_BITS) - 1),
+        word & ((1 << _FLAG_BITS) - 1),
+    )
+
+
+@dataclass(frozen=True)
+class MpichConfig:
+    """Tunables (µs).  The overheads are calibrated so the 1-byte
+    ping-pong round trip lands at the paper's ~210 µs (52 + 158)."""
+
+    #: SPARC cost of an MPICH send call above the tport widget
+    send_overhead: float = 79.8
+    #: SPARC cost of an MPICH receive call above the tport widget
+    recv_overhead: float = 75.5
+    #: polling interval of the blocking-probe loop
+    probe_interval: float = 10.0
+
+    def with_overrides(self, **kw) -> "MpichConfig":
+        return replace(self, **kw)
+
+
+class MpichEndpoint(Endpoint):
+    """One rank's endpoint of the MPICH/tport device."""
+
+    bcast_style = "binomial"
+
+    def __init__(self, world_rank: int, node, tport: TPort, config: Optional[MpichConfig] = None):
+        super().__init__(world_rank, node)
+        self.node = node
+        self.tport = tport
+        self.config = config or MpichConfig()
+        #: set by the platform builder: world rank -> MpichEndpoint
+        self.peers = []
+        self._cookie = 0
+
+    # ------------------------------------------------------------------ sends
+    def start_send(self, req: Request):
+        p = self.node.params
+        cfg = self.config
+        yield from self.node.cpu.execute(cfg.send_overhead)
+        wire = req.datatype.pack(req.buf, req.count)
+        if not req.datatype.contiguous:
+            yield from self.node.cpu.execute(len(wire) * p.sparc_copy_per_byte)
+        dest_world = req.comm.world_rank(req.peer)
+        flags = 0
+        ack_handle = None
+        if req.mode == MODE_SYNCHRONOUS:
+            self._cookie += 1
+            cookie = self._cookie & 0xFFFFFFFF
+            flags |= FLAG_SYNC
+            wire = cookie.to_bytes(_COOKIE_BYTES, "little") + wire
+            # post the ack receive before the send can possibly be acked
+            ack_tag = encode_tag(req.comm.context_id, cookie, chan=1)
+            ack_handle = self.tport.irecv(ack_tag, sender=dest_world, mask=-1)
+        chan = 2 if req.tag >= INTERNAL_TAG_BASE else 0
+        word = encode_tag(req.comm.context_id, req.tag, chan=chan, flags=flags)
+        yield from self.node.cpu.execute(p.txn_issue)
+        handle = self.tport.isend(dest_world, word, wire)
+        req._device_state = (handle, ack_handle)
+        if req.on_complete is not None:
+            # a bsend shadow: nobody will wait on it, so watch the handle
+            self.sim.process(self._shadow_watcher(req, handle), name="mpich-bsend-watch")
+
+    def _shadow_watcher(self, req: Request, handle: TPortHandle):
+        yield handle.done.wait()
+        req._complete(Status(tag=req.tag, count_bytes=req.count))
+
+    # ---------------------------------------------------------------- receives
+    def start_recv(self, req: Request):
+        cfg = self.config
+        yield from self.node.cpu.execute(cfg.recv_overhead)
+        sender = (
+            ANY_SENDER if req.peer == ANY_SOURCE else req.comm.world_rank(req.peer)
+        )
+        if req.tag == ANY_TAG:
+            word = encode_tag(req.comm.context_id, 0, chan=0)
+            mask = MASK_CHAN
+        else:
+            chan = 2 if req.tag >= INTERNAL_TAG_BASE else 0
+            word = encode_tag(req.comm.context_id, req.tag, chan=chan)
+            mask = MASK_EXACT
+        yield from self.node.cpu.execute(self.node.params.txn_issue)
+        handle = self.tport.irecv(word, sender=sender, mask=mask)
+        req._device_state = (handle, None)
+
+    # ------------------------------------------------------------------- wait
+    def wait(self, reqs: Sequence[Request], mode: str = "all"):
+        if mode == "all":
+            for req in reqs:
+                yield from self._finalize(req)
+                req.raise_if_failed()
+            return
+        if mode != "any":
+            raise MPIError(f"wait mode must be 'all' or 'any', got {mode!r}")
+        # waitany: race the primary events, then finalize the winner
+        if any(r.complete for r in reqs):
+            return
+        waits = {}
+        for req in reqs:
+            handle, _ack = req._device_state
+            if not handle.complete:
+                waits[req] = handle.done.wait()
+        if waits:
+            yield self.sim.any_of(list(waits.values()))
+            for req, ev in waits.items():
+                if not ev.processed:
+                    handle, _ack = req._device_state
+                    handle.done.cancel_wait(ev)
+                else:
+                    # put the consumed set back for _finalize to consume
+                    handle, _ack = req._device_state
+                    handle.done.set()
+        for req in reqs:
+            handle, _ack = req._device_state
+            if handle.complete:
+                yield from self._finalize(req)
+                req.raise_if_failed()
+                return
+
+    def test(self, req: Request):
+        handle, ack = req._device_state if req._device_state else (None, None)
+        if req.complete:
+            req.raise_if_failed()
+            return True
+        if handle is not None and handle.complete and (ack is None or ack.complete):
+            yield from self._finalize(req)
+            req.raise_if_failed()
+            return True
+        yield self.sim.timeout(0)
+        return False
+
+    def _finalize(self, req: Request):
+        """Drive a request to completion via its tport handle(s)."""
+        if req.complete:
+            return
+        handle, ack_handle = req._device_state
+        yield from self.tport.twait(handle)
+        if req.kind == "send":
+            if ack_handle is not None:
+                yield from self.tport.twait(ack_handle)
+            req._complete(Status(tag=req.tag, count_bytes=handle.nbytes))
+            return
+        # receive: decode, strip any sync cookie, ack, unpack
+        yield from self._finish_recv(req, handle)
+
+    def _finish_recv(self, req: Request, handle: TPortHandle):
+        p = self.node.params
+        context, _chan, field, flags = decode_tag(handle.tag)
+        data = handle.data
+        if flags & FLAG_SYNC:
+            cookie = int.from_bytes(data[:_COOKIE_BYTES], "little")
+            data = data[_COOKIE_BYTES:]
+            ack_tag = encode_tag(context, cookie, chan=1)
+            yield from self.node.cpu.execute(p.txn_issue)
+            self.tport.isend(handle.src, ack_tag, b"")
+        src_comm_rank = req.comm.group.rank_of(handle.src)
+        status = Status(source=src_comm_rank, tag=field, count_bytes=len(data))
+        capacity = float("inf") if req.buf is None else req.datatype.size * req.count
+        if len(data) > capacity:
+            req._fail(TruncationError(f"{len(data)} bytes into a {capacity}-byte receive"))
+            return
+        if req.buf is None:
+            req.data = data
+        else:
+            count = len(data) // req.datatype.size if req.datatype.size else 0
+            req.datatype.unpack(data, req.buf, count)
+        req._complete(status)
+
+    # ------------------------------------------------------------------ probe
+    def iprobe(self, source: int, tag: int, comm):
+        """Nonblocking probe: ask the Elan to scan the unexpected queue."""
+        p = self.node.params
+        yield from self.node.cpu.execute(p.sparc_call + p.txn_issue)
+        sender = ANY_SENDER if source == ANY_SOURCE else comm.world_rank(source)
+        found = yield from self._tport_probe(sender, tag, comm.context_id)
+        if found is None:
+            return None
+        src_world, word, nbytes = found
+        _ctx, _chan, field, flags = decode_tag(word)
+        if flags & FLAG_SYNC:
+            nbytes -= _COOKIE_BYTES
+        return Status(source=comm.group.rank_of(src_world), tag=field, count_bytes=nbytes)
+
+    def _tport_probe(self, sender: int, tag: int, context: int):
+        """Generator -> Optional[(src_world, tag_word, nbytes)]."""
+        if tag == ANY_TAG:
+            word = encode_tag(context, 0, chan=0)
+            mask = MASK_CHAN
+        else:
+            word = encode_tag(context, tag, chan=2 if tag >= INTERNAL_TAG_BASE else 0)
+            mask = MASK_EXACT
+        node = self.node
+        port = self.tport
+        holder = {}
+        done = node.event("tprobe")
+
+        def scan():
+            p = node.params
+
+            def gen():
+                for arrival in port.unexpected:
+                    yield from node.elan.execute(p.elan_match)
+                    src_ok = sender == ANY_SENDER or sender == arrival.src
+                    if src_ok and (arrival.tag & mask) == (word & mask):
+                        holder["hit"] = (arrival.src, arrival.tag, arrival.nbytes)
+                        break
+                done.set()
+
+            return gen()
+
+        from repro.hw.meiko.node import ElanCallCommand
+
+        node.issue(ElanCallCommand(scan, debug="tport-probe"))
+        yield done.wait()
+        yield from node.cpu.execute(node.params.sparc_elan_sync)
+        return holder.get("hit")
+
+    def cancel_recv(self, req: Request):
+        """Generator -> bool: withdraw the tport receive descriptor."""
+        if req.complete:
+            return False
+        handle, _ack = req._device_state
+        if handle.complete:
+            return False
+        ok = yield from self.tport.tcancel(handle)
+        if ok:
+            status = Status()
+            status.cancelled = True
+            req._complete(status)
+        return ok
+
+    def probe(self, source: int, tag: int, comm):
+        """Blocking probe: poll the Elan until a match appears."""
+        while True:
+            status = yield from self.iprobe(source, tag, comm)
+            if status is not None:
+                return status
+            yield self.sim.timeout(self.config.probe_interval)
+
+    def _progress(self, block: bool):
+        """MPICH progresses on the Elan; the SPARC has nothing to pump."""
+        yield self.sim.timeout(self.config.probe_interval if block else 0)
+        return False

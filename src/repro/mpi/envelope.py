@@ -1,0 +1,62 @@
+"""Message envelopes: the matching key that travels ahead of the data.
+
+The paper's protocol sends a small envelope with (or before) every
+message; the receiver matches envelopes against posted receives.  The
+wire representation is 25 bytes in the TCP device (1 type byte + 4
+credit bytes + 20 envelope/DMA-request bytes, Table 1) and rides the
+first words of the remote-transaction slot on the Meiko.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.mpi.constants import MODE_STANDARD
+
+__all__ = ["Envelope", "ENVELOPE_WIRE_BYTES"]
+
+#: envelope bytes on the wire (paper, Table 1: 20 envelope/DMA-request
+#: bytes; we account the 1 type byte and 4 credit bytes separately in
+#: the TCP device)
+ENVELOPE_WIRE_BYTES = 20
+
+
+@dataclass
+class Envelope:
+    """Matching key + protocol metadata for one message."""
+
+    #: sender's rank within the communicator
+    src: int
+    #: user tag
+    tag: int
+    #: communicator context id
+    context: int
+    #: payload length in bytes
+    nbytes: int
+    #: send mode (standard/buffered/synchronous/ready)
+    mode: str = MODE_STANDARD
+    #: per-(sender, context) sequence number — makes non-overtaking testable
+    seq: int = 0
+    #: protocol cookie for rendezvous (identifies the sender-side send)
+    cookie: Optional[int] = None
+    #: device-specific extra (e.g. sender world rank)
+    extra: Any = field(default=None, repr=False)
+
+    def matches(self, source: int, tag: int, context: int, any_source: int, any_tag: int) -> bool:
+        """Does this envelope satisfy a receive for (source, tag, context)?
+
+        A wildcard tag never matches the library's internal (collective)
+        tags — user receives must not steal collective traffic.
+        """
+        from repro.mpi.constants import INTERNAL_TAG_BASE
+
+        if context != self.context:
+            return False
+        if source != any_source and source != self.src:
+            return False
+        if tag != any_tag and tag != self.tag:
+            return False
+        if tag == any_tag and self.tag >= INTERNAL_TAG_BASE:
+            return False
+        return True

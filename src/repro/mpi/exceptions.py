@@ -1,0 +1,47 @@
+"""MPI error classes.
+
+The paper (following Burns & Daoud, "Robust MPI Message Delivery with
+Guaranteed Resources") points out that MPI's delivery guarantees can be
+unrealizable with finite envelope resources; :class:`ResourceExhausted`
+is how our implementation reports that overflow instead of deadlocking.
+"""
+
+from repro.errors import ReproError
+
+__all__ = [
+    "MPIError",
+    "TruncationError",
+    "BufferError_",
+    "ReadyModeError",
+    "ResourceExhausted",
+    "CommunicatorError",
+    "DatatypeError",
+]
+
+
+class MPIError(ReproError):
+    """Base class of all MPI-level errors (MPI_ERR_*)."""
+
+
+class TruncationError(MPIError):
+    """Message longer than the posted receive buffer (MPI_ERR_TRUNCATE)."""
+
+
+class BufferError_(MPIError):
+    """Buffered send without sufficient attached buffer (MPI_ERR_BUFFER)."""
+
+
+class ReadyModeError(MPIError):
+    """Ready-mode send arrived before the matching receive was posted."""
+
+
+class ResourceExhausted(MPIError):
+    """Envelope/unexpected-message resources exhausted (overflow report)."""
+
+
+class CommunicatorError(MPIError):
+    """Invalid rank, communicator, or group operation (MPI_ERR_COMM/RANK)."""
+
+
+class DatatypeError(MPIError):
+    """Invalid datatype construction or buffer mismatch (MPI_ERR_TYPE)."""

@@ -1,0 +1,93 @@
+"""Process groups (MPI_Group): ordered sets of world ranks."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.mpi.constants import UNDEFINED
+from repro.mpi.exceptions import CommunicatorError
+
+__all__ = ["Group"]
+
+
+class Group:
+    """An immutable ordered set of distinct world ranks.
+
+    Rank *i* of the group is the process with world rank
+    ``group.world_ranks[i]``.
+    """
+
+    __slots__ = ("world_ranks", "_index")
+
+    def __init__(self, world_ranks: Sequence[int]):
+        ranks = tuple(int(r) for r in world_ranks)
+        if len(set(ranks)) != len(ranks):
+            raise CommunicatorError(f"duplicate ranks in group: {ranks}")
+        if any(r < 0 for r in ranks):
+            raise CommunicatorError(f"negative world rank in group: {ranks}")
+        self.world_ranks: Tuple[int, ...] = ranks
+        self._index = {wr: i for i, wr in enumerate(ranks)}
+
+    @property
+    def size(self) -> int:
+        return len(self.world_ranks)
+
+    def rank_of(self, world_rank: int) -> int:
+        """Group rank of a world rank (UNDEFINED if not a member)."""
+        return self._index.get(world_rank, UNDEFINED)
+
+    def world_rank(self, group_rank: int) -> int:
+        """World rank of a group rank."""
+        if not (0 <= group_rank < self.size):
+            raise CommunicatorError(f"group rank {group_rank} out of range [0, {self.size})")
+        return self.world_ranks[group_rank]
+
+    def contains(self, world_rank: int) -> bool:
+        return world_rank in self._index
+
+    # -- set algebra (MPI_Group_union / intersection / difference) ----------
+    def union(self, other: "Group") -> "Group":
+        """Members of self, then members of other not in self (MPI order)."""
+        extra = [r for r in other.world_ranks if r not in self._index]
+        return Group(self.world_ranks + tuple(extra))
+
+    def intersection(self, other: "Group") -> "Group":
+        return Group([r for r in self.world_ranks if other.contains(r)])
+
+    def difference(self, other: "Group") -> "Group":
+        return Group([r for r in self.world_ranks if not other.contains(r)])
+
+    # -- subsetting (MPI_Group_incl / excl / range_incl) ---------------------
+    def include(self, group_ranks: Iterable[int]) -> "Group":
+        return Group([self.world_rank(r) for r in group_ranks])
+
+    def exclude(self, group_ranks: Iterable[int]) -> "Group":
+        excl = set(group_ranks)
+        for r in excl:
+            if not (0 <= r < self.size):
+                raise CommunicatorError(f"exclude rank {r} out of range")
+        return Group([wr for i, wr in enumerate(self.world_ranks) if i not in excl])
+
+    def range_include(self, ranges: Iterable[Tuple[int, int, int]]) -> "Group":
+        """MPI_Group_range_incl: each triple is (first, last, stride)."""
+        out: List[int] = []
+        for first, last, stride in ranges:
+            if stride == 0:
+                raise CommunicatorError("zero stride in range_include")
+            stop = last + (1 if stride > 0 else -1)
+            out.extend(self.world_rank(i) for i in range(first, stop, stride))
+        return Group(out)
+
+    # -- comparison -----------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Group) and self.world_ranks == other.world_ranks
+
+    def __hash__(self) -> int:
+        return hash(self.world_ranks)
+
+    def similar(self, other: "Group") -> bool:
+        """Same members, possibly different order (MPI_SIMILAR)."""
+        return set(self.world_ranks) == set(other.world_ranks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Group {self.world_ranks}>"

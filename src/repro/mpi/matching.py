@@ -1,0 +1,123 @@
+"""The receive-side matching engine: posted and unexpected queues.
+
+MPI matching semantics, as exercised by the paper:
+
+* a receive names (source | ANY_SOURCE, tag | ANY_TAG, communicator);
+* messages of one (sender, communicator) pair are matched in send order
+  (non-overtaking);
+* matching scans the queues in FIFO order, which — combined with
+  in-order envelope delivery per sender — yields the required
+  semantics;
+* unexpected-queue capacity is finite; exceeding it raises
+  :class:`ResourceExhausted` (the Burns & Daoud overflow report)
+  rather than silently dropping envelopes.
+
+The engine is transport-agnostic: it is shared by the low-latency Meiko
+device and the TCP/UDP devices (all of which match on the main
+processor).  The MPICH device instead delegates matching to the
+Elan-side tport widget.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Optional, Tuple
+
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG
+from repro.mpi.envelope import Envelope
+from repro.mpi.exceptions import ResourceExhausted
+from repro.mpi.request import Request
+
+__all__ = ["Arrival", "MatchQueues"]
+
+
+@dataclass
+class Arrival:
+    """An envelope (plus any eager payload) awaiting a matching receive."""
+
+    envelope: Envelope
+    #: eager payload bytes; None for a rendezvous envelope (data follows
+    #: only after the match, via the device's claim hook)
+    data: Optional[bytes] = None
+    #: device hook used to fetch rendezvous data once matched
+    claim: Any = None
+
+
+class MatchQueues:
+    """Posted-receive and unexpected-message queues for one endpoint."""
+
+    def __init__(self, max_unexpected: int = 4096):
+        self.posted: Deque[Request] = deque()
+        self.unexpected: Deque[Arrival] = deque()
+        self.max_unexpected = max_unexpected
+        #: totals for diagnostics/tests
+        self.total_arrivals = 0
+        self.total_posts = 0
+
+    # -- matching rules -----------------------------------------------------
+    @staticmethod
+    def _request_accepts(req: Request, env: Envelope) -> bool:
+        return env.matches(
+            source=req.peer,
+            tag=req.tag,
+            context=req.comm.context_id,
+            any_source=ANY_SOURCE,
+            any_tag=ANY_TAG,
+        )
+
+    # -- operations ---------------------------------------------------------
+    def post(self, req: Request) -> Tuple[Optional[Arrival], int]:
+        """Post a receive; returns (matched arrival or None, comparisons).
+
+        On a match the arrival is consumed; otherwise the request joins
+        the posted queue.
+        """
+        self.total_posts += 1
+        comparisons = 0
+        for arrival in self.unexpected:
+            comparisons += 1
+            if self._request_accepts(req, arrival.envelope):
+                self.unexpected.remove(arrival)
+                return arrival, comparisons
+        self.posted.append(req)
+        return None, comparisons
+
+    def arrive(self, arrival: Arrival) -> Tuple[Optional[Request], int]:
+        """Deliver an envelope; returns (matched request or None, comparisons).
+
+        On a match the posted request is consumed; otherwise the arrival
+        joins the unexpected queue (subject to the resource limit).
+        """
+        self.total_arrivals += 1
+        comparisons = 0
+        for req in self.posted:
+            comparisons += 1
+            if self._request_accepts(req, arrival.envelope):
+                self.posted.remove(req)
+                return req, comparisons
+        if len(self.unexpected) >= self.max_unexpected:
+            raise ResourceExhausted(
+                f"unexpected-message queue overflow (limit {self.max_unexpected}); "
+                f"offending envelope: {arrival.envelope}"
+            )
+        self.unexpected.append(arrival)
+        return None, comparisons
+
+    def probe(self, source: int, tag: int, context: int) -> Optional[Arrival]:
+        """First unexpected arrival matching (source, tag, context), not consumed."""
+        for arrival in self.unexpected:
+            if arrival.envelope.matches(source, tag, context, ANY_SOURCE, ANY_TAG):
+                return arrival
+        return None
+
+    def cancel_post(self, req: Request) -> bool:
+        """Remove a posted receive (True if it was still queued)."""
+        try:
+            self.posted.remove(req)
+            return True
+        except ValueError:
+            return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MatchQueues posted={len(self.posted)} unexpected={len(self.unexpected)}>"

@@ -1,0 +1,80 @@
+"""Persistent communication requests (MPI_Send_init / MPI_Recv_init).
+
+A persistent request captures the arguments of a send or receive once;
+``start`` launches one instance of the operation, completion returns
+the handle to the *inactive* state, and it can be started again — the
+classic way to amortize request setup in iterative codes (exactly the
+ring exchange of the paper's n-body application).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.mpi.constants import MODE_STANDARD
+from repro.mpi.exceptions import MPIError
+from repro.mpi.request import Request
+from repro.mpi.status import Status
+
+__all__ = ["PersistentRequest"]
+
+
+class PersistentRequest:
+    """An inactive/startable operation template."""
+
+    __slots__ = ("comm", "kind", "buf", "count", "datatype", "peer", "tag", "mode", "inner")
+
+    def __init__(self, comm, kind, buf, count, datatype, peer, tag, mode=MODE_STANDARD):
+        self.comm = comm
+        self.kind = kind  # "send" | "recv"
+        self.buf = buf
+        self.count = count
+        self.datatype = datatype
+        self.peer = peer
+        self.tag = tag
+        self.mode = mode
+        #: the in-flight Request while active, else None
+        self.inner: Optional[Request] = None
+
+    @property
+    def active(self) -> bool:
+        return self.inner is not None and not self.inner.complete
+
+    @property
+    def complete(self) -> bool:
+        """Inactive handles count as complete (MPI: wait returns at once)."""
+        return self.inner is None or self.inner.complete
+
+    @property
+    def status(self) -> Optional[Status]:
+        return self.inner.status if self.inner is not None else Status()
+
+    @property
+    def data(self):
+        return self.inner.data if self.inner is not None else None
+
+    def raise_if_failed(self) -> None:
+        if self.inner is not None:
+            self.inner.raise_if_failed()
+
+    def start(self):
+        """Generator: launch one instance of the operation (MPI_Start)."""
+        if self.active:
+            raise MPIError("MPI_Start on an already-active persistent request")
+        if self.kind == "send":
+            self.inner = yield from self.comm.isend(
+                self.buf, self.peer, self.tag, self.count, self.datatype, self.mode
+            )
+        else:
+            self.inner = yield from self.comm.irecv(
+                self.peer, self.tag, self.buf, self.count, self.datatype
+            )
+        return self
+
+    def _reset(self) -> None:
+        """Return to the inactive state after completion (called by wait)."""
+        self.inner = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "active" if self.active else "inactive"
+        return f"<PersistentRequest {self.kind} peer={self.peer} tag={self.tag} {state}>"

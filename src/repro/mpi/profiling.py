@@ -1,0 +1,146 @@
+"""Profiling layer: per-communicator MPI statistics.
+
+Wraps a communicator à la the MPI profiling interface (PMPI): every
+call is counted, bytes are tallied, and simulated time spent inside MPI
+is accumulated — without touching the wrapped communicator or devices.
+
+>>> pcomm = profile(comm)
+>>> yield from pcomm.send(buf, dest=1)
+>>> pcomm.stats.calls["send"], pcomm.stats.bytes_sent
+(1, 1024)
+"""
+
+from __future__ import annotations
+
+import functools
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["MpiStats", "ProfiledCommunicator", "profile"]
+
+#: generator methods whose time/calls are recorded
+_TRACKED = (
+    "send", "bsend", "ssend", "rsend", "recv",
+    "isend", "irecv", "issend", "ibsend", "irsend",
+    "wait", "test", "waitall", "waitany", "waitsome", "testall", "testany",
+    "probe", "iprobe", "sendrecv", "sendrecv_replace",
+    "bcast", "barrier", "reduce", "allreduce", "scan", "exscan",
+    "reduce_scatter", "gather", "scatter", "allgather", "alltoall",
+    "start", "startall", "cancel",
+)
+
+_SEND_CALLS = {
+    "send", "bsend", "ssend", "rsend", "isend", "issend", "ibsend", "irsend",
+    "sendrecv", "sendrecv_replace",
+}
+_RECV_CALLS = {"recv", "irecv", "sendrecv"}
+
+
+def _nbytes(buf) -> int:
+    if buf is None:
+        return 0
+    if isinstance(buf, np.ndarray):
+        return buf.nbytes
+    try:
+        return len(buf)
+    except TypeError:
+        return 0
+
+
+@dataclass
+class MpiStats:
+    """Accumulated statistics of one profiled communicator."""
+
+    calls: Counter = field(default_factory=Counter)
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    #: simulated µs spent inside MPI calls (blocking time included)
+    time_in_mpi: float = 0.0
+    #: per-call-name simulated µs
+    time_by_call: Dict[str, float] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        lines = [
+            f"MPI calls: {sum(self.calls.values())}, "
+            f"sent {self.bytes_sent} B, received {self.bytes_received} B, "
+            f"{self.time_in_mpi:.1f} us in MPI"
+        ]
+        for name, n in self.calls.most_common():
+            t = self.time_by_call.get(name, 0.0)
+            lines.append(f"  {name:<18} x{n:<6} {t:10.1f} us")
+        return "\n".join(lines)
+
+
+class ProfiledCommunicator:
+    """A transparent, stats-collecting communicator wrapper.
+
+    With a :class:`~repro.mpi.timeline.Timeline` attached, every call's
+    (start, end) span is recorded for Gantt rendering.
+    """
+
+    def __init__(self, comm, timeline=None):
+        self._comm = comm
+        self.stats = MpiStats()
+        self.timeline = timeline
+
+    def __getattr__(self, name):
+        attr = getattr(self._comm, name)
+        if name not in _TRACKED or not callable(attr):
+            return attr
+        stats = self.stats
+        comm = self._comm
+        timeline = self.timeline
+
+        @functools.wraps(attr)
+        def wrapper(*args, **kwargs):
+            stats.calls[name] += 1
+            if name in _SEND_CALLS:
+                buf = args[0] if args else kwargs.get("buf")
+                stats.bytes_sent += _nbytes(buf)
+            t0 = comm.wtime()
+            result = yield from attr(*args, **kwargs)
+            t1 = comm.wtime()
+            dt = t1 - t0
+            stats.time_in_mpi += dt
+            stats.time_by_call[name] = stats.time_by_call.get(name, 0.0) + dt
+            if timeline is not None:
+                timeline.record(comm.rank, name, t0, t1)
+            if name in _RECV_CALLS and isinstance(result, tuple) and len(result) == 2:
+                status = result[1]
+                if status is not None and getattr(status, "count_bytes", 0) > 0:
+                    stats.bytes_received += status.count_bytes
+            return result
+
+        return wrapper
+
+    # a few non-generator pass-throughs that __getattr__ would wrap wrongly
+    @property
+    def rank(self):
+        return self._comm.rank
+
+    @property
+    def size(self):
+        return self._comm.size
+
+    @property
+    def endpoint(self):
+        return self._comm.endpoint
+
+    @property
+    def group(self):
+        return self._comm.group
+
+    @property
+    def context_id(self):
+        return self._comm.context_id
+
+    def wtime(self):
+        return self._comm.wtime()
+
+
+def profile(comm, timeline=None) -> ProfiledCommunicator:
+    """Wrap *comm* for statistics collection (and optionally a Timeline)."""
+    return ProfiledCommunicator(comm, timeline=timeline)

@@ -1,0 +1,95 @@
+"""Nonblocking operation handles (MPI_Request)."""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.mpi.constants import MODE_STANDARD
+from repro.mpi.status import Status
+
+__all__ = ["Request"]
+
+
+class Request:
+    """Handle for a pending nonblocking send or receive.
+
+    Completion is driven by the device: :meth:`_complete` (or
+    :meth:`_fail`) flips the handle; waiting ranks observe it from their
+    progress loop (SPARC-side matching means progress happens inside MPI
+    calls — see the paper's Section 4.1 discussion).
+    """
+
+    _next_id = 0
+
+    __slots__ = (
+        "id",
+        "kind",
+        "comm",
+        "buf",
+        "count",
+        "datatype",
+        "peer",
+        "tag",
+        "mode",
+        "complete",
+        "status",
+        "error",
+        "data",
+        "_device_state",
+        "on_complete",
+    )
+
+    def __init__(
+        self,
+        kind: str,
+        comm,
+        buf,
+        count: int,
+        datatype,
+        peer: int,
+        tag: int,
+        mode: str = MODE_STANDARD,
+    ):
+        Request._next_id += 1
+        self.id = Request._next_id
+        self.kind = kind  # "send" | "recv"
+        self.comm = comm
+        self.buf = buf
+        self.count = count
+        self.datatype = datatype
+        self.peer = peer  # dest for sends, source (may be ANY_SOURCE) for recvs
+        self.tag = tag
+        self.mode = mode
+        self.complete = False
+        self.status: Optional[Status] = None
+        self.error: Optional[BaseException] = None
+        #: for buffer-less receives: the raw received bytes
+        self.data: Optional[bytes] = None
+        #: scratch slot for the device (protocol state)
+        self._device_state: Any = None
+        #: optional callback invoked once on completion (success or failure)
+        self.on_complete = None
+
+    def _complete(self, status: Optional[Status] = None) -> None:
+        if self.complete:
+            raise RuntimeError(f"request {self.id} completed twice")
+        self.complete = True
+        self.status = status if status is not None else Status()
+        if self.on_complete is not None:
+            self.on_complete()
+
+    def _fail(self, error: BaseException) -> None:
+        if self.complete:
+            raise RuntimeError(f"request {self.id} completed twice")
+        self.complete = True
+        self.error = error
+        if self.on_complete is not None:
+            self.on_complete()
+
+    def raise_if_failed(self) -> None:
+        if self.error is not None:
+            raise self.error
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.complete else "pending"
+        return f"<Request #{self.id} {self.kind} peer={self.peer} tag={self.tag} {state}>"

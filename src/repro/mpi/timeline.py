@@ -1,0 +1,95 @@
+"""Execution timelines: who was inside MPI when.
+
+A :class:`Timeline` collects (rank, call, start, end) spans from
+profiled communicators and renders them as an ASCII Gantt chart —
+rank per row, ``#`` where the rank sat inside an MPI call, ``.`` where
+it computed.  The classic way to *see* load imbalance and
+communication phases::
+
+    tl = Timeline()
+
+    def main(comm):
+        pcomm = profile(comm, timeline=tl)
+        ...
+
+    print(tl.render())
+
+    rank 0 |####....####....####|
+    rank 1 |..####....####....##|
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["Span", "Timeline"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One MPI call's occupancy on one rank."""
+
+    rank: int
+    call: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Timeline:
+    """Collects spans and renders a per-rank occupancy chart."""
+
+    def __init__(self):
+        self.spans: List[Span] = []
+
+    def record(self, rank: int, call: str, start: float, end: float) -> None:
+        if end < start:
+            raise ValueError(f"span ends before it starts: {start}..{end}")
+        self.spans.append(Span(rank, call, start, end))
+
+    # -- analysis ------------------------------------------------------------
+    def ranks(self) -> List[int]:
+        return sorted({s.rank for s in self.spans})
+
+    def mpi_time(self, rank: int) -> float:
+        """Total µs rank spent inside MPI (span overlap not merged —
+        spans from one rank's nested calls do not occur: calls are
+        sequential within a rank)."""
+        return sum(s.duration for s in self.spans if s.rank == rank)
+
+    def busiest_call(self, rank: int) -> Optional[str]:
+        totals: Dict[str, float] = {}
+        for s in self.spans:
+            if s.rank == rank:
+                totals[s.call] = totals.get(s.call, 0.0) + s.duration
+        if not totals:
+            return None
+        return max(totals, key=totals.get)
+
+    # -- rendering -------------------------------------------------------------
+    def render(self, width: int = 72, t0: Optional[float] = None,
+               t1: Optional[float] = None) -> str:
+        """ASCII Gantt: ``#`` inside MPI, ``.`` outside."""
+        if not self.spans:
+            return "(no spans recorded)"
+        lo = min(s.start for s in self.spans) if t0 is None else t0
+        hi = max(s.end for s in self.spans) if t1 is None else t1
+        span = (hi - lo) or 1.0
+        lines = []
+        for rank in self.ranks():
+            row = ["."] * width
+            for s in self.spans:
+                if s.rank != rank:
+                    continue
+                a = int((max(s.start, lo) - lo) / span * (width - 1))
+                b = int((min(s.end, hi) - lo) / span * (width - 1))
+                for i in range(max(0, a), min(width, b + 1)):
+                    row[i] = "#"
+            pct = 100.0 * self.mpi_time(rank) / span
+            lines.append(f"rank {rank:>2} |{''.join(row)}| {pct:5.1f}% in MPI")
+        lines.append(f"        {lo:.1f} us".ljust(width // 2) + f"{hi:.1f} us".rjust(width // 2))
+        return "\n".join(lines)

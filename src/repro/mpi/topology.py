@@ -1,0 +1,185 @@
+"""Virtual topologies: Cartesian communicators (MPI_Cart_*).
+
+The MPI standard section the paper summarizes includes "process group
+management and virtual topology management"; this module provides the
+Cartesian part: grid creation (`create_cart`), coordinate/rank
+translation, neighbour shifts for halo exchanges, and sub-grid
+partitioning — all built on the portable communicator layer, so they
+work on every device.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.mpi.communicator import Communicator
+from repro.mpi.constants import PROC_NULL
+from repro.mpi.exceptions import CommunicatorError
+from repro.mpi.group import Group
+
+__all__ = ["dims_create", "CartComm", "create_cart"]
+
+
+def dims_create(nnodes: int, ndims: int, dims: Optional[Sequence[int]] = None) -> List[int]:
+    """MPI_Dims_create: factor *nnodes* into *ndims* balanced dimensions.
+
+    Entries of *dims* that are nonzero are fixed; zeros are filled in,
+    most-balanced-first (larger factors in earlier free slots).
+    """
+    out = [0] * ndims if dims is None else list(dims)
+    if len(out) != ndims:
+        raise CommunicatorError(f"dims has {len(out)} entries for ndims={ndims}")
+    fixed = 1
+    for d in out:
+        if d < 0:
+            raise CommunicatorError(f"negative dimension {d}")
+        fixed *= max(1, d)
+    free = [i for i, d in enumerate(out) if d == 0]
+    if not free:
+        if fixed != nnodes:
+            raise CommunicatorError(f"dims product {fixed} != nnodes {nnodes}")
+        return out
+    if nnodes % fixed:
+        raise CommunicatorError(f"nnodes {nnodes} not divisible by fixed dims {fixed}")
+    remaining = nnodes // fixed
+    # greedy balanced factorization
+    sizes = [1] * len(free)
+    n = remaining
+    factors = []
+    f = 2
+    while f * f <= n:
+        while n % f == 0:
+            factors.append(f)
+            n //= f
+        f += 1
+    if n > 1:
+        factors.append(n)
+    for factor in sorted(factors, reverse=True):
+        smallest = min(range(len(sizes)), key=lambda i: sizes[i])
+        sizes[smallest] *= factor
+    for slot, size in zip(free, sorted(sizes, reverse=True)):
+        out[slot] = size
+    return out
+
+
+class CartComm(Communicator):
+    """A communicator with Cartesian structure."""
+
+    def __init__(self, world, group: Group, context_id: int, endpoint,
+                 dims: Sequence[int], periods: Sequence[bool]):
+        super().__init__(world, group, context_id, endpoint)
+        self.dims: Tuple[int, ...] = tuple(int(d) for d in dims)
+        self.periods: Tuple[bool, ...] = tuple(bool(p) for p in periods)
+        if len(self.dims) != len(self.periods):
+            raise CommunicatorError("dims and periods must have equal length")
+        total = 1
+        for d in self.dims:
+            total *= d
+        if total != self.size:
+            raise CommunicatorError(
+                f"grid {self.dims} has {total} cells for {self.size} ranks"
+            )
+
+    @property
+    def ndims(self) -> int:
+        return len(self.dims)
+
+    # -- coordinate translation (row-major, like MPI) ------------------------
+    def coords(self, rank: Optional[int] = None) -> Tuple[int, ...]:
+        """MPI_Cart_coords: grid coordinates of *rank* (default: self)."""
+        r = self.rank if rank is None else rank
+        self._check_rank(r, "rank")
+        out = []
+        for d in reversed(self.dims):
+            out.append(r % d)
+            r //= d
+        return tuple(reversed(out))
+
+    def cart_rank(self, coords: Sequence[int]) -> int:
+        """MPI_Cart_rank: rank at *coords* (periodic dims wrap)."""
+        if len(coords) != self.ndims:
+            raise CommunicatorError(f"{len(coords)} coords for {self.ndims} dims")
+        rank = 0
+        for c, d, periodic in zip(coords, self.dims, self.periods):
+            if periodic:
+                c %= d
+            elif not (0 <= c < d):
+                raise CommunicatorError(f"coordinate {c} outside non-periodic dim of size {d}")
+            rank = rank * d + c
+        return rank
+
+    def shift(self, direction: int, disp: int = 1) -> Tuple[int, int]:
+        """MPI_Cart_shift -> (source, dest) ranks for a *disp* step along
+        *direction* (PROC_NULL at non-periodic edges)."""
+        if not (0 <= direction < self.ndims):
+            raise CommunicatorError(f"direction {direction} outside {self.ndims} dims")
+        me = list(self.coords())
+
+        def neighbour(step: int) -> int:
+            c = list(me)
+            c[direction] += step
+            d = self.dims[direction]
+            if self.periods[direction]:
+                c[direction] %= d
+            elif not (0 <= c[direction] < d):
+                return PROC_NULL
+            return self.cart_rank(c)
+
+        return neighbour(-disp), neighbour(disp)
+
+    def neighbors(self) -> List[int]:
+        """The ±1 neighbours along each dimension (PROC_NULL at edges)."""
+        out = []
+        for d in range(self.ndims):
+            src, dst = self.shift(d, 1)
+            out.extend([src, dst])
+        return out
+
+    def sub(self, remain_dims: Sequence[bool]):
+        """Generator -> CartComm: MPI_Cart_sub — keep the dimensions
+        flagged in *remain_dims*, splitting into one grid per slice."""
+        if len(remain_dims) != self.ndims:
+            raise CommunicatorError("remain_dims length mismatch")
+        me = self.coords()
+        # color = the dropped coordinates; key = rank within the kept grid
+        color = 0
+        for c, d, keep in zip(me, self.dims, remain_dims):
+            if not keep:
+                color = color * d + c
+        sub_comm = yield from self.split(color, key=self.rank)
+        new_dims = [d for d, keep in zip(self.dims, remain_dims) if keep]
+        new_periods = [p for p, keep in zip(self.periods, remain_dims) if keep]
+        if not new_dims:
+            new_dims, new_periods = [1], [False]
+        return CartComm(
+            sub_comm.world, sub_comm.group, sub_comm.context_id, sub_comm.endpoint,
+            new_dims, new_periods,
+        )
+
+
+def create_cart(
+    comm: Communicator,
+    dims: Sequence[int],
+    periods: Optional[Sequence[bool]] = None,
+):
+    """Generator -> Optional[CartComm]: MPI_Cart_create (collective).
+
+    Ranks beyond the grid size get None (like MPI_COMM_NULL).  The grid
+    uses ranks 0..prod(dims)-1 of *comm* in order (no reordering — the
+    simulated fabrics are distance-uniform enough that reordering buys
+    nothing, which we document rather than pretend).
+    """
+    dims = list(dims)
+    total = 1
+    for d in dims:
+        if d < 1:
+            raise CommunicatorError(f"dimension {d} must be >= 1")
+        total *= d
+    if total > comm.size:
+        raise CommunicatorError(f"grid {dims} needs {total} ranks; have {comm.size}")
+    periods = [False] * len(dims) if periods is None else list(periods)
+    color = 0 if comm.rank < total else None
+    sub = yield from comm.split(color, key=comm.rank)
+    if sub is None:
+        return None
+    return CartComm(sub.world, sub.group, sub.context_id, sub.endpoint, dims, periods)

@@ -1,0 +1,130 @@
+"""The World: builds a platform and runs one MPI rank per node.
+
+>>> from repro.mpi import World
+>>> def main(comm):
+...     if comm.rank == 0:
+...         yield from comm.send(b"hi", dest=1, tag=0)
+...     else:
+...         data, st = yield from comm.recv(source=0, tag=0)
+...         return bytes(data)
+>>> World(nprocs=2, platform="meiko").run(main)[1]
+b'hi'
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.mpi.communicator import Communicator
+from repro.mpi.group import Group
+from repro.platforms import build_platform
+from repro.sim import Simulator
+
+__all__ = ["World"]
+
+#: context id of MPI_COMM_WORLD
+WORLD_CONTEXT = 0
+
+
+class World:
+    """A complete MPI job on a simulated machine.
+
+    Parameters
+    ----------
+    nprocs:
+        Number of ranks (one per node/workstation).
+    platform:
+        ``"meiko"``, ``"atm"`` or ``"ethernet"``.
+    device:
+        MPI device; defaults to the platform's paper configuration
+        (``lowlatency`` on the Meiko, ``tcp`` on the clusters).
+    seed:
+        Seed for all stochastic hardware behaviour (Ethernet backoff).
+    machine_params / device_config:
+        Optional parameter-dataclass overrides for sweeps.
+    host_speeds:
+        Cluster platforms only: per-host CPU speed multipliers — the
+        paper's testbed mixes 133 MHz Indys with a faster Challenge.
+    kernel_params / drop_fn:
+        Cluster platforms only: kernel cost-model override and
+        frame/PDU loss injection (for fault testing).
+    """
+
+    def __init__(
+        self,
+        nprocs: int,
+        platform: str = "meiko",
+        device: Optional[str] = None,
+        seed: int = 0,
+        machine_params: Any = None,
+        device_config: Any = None,
+        host_speeds: Any = None,
+        kernel_params: Any = None,
+        drop_fn: Any = None,
+    ):
+        self.sim = Simulator()
+        self.nprocs = nprocs
+        self.platform = build_platform(
+            platform, device, nprocs, self.sim, seed, machine_params, device_config,
+            host_speeds, kernel_params, drop_fn,
+        )
+        self.endpoints = self.platform.endpoints
+        self.machine = self.platform.machine
+        self._contexts: Dict[Any, int] = {}
+        self._next_context = WORLD_CONTEXT + 1
+        world_group = Group(range(nprocs))
+        self.comms: List[Communicator] = [
+            Communicator(self, world_group, WORLD_CONTEXT, ep) for ep in self.endpoints
+        ]
+
+    # ----------------------------------------------------------------- setup
+    def allocate_context(self, key: Any) -> int:
+        """Deterministic collective context-id allocation.
+
+        Every member of a communicator-creating call derives the same
+        *key*, so all of them receive the same fresh id.
+        """
+        if key not in self._contexts:
+            self._contexts[key] = self._next_context
+            self._next_context += 1
+        return self._contexts[key]
+
+    def comm(self, rank: int) -> Communicator:
+        """Rank *rank*'s MPI_COMM_WORLD."""
+        return self.comms[rank]
+
+    # ------------------------------------------------------------------- run
+    def run(
+        self,
+        main: Callable,
+        *args,
+        ranks: Optional[List[int]] = None,
+        limit: float = float("inf"),
+    ) -> List[Any]:
+        """Run ``main(comm, *args)`` on every rank; return their results.
+
+        ``main`` must be a generator function.  Raises the first rank
+        failure; raises :class:`ConfigurationError` on deadlock (all
+        ranks blocked with no pending events).
+        """
+        ranks = list(range(self.nprocs)) if ranks is None else ranks
+        procs = [
+            self.sim.process(main(self.comms[r], *args), name=f"rank{r}") for r in ranks
+        ]
+        sim = self.sim
+        while not all(p.triggered for p in procs):
+            if not sim._heap:
+                stuck = [p.name for p in procs if not p.triggered]
+                raise ConfigurationError(
+                    f"deadlock: ranks {stuck} are blocked and no events are pending"
+                )
+            if sim.peek() > limit:
+                raise ConfigurationError(f"time limit {limit} µs exceeded")
+            sim.step()
+        failures = [p for p in procs if not p.ok]
+        for p in failures[1:]:
+            p.defuse()
+        if failures:
+            raise failures[0].value
+        return [p.value for p in procs]

@@ -1,0 +1,29 @@
+"""Kernel protocol stacks: IP, TCP, UDP, reliable-UDP, and the Fore API.
+
+The latency anatomy the paper measures (Table 1) lives here: every
+syscall crosses the kernel boundary at a fixed cost, every segment pays
+protocol processing on the host CPU, and the ATM path pays extra for
+its STREAMS modules — which is why Fore's direct AAL API is barely
+faster than kernel TCP (Figure 4).
+"""
+
+from repro.net.kernel import KernelParams, Kernel, ETH_KERNEL, ATM_KERNEL
+from repro.net.ip import IpLayer
+from repro.net.tcp import TcpLayer, TcpConnection
+from repro.net.udp import UdpLayer, UdpSocket
+from repro.net.rudp import RudpConnection
+from repro.net.fore import ForeApi
+
+__all__ = [
+    "KernelParams",
+    "Kernel",
+    "ETH_KERNEL",
+    "ATM_KERNEL",
+    "IpLayer",
+    "TcpLayer",
+    "TcpConnection",
+    "UdpLayer",
+    "UdpSocket",
+    "RudpConnection",
+    "ForeApi",
+]

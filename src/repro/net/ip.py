@@ -1,0 +1,120 @@
+"""IP: addressing, fragmentation, reassembly.
+
+Hosts are addressed by their small-integer host id.  Transport segments
+are Python objects; IP wraps them in :class:`IpPacket` headers, splits
+them into link-MTU-sized fragments, and reassembles at the receiver.
+A lost fragment loses the whole datagram (recovered, if at all, by the
+transport above — TCP or reliable-UDP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+from repro.errors import NetworkError
+
+__all__ = ["IP_HEADER", "IpPacket", "IpLayer"]
+
+#: IPv4 header bytes (no options)
+IP_HEADER = 20
+
+
+@dataclass
+class IpPacket:
+    """One IP packet (possibly a fragment of a larger datagram)."""
+
+    src: int
+    dst: int
+    proto: str
+    ident: int
+    offset: int
+    nbytes: int  # payload bytes in this fragment
+    total: int  # payload bytes of the whole datagram
+    payload: Any = None  # transport object; carried on the first fragment
+
+    @property
+    def more_fragments(self) -> bool:
+        return self.offset + self.nbytes < self.total
+
+
+class IpLayer:
+    """Per-host IP instance."""
+
+    def __init__(self, kernel, nic):
+        self.kernel = kernel
+        self.nic = nic
+        self.addr = nic.addr
+        self._next_ident = 0
+        #: (src, ident) -> {"got": bytes-so-far, "payload": obj or None}
+        self._partials: Dict[Tuple[int, int], dict] = {}
+        #: cap on simultaneously reassembling datagrams (oldest evicted)
+        self.max_partials = 256
+        self.datagrams_sent = 0
+        self.datagrams_delivered = 0
+        self.fragments_sent = 0
+
+    # ------------------------------------------------------------------ send
+    def send(self, dst: int, proto: str, payload: Any, nbytes: int) -> None:
+        """Transmit a datagram (fragmenting to the link MTU).  Transport
+        processing costs are charged by the caller; this only drives the
+        NIC, which transmits in the background."""
+        if nbytes < 0:
+            raise NetworkError(f"negative datagram size {nbytes}")
+        self._next_ident += 1
+        ident = self._next_ident
+        self.datagrams_sent += 1
+        max_data = self.nic.max_payload - IP_HEADER
+        if max_data <= 0:
+            raise NetworkError("link MTU smaller than the IP header")
+        offset = 0
+        first = True
+        while True:
+            frag_bytes = min(nbytes - offset, max_data)
+            pkt = IpPacket(
+                src=self.addr,
+                dst=dst,
+                proto=proto,
+                ident=ident,
+                offset=offset,
+                nbytes=frag_bytes,
+                total=nbytes,
+                payload=payload if first else None,
+            )
+            self.nic.send(dst, frag_bytes + IP_HEADER, pkt)
+            self.fragments_sent += 1
+            offset += frag_bytes
+            first = False
+            if offset >= nbytes:
+                break
+
+    # --------------------------------------------------------------- receive
+    def on_packet(self, pkt: IpPacket):
+        """Generator (kernel worker context): reassemble and dispatch."""
+        if pkt.dst != self.addr:
+            return  # not ours; a real host would drop silently
+        if pkt.offset == 0 and not pkt.more_fragments:
+            yield from self._dispatch(pkt.proto, pkt.src, pkt.payload, pkt.total)
+            return
+        key = (pkt.src, pkt.ident)
+        entry = self._partials.get(key)
+        if entry is None:
+            if len(self._partials) >= self.max_partials:
+                oldest = next(iter(self._partials))
+                del self._partials[oldest]
+            entry = self._partials[key] = {"got": 0, "payload": None}
+        entry["got"] += pkt.nbytes
+        if pkt.payload is not None:
+            entry["payload"] = pkt.payload
+        if entry["got"] >= pkt.total and entry["payload"] is not None:
+            del self._partials[key]
+            yield from self._dispatch(pkt.proto, pkt.src, entry["payload"], pkt.total)
+
+    def _dispatch(self, proto: str, src: int, payload: Any, nbytes: int):
+        self.datagrams_delivered += 1
+        if proto == "tcp":
+            yield from self.kernel.tcp.on_segment(src, payload)
+        elif proto == "udp":
+            yield from self.kernel.udp.on_datagram(src, payload)
+        else:  # pragma: no cover - defensive
+            raise NetworkError(f"unknown transport protocol {proto!r}")

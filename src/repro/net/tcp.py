@@ -1,0 +1,406 @@
+"""TCP: reliable in-order byte streams over IP.
+
+A deliberately LAN-scale TCP: three-way handshake (or pre-established
+static pairs, which is what the paper's MPI uses), MSS segmentation, a
+fixed advertised window, cumulative ACKs, out-of-order reassembly, and
+timeout retransmission.  No congestion control (single-switch LAN,
+1996) and no urgent/PSH subtleties — DESIGN.md records the
+simplifications.
+
+Cost accounting (the heart of Figures 4-6 and Table 1):
+
+* ``send()`` charges the write syscall + user→kernel copy;
+* each segment charges ``tcp_out``/``tcp_in`` + software checksum on
+  the host CPU;
+* each ``recv_exact()`` charges one read syscall + kernel→user copy —
+  the MPI device's read-type/read-envelope/read-data sequence therefore
+  pays exactly the per-read costs the paper tabulates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ConnectionClosed, NetworkError
+from repro.sim import Store
+from repro.sim.notify import Notify
+
+__all__ = ["TCP_HEADER", "TcpSegment", "TcpConnection", "TcpListener", "TcpLayer"]
+
+#: TCP header bytes (no options)
+TCP_HEADER = 20
+
+# connection states
+SYN_SENT = "syn-sent"
+SYN_RCVD = "syn-rcvd"
+ESTABLISHED = "established"
+CLOSED = "closed"
+
+
+@dataclass
+class TcpSegment:
+    sport: int
+    dport: int
+    seq: int
+    ack: int
+    data: bytes = b""
+    syn: bool = False
+    fin: bool = False
+    window: int = 65535
+
+    @property
+    def nbytes(self) -> int:
+        """Wire bytes of this segment (header + payload)."""
+        return TCP_HEADER + len(self.data)
+
+
+class TcpConnection:
+    """One endpoint of a TCP connection."""
+
+    def __init__(self, layer: "TcpLayer", local_port: int, remote_host: int, remote_port: int):
+        self.layer = layer
+        self.kernel = layer.kernel
+        self.sim = layer.kernel.sim
+        p = self.kernel.params
+        self.local_port = local_port
+        self.remote_host = remote_host
+        self.remote_port = remote_port
+        self.state = CLOSED
+        # send side
+        self.snd_una = 0
+        self.snd_nxt = 0
+        self._unsent = bytearray()
+        self._unacked = bytearray()
+        self.peer_window = p.window
+        self._send_kick = Notify(self.sim, "tcp-send")
+        self._retx_kick = Notify(self.sim, "tcp-retx")
+        self._space = Notify(self.sim, "tcp-space")
+        self._ack_version = 0
+        # receive side
+        self.rcv_nxt = 0
+        self._rcvbuf = bytearray()
+        self._ooo: Dict[int, bytes] = {}
+        self._readable = Notify(self.sim, "tcp-read")
+        self._established = Notify(self.sim, "tcp-est")
+        self.peer_closed = False
+        #: optional callback fired whenever new in-order data arrives
+        self.on_data = None
+        # delayed-ACK state: acks ride outgoing data when possible; a
+        # standalone ACK goes out after ack_delay or two segments' worth
+        self._bytes_since_ack = 0
+        self._ack_timer_armed = False
+        # fast-retransmit state: duplicate ACKs seen at snd_una
+        self._dupacks = 0
+        # statistics
+        self.segments_sent = 0
+        self.segments_received = 0
+        self.retransmissions = 0
+        self.fast_retransmissions = 0
+        self.sim.process(self._sender(), name=f"tcp-snd-{self.local_port}")
+        self.sim.process(self._retx(), name=f"tcp-rtx-{self.local_port}")
+
+    # ------------------------------------------------------------- user API
+    @property
+    def available(self) -> int:
+        """Bytes ready for reading."""
+        return len(self._rcvbuf)
+
+    def send(self, data: bytes):
+        """Generator: write *data* to the stream (blocks on buffer space)."""
+        if self.state != ESTABLISHED:
+            raise ConnectionClosed("send on a non-established connection")
+        data = bytes(data)
+        yield from self.kernel.syscall_write(len(data))
+        p = self.kernel.params
+        offset = 0
+        while offset < len(data):
+            used = len(self._unsent) + len(self._unacked)
+            if used >= p.sndbuf:
+                yield self._space.wait()
+                continue
+            take = min(p.sndbuf - used, len(data) - offset)
+            self._unsent.extend(data[offset : offset + take])
+            offset += take
+            self._send_kick.set()
+            self._retx_kick.set()
+
+    def recv_exact(self, n: int):
+        """Generator -> bytes: block until *n* bytes are readable, then
+        consume them (one read syscall)."""
+        if n < 0:
+            raise NetworkError(f"negative read size {n}")
+        while len(self._rcvbuf) < n:
+            if self.peer_closed:
+                raise ConnectionClosed(
+                    f"peer closed with {len(self._rcvbuf)} of {n} bytes buffered"
+                )
+            yield self._readable.wait()
+        yield from self.kernel.syscall_read(n)
+        out = bytes(self._rcvbuf[:n])
+        del self._rcvbuf[:n]
+        return out
+
+    def close(self) -> None:
+        """Half-close: send FIN (best-effort; see module docstring)."""
+        if self.state == ESTABLISHED:
+            self.state = CLOSED
+            self._transmit(TcpSegment(
+                self.local_port, self.remote_port, self.snd_nxt, self.rcv_nxt, fin=True
+            ))
+
+    def wait_established(self):
+        """Generator: block until the handshake completes."""
+        while self.state != ESTABLISHED:
+            yield self._established.wait()
+
+    # ------------------------------------------------------------ internals
+    def _transmit(self, seg: TcpSegment) -> None:
+        self.segments_sent += 1
+        self.kernel.ip.send(self.remote_host, "tcp", seg, seg.nbytes)
+
+    def _sender(self):
+        """Kernel sender: segments _unsent into MSS chunks under the window."""
+        p = self.kernel.params
+        mss = self.kernel.mss
+        while True:
+            yield self._send_kick.wait()
+            while self._unsent and self.state == ESTABLISHED:
+                inflight = self.snd_nxt - self.snd_una
+                room = self.peer_window - inflight
+                if room <= 0:
+                    break  # zero window: the next ACK kicks us again
+                if p.nagle and inflight > 0 and len(self._unsent) < mss:
+                    # Nagle: a sub-MSS segment waits for outstanding data
+                    # to be acknowledged (or for a full segment to form)
+                    break
+                n = min(mss, len(self._unsent), room)
+                chunk = bytes(self._unsent[:n])
+                del self._unsent[:n]
+                self._unacked.extend(chunk)
+                yield from self.kernel.charge(p.tcp_out + n * p.checksum_per_byte)
+                self._bytes_since_ack = 0  # this segment carries the ack
+                self._transmit(TcpSegment(
+                    self.local_port, self.remote_port, self.snd_nxt, self.rcv_nxt,
+                    data=chunk, window=p.window,
+                ))
+                self.snd_nxt += n
+                self._retx_kick.set()
+
+    def _retx(self):
+        """Timeout retransmission of the oldest unacked segment."""
+        p = self.kernel.params
+        while True:
+            if self.snd_una >= self.snd_nxt:
+                yield self._retx_kick.wait()
+                continue
+            version = self._ack_version
+            yield self.sim.timeout(p.rto)
+            if self._ack_version != version or self.snd_una >= self.snd_nxt:
+                continue  # progress was made
+            n = min(self.kernel.mss, len(self._unacked))
+            chunk = bytes(self._unacked[:n])
+            self.retransmissions += 1
+            yield from self.kernel.charge(p.tcp_out + n * p.checksum_per_byte)
+            self._transmit(TcpSegment(
+                self.local_port, self.remote_port, self.snd_una, self.rcv_nxt,
+                data=chunk, window=p.window,
+            ))
+
+    def _on_segment(self, seg: TcpSegment):
+        """Generator (kernel worker context)."""
+        p = self.kernel.params
+        self.segments_received += 1
+        yield from self.kernel.charge(p.tcp_in + len(seg.data) * p.checksum_per_byte)
+        # ACK processing (with fast retransmit on 3 duplicate ACKs)
+        if seg.ack > self.snd_una:
+            acked = seg.ack - self.snd_una
+            del self._unacked[:acked]
+            self.snd_una = seg.ack
+            self._ack_version += 1
+            self._dupacks = 0
+            self._space.set()
+            self._send_kick.set()
+        elif seg.ack == self.snd_una and not seg.data and self.snd_una < self.snd_nxt:
+            self._dupacks += 1
+            if self._dupacks == 3:
+                yield from self._fast_retransmit()
+        self.peer_window = seg.window
+        if seg.fin:
+            self.peer_closed = True
+            self._readable.set()
+            if self.on_data is not None:
+                self.on_data()
+        if seg.data:
+            in_order = seg.seq <= self.rcv_nxt
+            self._accept_data(seg)
+            if not in_order:
+                # out-of-order arrival: immediate duplicate ACK so the
+                # sender's fast-retransmit counter advances
+                yield from self._send_ack()
+                return
+            self._bytes_since_ack += len(seg.data)
+            if self._bytes_since_ack >= 2 * self.kernel.mss:
+                yield from self._send_ack()
+            elif not self._ack_timer_armed:
+                self._ack_timer_armed = True
+                self.sim.process(self._delayed_ack(), name="tcp-dack")
+
+    def _fast_retransmit(self):
+        """Resend the oldest unacked segment without waiting for the RTO."""
+        p = self.kernel.params
+        n = min(self.kernel.mss, len(self._unacked))
+        if n == 0:
+            return
+        chunk = bytes(self._unacked[:n])
+        self.retransmissions += 1
+        self.fast_retransmissions += 1
+        self._ack_version += 1  # restart the RTO clock
+        yield from self.kernel.charge(p.tcp_out + n * p.checksum_per_byte)
+        self._transmit(TcpSegment(
+            self.local_port, self.remote_port, self.snd_una, self.rcv_nxt,
+            data=chunk, window=p.window,
+        ))
+
+    def _send_ack(self):
+        p = self.kernel.params
+        self._bytes_since_ack = 0
+        yield from self.kernel.charge(p.ack_cost)
+        self._transmit(TcpSegment(
+            self.local_port, self.remote_port, self.snd_nxt, self.rcv_nxt, window=p.window
+        ))
+
+    def _delayed_ack(self):
+        yield self.sim.timeout(self.kernel.params.ack_delay)
+        self._ack_timer_armed = False
+        if self._bytes_since_ack > 0:
+            yield from self._send_ack()
+
+    def _accept_data(self, seg: TcpSegment) -> None:
+        seq, data = seg.seq, seg.data
+        if seq + len(data) <= self.rcv_nxt:
+            return  # pure duplicate
+        if seq > self.rcv_nxt:
+            self._ooo.setdefault(seq, data)
+            return
+        if seq < self.rcv_nxt:  # partial overlap from a retransmission
+            data = data[self.rcv_nxt - seq:]
+            seq = self.rcv_nxt
+        self._rcvbuf.extend(data)
+        self.rcv_nxt += len(data)
+        # drain any now-contiguous out-of-order segments
+        while self.rcv_nxt in self._ooo:
+            nxt = self._ooo.pop(self.rcv_nxt)
+            self._rcvbuf.extend(nxt)
+            self.rcv_nxt += len(nxt)
+        self._readable.set()
+        if self.on_data is not None:
+            self.on_data()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<TcpConnection {self.layer.kernel.host.name}:{self.local_port} -> "
+            f"host{self.remote_host}:{self.remote_port} {self.state}>"
+        )
+
+
+class TcpListener:
+    """A passive socket: accepts incoming connections on a port."""
+
+    def __init__(self, layer: "TcpLayer", port: int):
+        self.layer = layer
+        self.port = port
+        self._accepted: Store = Store(layer.kernel.sim)
+
+    def accept(self):
+        """Generator -> TcpConnection (established)."""
+        conn = yield self._accepted.get()
+        return conn
+
+
+class TcpLayer:
+    """Per-host TCP instance: demultiplexes segments to connections."""
+
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self.conns: Dict[Tuple[int, int, int], TcpConnection] = {}
+        self.listeners: Dict[int, TcpListener] = {}
+        self._next_port = 10000
+
+    def _ephemeral_port(self) -> int:
+        self._next_port += 1
+        return self._next_port
+
+    def _register(self, conn: TcpConnection) -> None:
+        key = (conn.local_port, conn.remote_host, conn.remote_port)
+        if key in self.conns:
+            raise NetworkError(f"connection {key} already exists")
+        self.conns[key] = conn
+
+    # ---------------------------------------------------------------- setup
+    def listen(self, port: int) -> TcpListener:
+        if port in self.listeners:
+            raise NetworkError(f"port {port} already listening")
+        lst = TcpListener(self, port)
+        self.listeners[port] = lst
+        return lst
+
+    def connect(self, remote_host: int, remote_port: int, local_port: Optional[int] = None):
+        """Generator -> TcpConnection: active open (3-way handshake,
+        SYN retransmitted on timeout)."""
+        p = self.kernel.params
+        conn = TcpConnection(
+            self, local_port or self._ephemeral_port(), remote_host, remote_port
+        )
+        self._register(conn)
+        conn.state = SYN_SENT
+        while conn.state != ESTABLISHED:
+            yield from self.kernel.charge(p.tcp_out)
+            conn._transmit(TcpSegment(conn.local_port, conn.remote_port, 0, 0, syn=True))
+            ev = conn._established.wait()
+            timeout = self.kernel.sim.timeout(p.rto)
+            yield self.kernel.sim.any_of([ev, timeout])
+            if not ev.processed:
+                conn._established.cancel_wait(ev)
+        return conn
+
+    @staticmethod
+    def connect_pair(kernel_a, kernel_b, port_a: int, port_b: int):
+        """Create a pre-established static connection pair (no handshake
+        traffic) — how the paper's MPI sets up its mesh."""
+        a = TcpConnection(kernel_a.tcp, port_a, kernel_b.host.hostid, port_b)
+        b = TcpConnection(kernel_b.tcp, port_b, kernel_a.host.hostid, port_a)
+        a.state = ESTABLISHED
+        b.state = ESTABLISHED
+        kernel_a.tcp._register(a)
+        kernel_b.tcp._register(b)
+        return a, b
+
+    # ------------------------------------------------------------- dispatch
+    def on_segment(self, src_host: int, seg: TcpSegment):
+        """Generator (kernel worker context)."""
+        conn = self.conns.get((seg.dport, src_host, seg.sport))
+        if conn is not None:
+            if seg.syn and conn.state == SYN_SENT:
+                # our SYN was answered (SYN+ACK)
+                conn.state = ESTABLISHED
+                conn._established.set()
+                yield from self.kernel.charge(self.kernel.params.ack_cost)
+                conn._transmit(TcpSegment(conn.local_port, conn.remote_port, 0, 0))
+                return
+            if seg.syn:
+                return  # duplicate SYN+ACK, already established
+            yield from conn._on_segment(seg)
+            return
+        if seg.syn:
+            lst = self.listeners.get(seg.dport)
+            if lst is None:
+                return  # no listener: a real stack would RST
+            conn = TcpConnection(self, seg.dport, src_host, seg.sport)
+            self._register(conn)
+            conn.state = ESTABLISHED
+            lst._accepted.put(conn)
+            yield from self.kernel.charge(self.kernel.params.tcp_out)
+            conn._transmit(TcpSegment(conn.local_port, conn.remote_port, 0, 0, syn=True))
+            return
+        # segment for an unknown connection: drop

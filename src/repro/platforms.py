@@ -1,0 +1,132 @@
+"""Platform builders: assemble a machine + MPI endpoints for a World.
+
+==========  ======================  =============================
+platform    machine                 devices
+==========  ======================  =============================
+meiko       Meiko CS/2 (fat tree)   lowlatency (default), mpich
+atm         SGI cluster + ATM       tcp (default), udp
+ethernet    SGI cluster + Ethernet  tcp (default), udp
+==========  ======================  =============================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.sim import Simulator
+
+__all__ = ["Platform", "build_platform", "DEFAULT_DEVICES"]
+
+DEFAULT_DEVICES = {"meiko": "lowlatency", "atm": "tcp", "ethernet": "tcp"}
+
+
+@dataclass
+class Platform:
+    """A built machine: hosts + one MPI endpoint per rank."""
+
+    name: str
+    device: str
+    sim: Simulator
+    hosts: List[Any]
+    endpoints: List[Any]
+    machine: Any = None
+    extra: dict = field(default_factory=dict)
+
+
+def build_platform(
+    platform: str,
+    device: Optional[str],
+    nprocs: int,
+    sim: Simulator,
+    seed: int = 0,
+    machine_params: Any = None,
+    device_config: Any = None,
+    host_speeds: Any = None,
+    kernel_params: Any = None,
+    drop_fn: Any = None,
+) -> Platform:
+    """Build *platform* with *nprocs* ranks on *sim*."""
+    if nprocs < 1:
+        raise ConfigurationError(f"nprocs must be >= 1, got {nprocs}")
+    if platform not in DEFAULT_DEVICES:
+        raise ConfigurationError(
+            f"unknown platform {platform!r}; choose from {sorted(DEFAULT_DEVICES)}"
+        )
+    device = device or DEFAULT_DEVICES[platform]
+    if platform == "meiko":
+        if host_speeds is not None or kernel_params is not None or drop_fn is not None:
+            raise ConfigurationError(
+                "host_speeds/kernel_params/drop_fn apply to the workstation clusters only"
+            )
+        return _build_meiko(device, nprocs, sim, seed, machine_params, device_config)
+    return _build_cluster(
+        platform, device, nprocs, sim, seed, machine_params, device_config,
+        host_speeds, kernel_params, drop_fn,
+    )
+
+
+def _build_meiko(device, nprocs, sim, seed, machine_params, device_config) -> Platform:
+    from repro.hw.meiko import MeikoMachine, MeikoParams
+
+    params = machine_params or MeikoParams()
+    machine = MeikoMachine(sim, nprocs, params=params, seed=seed)
+    if device == "lowlatency":
+        from repro.mpi.device.lowlatency import LowLatencyEndpoint
+
+        endpoints = [
+            LowLatencyEndpoint(i, machine.nodes[i], config=device_config)
+            for i in range(nprocs)
+        ]
+        for ep in endpoints:
+            ep.peers = endpoints
+    elif device == "mpich":
+        from repro.mpi.device.mpich import MpichEndpoint
+
+        tports = machine.tports()
+        endpoints = [
+            MpichEndpoint(i, machine.nodes[i], tports[i], config=device_config)
+            for i in range(nprocs)
+        ]
+        for ep in endpoints:
+            ep.peers = endpoints
+    else:
+        raise ConfigurationError(
+            f"device {device!r} not available on the meiko platform "
+            "(choose 'lowlatency' or 'mpich')"
+        )
+    return Platform("meiko", device, sim, list(machine.nodes), endpoints, machine)
+
+
+def _build_cluster(
+    platform, device, nprocs, sim, seed, machine_params, device_config,
+    host_speeds=None, kernel_params=None, drop_fn=None,
+) -> Platform:
+    from repro.hw.cluster import ClusterMachine
+
+    machine = ClusterMachine(
+        sim, nprocs, network=platform, params=machine_params, seed=seed,
+        host_speeds=host_speeds, kernel_params=kernel_params, drop_fn=drop_fn,
+    )
+    if device == "tcp":
+        from repro.mpi.device.tcpdev import TcpEndpoint
+
+        endpoints = [
+            TcpEndpoint(i, machine.hosts[i], config=device_config) for i in range(nprocs)
+        ]
+    elif device == "udp":
+        from repro.mpi.device.udpdev import UdpEndpoint
+
+        endpoints = [
+            UdpEndpoint(i, machine.hosts[i], config=device_config) for i in range(nprocs)
+        ]
+    else:
+        raise ConfigurationError(
+            f"device {device!r} not available on the {platform} platform "
+            "(choose 'tcp' or 'udp')"
+        )
+    for ep in endpoints:
+        ep.peers = endpoints
+    machine.connect_endpoints(endpoints)
+    return Platform(platform, device, sim, list(machine.hosts), endpoints, machine)

@@ -1,0 +1,453 @@
+"""Core of the discrete-event simulation kernel.
+
+The kernel is intentionally small and has no dependencies beyond the
+standard library.  It provides:
+
+* :class:`Simulator` -- the event loop (a binary heap of scheduled
+  events, a monotonically increasing clock, deterministic tie-breaking);
+* :class:`Event` -- a one-shot future that processes can wait on;
+* :class:`Timeout` -- an event that fires after a fixed delay;
+* :class:`Process` -- a generator coroutine driven by the simulator,
+  itself an event (it fires when the generator returns);
+* :class:`AnyOf` / :class:`AllOf` -- condition events;
+* :class:`Interrupt` -- asynchronous interruption of a process.
+
+Determinism
+-----------
+Events scheduled for the same simulated time fire in (priority,
+sequence-number) order, where the sequence number is assigned at
+scheduling time.  Given identical inputs and seeds, every run of a
+simulation produces the identical event order.
+"""
+
+from __future__ import annotations
+
+from heapq import heappush, heappop
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "URGENT",
+    "NORMAL",
+    "SimulationError",
+    "Interrupt",
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "Simulator",
+]
+
+#: Scheduling priority for events that must run before ordinary events at
+#: the same timestamp (used internally for process interruption).
+URGENT = 0
+#: Default scheduling priority.
+NORMAL = 1
+
+_PENDING = object()
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the kernel (double trigger, bad yield, ...)."""
+
+
+class Interrupt(Exception):
+    """Thrown *into* a process by :meth:`Process.interrupt`.
+
+    The interrupted process may catch it and continue; ``cause`` carries
+    the value passed to :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event is *pending* until :meth:`succeed` or :meth:`fail` is
+    called, after which it is scheduled and eventually *fires*: its
+    callbacks run and any waiting process resumes with :attr:`value` (or
+    has the failure exception thrown into it).
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled", "_defused")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        #: Callables invoked with the event when it fires.  ``None`` once
+        #: the event has fired (new callbacks are then invoked directly).
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        self._scheduled = False
+        self._defused = False
+
+    # -- state ----------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been succeeded or failed."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if not self.triggered:
+            raise SimulationError("event is still pending")
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or failure exception).  Only valid once triggered."""
+        if self._value is _PENDING:
+            raise SimulationError("event is still pending")
+        return self._value
+
+    # -- triggering -----------------------------------------------------
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Mark the event successful and schedule it to fire *now*."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, 0.0, priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
+        """Mark the event failed; waiters get *exception* thrown into them."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        self._ok = False
+        self._value = exception
+        self.sim._schedule(self, 0.0, priority)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it does not crash the run.
+
+        A failed event with no waiter would otherwise abort
+        :meth:`Simulator.run` (failures must not pass silently).
+        """
+        self._defused = True
+
+    # -- waiting --------------------------------------------------------
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run *fn(event)* when the event fires (immediately if already fired)."""
+        if self.callbacks is None:
+            fn(self)
+        else:
+            self.callbacks.append(fn)
+
+    def _fire(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        had_waiter = False
+        for fn in callbacks:
+            had_waiter = True
+            fn(self)
+        if not self._ok and not had_waiter and not self._defused:
+            # An unhandled failure: abort the simulation loudly.
+            raise self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending" if not self.triggered else ("ok" if self._ok else "failed")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` microseconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, delay, NORMAL)
+
+
+class _Initialize(Event):
+    """Internal event used to start a freshly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", process: "Process"):
+        super().__init__(sim)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        self.sim._schedule(self, 0.0, URGENT)
+
+
+class Process(Event):
+    """A generator coroutine driven by the simulator.
+
+    The wrapped generator yields :class:`Event` objects; each yield
+    suspends the process until the event fires.  The process is itself an
+    event: it succeeds with the generator's return value, or fails with
+    an uncaught exception from the generator.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"Process() needs a generator, got {generator!r}")
+        super().__init__(sim)
+        self._generator = generator
+        #: the event this process is currently waiting on (None if running/new)
+        self._target: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        _Initialize(sim, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a
+        process blocked on an event detaches it from that event (the
+        event remains valid and may be re-awaited).
+        """
+        if self.triggered:
+            raise SimulationError(f"{self.name} has already finished")
+        if self.sim._active_process is self:
+            raise SimulationError("a process cannot interrupt itself")
+        interrupt_ev = Event(self.sim)
+        interrupt_ev._ok = False
+        interrupt_ev._value = Interrupt(cause)
+        interrupt_ev._defused = True
+        interrupt_ev.callbacks.append(self._resume)
+        self.sim._schedule(interrupt_ev, 0.0, URGENT)
+        # Detach from the event we were waiting on so its firing does not
+        # also resume us.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+
+    # -- driving --------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        sim = self.sim
+        sim._active_process = self
+        self._target = None
+        while True:
+            try:
+                if event._ok:
+                    target = self._generator.send(event._value)
+                else:
+                    # mark the failure as handled: it is being delivered
+                    event._defused = True
+                    target = self._generator.throw(event._value)
+            except StopIteration as exc:
+                sim._active_process = None
+                self._ok = True
+                self._value = exc.value
+                sim._schedule(self, 0.0, NORMAL)
+                return
+            except BaseException as exc:
+                sim._active_process = None
+                self._ok = False
+                self._value = exc
+                sim._schedule(self, 0.0, NORMAL)
+                return
+
+            if not isinstance(target, Event):
+                exc = SimulationError(
+                    f"process {self.name!r} yielded {target!r}; processes must yield Events"
+                )
+                sim._active_process = None
+                self._ok = False
+                self._value = exc
+                sim._schedule(self, 0.0, NORMAL)
+                return
+            if target.callbacks is None:
+                # Already fired: loop and deliver immediately.
+                event = target
+                continue
+            target.callbacks.append(self._resume)
+            self._target = target
+            sim._active_process = None
+            return
+
+
+class _Condition(Event):
+    """Base for :class:`AnyOf` / :class:`AllOf`."""
+
+    __slots__ = ("events", "_count")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = tuple(events)
+        for ev in self.events:
+            if ev.sim is not sim:
+                raise SimulationError("condition mixes events from different simulators")
+        self._count = 0
+        if not self.events:
+            self.succeed(self._collect())
+            return
+        for ev in self.events:
+            ev.add_callback(self._check)
+
+    def _collect(self) -> dict:
+        """Values of all fired-and-ok member events, in member order.
+
+        Uses *processed* (callbacks ran), not merely *triggered*:
+        a Timeout is triggered from creation but has not yet occurred.
+        """
+        return {ev: ev._value for ev in self.events if ev.processed and ev._ok}
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event._defused = True
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._satisfied():
+            self.succeed(self._collect())
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Fires when any member event succeeds (fails if one fails first)."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._count >= 1
+
+
+class AllOf(_Condition):
+    """Fires when all member events have succeeded."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._count >= len(self.events)
+
+
+class Simulator:
+    """The discrete-event loop.
+
+    >>> sim = Simulator()
+    >>> def hello(sim):
+    ...     yield sim.timeout(3.0)
+    ...     return sim.now
+    >>> p = sim.process(hello(sim))
+    >>> sim.run()
+    >>> p.value
+    3.0
+    """
+
+    def __init__(self):
+        self._now = 0.0
+        self._heap: List = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in microseconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- factories ------------------------------------------------------
+    def event(self) -> Event:
+        """A fresh pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing *delay* microseconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process from *generator*."""
+        return Process(self, generator, name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling -----------------------------------------------------
+    def _schedule(self, event: Event, delay: float, priority: int) -> None:
+        if event._scheduled:
+            raise SimulationError(f"{event!r} is already scheduled")
+        event._scheduled = True
+        self._seq += 1
+        heappush(self._heap, (self._now + delay, priority, self._seq, event))
+
+    # -- running --------------------------------------------------------
+    def step(self) -> None:
+        """Fire the next scheduled event, advancing the clock."""
+        t, _prio, _seq, event = heappop(self._heap)
+        if t < self._now:  # pragma: no cover - defensive
+            raise SimulationError("time went backwards")
+        self._now = t
+        event._fire()
+
+    def peek(self) -> float:
+        """Time of the next scheduled event (``inf`` if none)."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the event queue drains or the clock passes *until*.
+
+        If *until* is given the clock is left exactly at ``until`` when
+        the horizon is reached (pending events stay queued).
+        """
+        if until is not None and until < self._now:
+            raise ValueError(f"until={until!r} is in the past (now={self._now!r})")
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self._now = until
+                return
+            self.step()
+        if until is not None:
+            self._now = until
+
+    def run_until_complete(self, process: Process, limit: float = float("inf")):
+        """Run until *process* finishes; return its value or re-raise its error.
+
+        ``limit`` guards against deadlock: exceeding it raises
+        :class:`SimulationError`.
+        """
+        while not process.triggered:
+            if not self._heap:
+                raise SimulationError(
+                    f"deadlock: event queue drained but {process.name!r} never finished"
+                )
+            if self._heap[0][0] > limit:
+                raise SimulationError(f"time limit {limit} exceeded waiting for {process.name!r}")
+            self.step()
+        # Drain same-time bookkeeping events so .processed is consistent.
+        if not process.ok:
+            process._defused = True
+            raise process.value
+        return process.value

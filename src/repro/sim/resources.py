@@ -1,0 +1,213 @@
+"""Shared-resource primitives built on the event kernel.
+
+* :class:`Resource` -- a counted resource (CPU, bus, DMA engine) with a
+  strict-FIFO wait queue;
+* :class:`Store` -- an unbounded-or-bounded FIFO of items (mailboxes,
+  NIC receive queues, co-processor command queues);
+* :class:`PriorityStore` -- a store whose ``get`` returns the smallest
+  item first.
+
+All waits are events, so processes use them with plain ``yield``::
+
+    req = cpu.request()
+    yield req
+    yield sim.timeout(cost)
+    cpu.release(req)
+
+or, more conveniently, with :meth:`Resource.use`::
+
+    yield from cpu.use(cost)
+"""
+
+from __future__ import annotations
+
+from heapq import heappush, heappop
+from collections import deque
+from typing import Any, Deque, List, Optional
+
+from repro.sim.core import Event, SimulationError, Simulator
+
+__all__ = ["Request", "Resource", "Store", "PriorityStore"]
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` (fires when granted)."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.sim)
+        self.resource = resource
+
+
+class Resource:
+    """A counted resource with FIFO granting.
+
+    ``capacity`` units exist; :meth:`request` returns an event that fires
+    when a unit is granted; :meth:`release` returns the unit and wakes
+    the next waiter.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._queue: Deque[Request] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Units currently granted."""
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        """Requests waiting for a unit."""
+        return len(self._queue)
+
+    def request(self) -> Request:
+        """Claim one unit; the returned event fires when granted."""
+        req = Request(self)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            req.succeed(req)
+        else:
+            self._queue.append(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a previously granted unit."""
+        if request.resource is not self:
+            raise SimulationError("release() of a request from a different resource")
+        if not request.triggered:
+            # The request never got granted: just cancel it.
+            try:
+                self._queue.remove(request)
+            except ValueError:
+                raise SimulationError("release() of an unknown pending request") from None
+            request.succeed(None)  # fire so any waiter is not stranded
+            return
+        if self._queue:
+            nxt = self._queue.popleft()
+            nxt.succeed(nxt)
+        else:
+            if self._in_use <= 0:
+                raise SimulationError(f"over-release of resource {self.name!r}")
+            self._in_use -= 1
+
+    def use(self, hold_time: float):
+        """Generator helper: acquire, hold for *hold_time*, release.
+
+        The release is in a ``finally`` that also covers the acquisition
+        wait, so an exception thrown into the generator at any point
+        (interrupt, failure) returns or cancels the claim.
+        """
+        req = self.request()
+        released = False
+        try:
+            yield req
+            yield self.sim.timeout(hold_time)
+            self.release(req)
+            released = True
+        finally:
+            if not released:
+                self.release(req)
+
+
+class _StoreGet(Event):
+    __slots__ = ()
+
+
+class _StorePut(Event):
+    __slots__ = ("item",)
+
+    def __init__(self, sim: Simulator, item: Any):
+        super().__init__(sim)
+        self.item = item
+
+
+class Store:
+    """A FIFO buffer of items with blocking ``put`` (if bounded) and ``get``.
+
+    ``put(item)`` returns an event firing when the item has been
+    accepted; ``get()`` returns an event firing with the next item.
+    """
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf"), name: str = ""):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[_StoreGet] = deque()
+        self._putters: Deque[_StorePut] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def waiting_getters(self) -> int:
+        return len(self._getters)
+
+    def _do_put(self, item: Any) -> None:
+        self.items.append(item)
+
+    def _do_get(self) -> Any:
+        return self.items.popleft()
+
+    def put(self, item: Any) -> _StorePut:
+        ev = _StorePut(self.sim, item)
+        if len(self.items) < self.capacity:
+            self._do_put(item)
+            ev.succeed(None)
+            self._wake_getters()
+        else:
+            self._putters.append(ev)
+        return ev
+
+    def get(self) -> _StoreGet:
+        ev = _StoreGet(self.sim)
+        if self.items:
+            ev.succeed(self._do_get())
+            self._admit_putters()
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking get: the next item, or None if empty."""
+        if not self.items:
+            return None
+        item = self._do_get()
+        self._admit_putters()
+        return item
+
+    def _wake_getters(self) -> None:
+        while self._getters and self.items:
+            getter = self._getters.popleft()
+            getter.succeed(self._do_get())
+            self._admit_putters()
+
+    def _admit_putters(self) -> None:
+        while self._putters and len(self.items) < self.capacity:
+            putter = self._putters.popleft()
+            self._do_put(putter.item)
+            putter.succeed(None)
+            self._wake_getters()
+
+
+class PriorityStore(Store):
+    """A store whose ``get`` returns the smallest item (heap order)."""
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf"), name: str = ""):
+        super().__init__(sim, capacity, name)
+        self.items: List[Any] = []  # type: ignore[assignment]
+
+    def _do_put(self, item: Any) -> None:
+        heappush(self.items, item)
+
+    def _do_get(self) -> Any:
+        return heappop(self.items)

@@ -1,0 +1,76 @@
+"""Lightweight event tracing and measurement helpers.
+
+A :class:`Tracer` collects timestamped records by category.  It is used
+by the protocol stacks for debugging and by the benchmark harness to
+break down latencies (Table 1 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry: *when*, *who*, *what*."""
+
+    time: float
+    category: str
+    detail: Any = None
+
+
+@dataclass
+class Tracer:
+    """Collects :class:`TraceRecord` entries, optionally filtered.
+
+    Tracing is off by default; enable categories with :meth:`enable`
+    (``"*"`` enables everything).
+    """
+
+    records: List[TraceRecord] = field(default_factory=list)
+    _enabled: set = field(default_factory=set)
+
+    def enable(self, *categories: str) -> None:
+        self._enabled.update(categories)
+
+    def disable(self, *categories: str) -> None:
+        self._enabled.difference_update(categories)
+
+    def enabled(self, category: str) -> bool:
+        return "*" in self._enabled or category in self._enabled
+
+    def log(self, time: float, category: str, detail: Any = None) -> None:
+        if self.enabled(category):
+            self.records.append(TraceRecord(time, category, detail))
+
+    def by_category(self, category: str) -> Iterator[TraceRecord]:
+        return (r for r in self.records if r.category == category)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def spans(self, start_cat: str, end_cat: str) -> List[float]:
+        """Pair up start/end records in order and return durations."""
+        out: List[float] = []
+        starts: List[float] = []
+        for rec in self.records:
+            if rec.category == start_cat:
+                starts.append(rec.time)
+            elif rec.category == end_cat and starts:
+                out.append(rec.time - starts.pop(0))
+        return out
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for rec in self.records:
+            out[rec.category] = out.get(rec.category, 0) + 1
+        return out
+
+    def last(self, category: str) -> Optional[TraceRecord]:
+        for rec in reversed(self.records):
+            if rec.category == category:
+                return rec
+        return None

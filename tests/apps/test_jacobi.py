@@ -1,0 +1,69 @@
+"""Jacobi heat-diffusion tests (the Cartesian-topology application)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import initial_grid, jacobi_heat, reference_jacobi
+from repro.errors import ConfigurationError
+from tests.conftest import run_world
+
+
+def test_reference_converges_toward_boundary():
+    g = reference_jacobi(initial_grid(16, 16), 200)
+    # interior warms up but never exceeds the hot boundary
+    assert g[1:-1, 1:-1].max() <= 100.0
+    assert g[1, 1:-1].mean() > g[-2, 1:-1].mean()  # hotter near the hot edge
+
+
+@pytest.mark.parametrize("nprocs", [1, 2, 4, 8])
+def test_jacobi_matches_reference(meiko_device, nprocs):
+    platform, device = meiko_device
+
+    def main(comm):
+        g, elapsed = yield from jacobi_heat(comm, nx=16, ny=12, iters=10)
+        return g
+
+    res = run_world(nprocs, main, platform, device)
+    expected = reference_jacobi(initial_grid(16, 12), 10)
+    assert np.allclose(res[0], expected)
+    assert all(r is None for r in res[1:])
+
+
+def test_jacobi_on_cluster():
+    def main(comm):
+        g, _ = yield from jacobi_heat(comm, nx=8, ny=8, iters=5, flop_time=0.03)
+        return g
+
+    res = run_world(2, main, "atm", "tcp")
+    expected = reference_jacobi(initial_grid(8, 8), 5)
+    assert np.allclose(res[0], expected)
+
+
+def test_jacobi_requires_divisible_rows():
+    def main(comm):
+        with pytest.raises(ConfigurationError):
+            yield from jacobi_heat(comm, nx=9)
+        yield from comm.barrier()
+
+    run_world(2, main)
+
+
+def test_jacobi_zero_iters_returns_initial():
+    def main(comm):
+        g, _ = yield from jacobi_heat(comm, nx=8, ny=8, iters=0)
+        return g
+
+    res = run_world(2, main)
+    assert np.array_equal(res[0], initial_grid(8, 8))
+
+
+def test_jacobi_low_latency_beats_mpich():
+    """Small halo messages per iteration: the latency-sensitive pattern."""
+
+    def main(comm):
+        _, elapsed = yield from jacobi_heat(comm, nx=32, ny=32, iters=20)
+        return elapsed
+
+    ll = max(run_world(8, main, "meiko", "lowlatency"))
+    mp = max(run_world(8, main, "meiko", "mpich"))
+    assert ll < mp

@@ -1,0 +1,75 @@
+"""CLI tests (python -m repro ...)."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_info_lists_all_configurations():
+    code, text = run_cli("info")
+    assert code == 0
+    for token in ("meiko", "lowlatency", "mpich", "ethernet", "atm", "tcp", "udp"):
+        assert token in text
+
+
+def test_pingpong_table():
+    code, text = run_cli("pingpong", "--platform", "meiko", "--sizes", "1,64")
+    assert code == 0
+    assert "RTT (us)" in text
+    assert "64" in text
+
+
+def test_pingpong_default_device_per_platform():
+    code, text = run_cli("pingpong", "--sizes", "1")
+    assert code == 0
+    assert "lowlatency" in text
+
+
+def test_bandwidth_table():
+    code, text = run_cli("bandwidth", "--platform", "meiko", "--sizes", "65536")
+    assert code == 0
+    assert "MB/s" in text
+
+
+def test_figure_with_chart():
+    code, text = run_cli("figure", "fig02", "--chart")
+    assert code == 0
+    assert "Meiko tport" in text
+    assert "o=MPI(mpich)" in text  # the chart legend
+
+
+def test_figure_table1():
+    code, text = run_cli("figure", "table1")
+    assert code == 0
+    assert "Read for msg type" in text
+
+
+def test_figure_fig01_reports_crossover():
+    code, text = run_cli("figure", "fig01")
+    assert code == 0
+    assert "crossover" in text
+
+
+def test_unknown_figure_rejected():
+    with pytest.raises(SystemExit):
+        run_cli("figure", "fig99")
+
+
+@pytest.mark.parametrize("app", ["linsolve", "matmul", "nbody", "jacobi"])
+def test_apps_verify(app):
+    code, text = run_cli("app", app, "--nprocs", "2", "--size", "8")
+    assert code == 0
+    assert "verification OK" in text

@@ -1,0 +1,88 @@
+"""Unit tests for the benchmark harness: drivers, sweeps, crossovers."""
+
+import pytest
+
+from repro.bench import harness
+
+
+# ---------------------------------------------------------------------------
+# crossover
+# ---------------------------------------------------------------------------
+
+
+def test_crossover_interpolates():
+    a = [(0, 0.0), (10, 10.0)]
+    b = [(0, 5.0), (10, 5.0)]
+    assert harness.crossover(a, b) == pytest.approx(5.0)
+
+
+def test_crossover_none_when_no_cross():
+    a = [(0, 0.0), (10, 1.0)]
+    b = [(0, 5.0), (10, 5.0)]
+    assert harness.crossover(a, b) is None
+
+
+def test_crossover_at_sample_point():
+    a = [(0, 0.0), (5, 5.0), (10, 10.0)]
+    b = [(0, 5.0), (5, 5.0), (10, 5.0)]
+    assert harness.crossover(a, b) == pytest.approx(5.0)
+
+
+def test_crossover_mismatched_samples_rejected():
+    with pytest.raises(ValueError):
+        harness.crossover([(0, 1.0)], [(1, 1.0)])
+    with pytest.raises(ValueError):
+        harness.crossover([(0, 1.0), (1, 1.0)], [(0, 1.0)])
+
+
+def test_sweep_evaluates_in_order():
+    calls = []
+
+    def fn(n):
+        calls.append(n)
+        return n * 2.0
+
+    out = harness.sweep(fn, [1, 4, 2])
+    assert out == [(1, 2.0), (4, 8.0), (2, 4.0)]
+    assert calls == [1, 4, 2]
+
+
+# ---------------------------------------------------------------------------
+# drivers produce sane, consistent numbers
+# ---------------------------------------------------------------------------
+
+
+def test_mpi_pingpong_deterministic():
+    a = harness.mpi_pingpong_rtt("meiko", "lowlatency", 64)
+    b = harness.mpi_pingpong_rtt("meiko", "lowlatency", 64)
+    assert a == b
+
+
+def test_mpi_pingpong_monotone_in_size():
+    small = harness.mpi_pingpong_rtt("meiko", "lowlatency", 1)
+    large = harness.mpi_pingpong_rtt("meiko", "lowlatency", 4096)
+    assert large > small
+
+
+def test_tport_rtt_below_mpi():
+    assert harness.tport_rtt(1) < harness.mpi_pingpong_rtt("meiko", "lowlatency", 1)
+
+
+def test_bandwidth_positive_and_bounded():
+    bw = harness.mpi_bandwidth("meiko", "lowlatency", 262144)
+    assert 0 < bw < 40.0  # cannot beat the DMA engine
+
+
+def test_raw_stream_transport_validation():
+    with pytest.raises(ValueError):
+        harness.raw_stream_rtt("atm", "sctp", 1)
+
+
+def test_fore_rtt_sane():
+    rtt = harness.fore_rtt(1)
+    assert 500 < rtt < 1200
+
+
+def test_tport_bandwidth_approaches_dma():
+    bw = harness.tport_bandwidth(1_000_000)
+    assert 37.0 < bw < 39.5

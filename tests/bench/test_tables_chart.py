@@ -1,0 +1,105 @@
+"""Tests for table formatting and ASCII charts."""
+
+import pytest
+
+from repro.bench.ascii_chart import MARKERS, ascii_chart
+from repro.bench.tables import format_series, format_table
+
+
+# ---------------------------------------------------------------------------
+# tables
+# ---------------------------------------------------------------------------
+
+
+def test_format_table_alignment():
+    out = format_table(["a", "bb"], [[1, 2.5], [30, 4.125]])
+    lines = out.splitlines()
+    assert lines[0].endswith("bb")
+    assert "30" in lines[3]
+    assert "4.125" in lines[3]
+
+
+def test_format_table_title():
+    out = format_table(["x"], [[1]], title="T")
+    assert out.splitlines()[0] == "T"
+
+
+def test_format_table_large_floats_one_decimal():
+    out = format_table(["v"], [[12345.678]])
+    assert "12345.7" in out
+
+
+def test_format_series():
+    out = format_series({"a": [(1, 2.0), (2, 4.0)], "b": [(1, 3.0), (2, 5.0)]},
+                        xlabel="n")
+    lines = out.splitlines()
+    assert lines[0].split() == ["n", "a", "b"]
+    assert lines[2].split() == ["1", "2", "3"]
+
+
+def test_format_series_mismatched_x_rejected():
+    with pytest.raises(ValueError):
+        format_series({"a": [(1, 2.0)], "b": [(2, 3.0)]})
+
+
+# ---------------------------------------------------------------------------
+# ascii chart
+# ---------------------------------------------------------------------------
+
+
+def test_chart_contains_markers_and_legend():
+    out = ascii_chart({"up": [(1, 1), (2, 2)], "down": [(1, 2), (2, 1)]},
+                      width=20, height=6)
+    assert MARKERS[0] in out and MARKERS[1] in out
+    assert "o=up" in out and "x=down" in out
+
+
+def test_chart_extremes_on_borders():
+    out = ascii_chart({"s": [(0, 0), (10, 100)]}, width=30, height=8)
+    lines = [l for l in out.splitlines() if "|" in l]
+    # max value appears on the top plot row, min on the bottom
+    assert "o" in lines[0]
+    assert "o" in lines[-1]
+
+
+def test_chart_axis_labels():
+    out = ascii_chart({"s": [(1, 5), (9, 5)]}, width=24, height=5,
+                      xlabel="bytes", ylabel="us")
+    assert "x: bytes" in out and "y: us" in out
+
+
+def test_chart_log_scale():
+    out = ascii_chart({"s": [(1, 1), (10, 10), (100, 100)]},
+                      width=21, height=7, logx=True, logy=True)
+    cols = []
+    for line in out.splitlines():
+        if "|" in line and "o" in line:
+            cols.append(line.index("o"))
+    # log-log of a power law is a straight line: equally spaced columns
+    assert len(cols) == 3
+    assert abs((cols[1] - cols[0]) - (cols[2] - cols[1])) <= 1
+
+
+def test_chart_log_scale_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        ascii_chart({"s": [(0, 1)]}, logx=True)
+
+
+def test_chart_validation():
+    with pytest.raises(ValueError):
+        ascii_chart({})
+    with pytest.raises(ValueError):
+        ascii_chart({"s": [(1, 1)]}, width=2)
+    with pytest.raises(ValueError):
+        ascii_chart({"s": []})
+
+
+def test_chart_flat_series_does_not_crash():
+    out = ascii_chart({"s": [(1, 5), (2, 5), (3, 5)]}, width=16, height=5)
+    plot_rows = [l for l in out.splitlines() if "|" in l]
+    assert sum(row.count("o") for row in plot_rows) == 3
+
+
+def test_chart_overlap_marked():
+    out = ascii_chart({"a": [(1, 1)], "b": [(1, 1)]}, width=16, height=5)
+    assert "?" in out

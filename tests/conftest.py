@@ -1,0 +1,24 @@
+"""Repo-wide test fixtures: device parametrizations and world runner."""
+
+import pytest
+
+from repro.mpi import World
+
+MEIKO_DEVICES = [("meiko", "lowlatency"), ("meiko", "mpich")]
+CLUSTER_DEVICES = [("ethernet", "tcp"), ("atm", "tcp"), ("ethernet", "udp"), ("atm", "udp")]
+ALL_DEVICES = MEIKO_DEVICES + CLUSTER_DEVICES
+
+
+def run_world(nprocs, main, platform="meiko", device="lowlatency", *args, **world_kw):
+    world = World(nprocs, platform=platform, device=device, **world_kw)
+    return world.run(main, *args)
+
+
+@pytest.fixture(params=MEIKO_DEVICES, ids=lambda p: f"{p[0]}-{p[1]}")
+def meiko_device(request):
+    return request.param
+
+
+@pytest.fixture(params=ALL_DEVICES, ids=lambda p: f"{p[0]}-{p[1]}")
+def any_device(request):
+    return request.param

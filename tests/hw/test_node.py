@@ -1,0 +1,120 @@
+"""Tests for the Host / Processor models."""
+
+import pytest
+
+from repro.hw import Host, Processor
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def test_processor_charges_time(sim):
+    host = Host(sim, 0)
+
+    def proc(sim):
+        yield from host.cpu.execute(12.5)
+        return sim.now
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert p.value == 12.5
+
+
+def test_processor_serializes(sim):
+    cpu = Processor(sim, "cpu")
+    log = []
+
+    def user(sim, tag):
+        yield from cpu.execute(10.0)
+        log.append((tag, sim.now))
+
+    sim.process(user(sim, "a"))
+    sim.process(user(sim, "b"))
+    sim.run()
+    assert log == [("a", 10.0), ("b", 20.0)]
+
+
+def test_processor_tracks_busy_time(sim):
+    cpu = Processor(sim, "cpu")
+
+    def proc(sim):
+        yield from cpu.execute(3.0)
+        yield from cpu.execute(4.0)
+
+    sim.process(proc(sim))
+    sim.run()
+    assert cpu.busy_time == 7.0
+
+
+def test_processor_rejects_negative_cost(sim):
+    cpu = Processor(sim, "cpu")
+    with pytest.raises(ValueError):
+        list(cpu.execute(-1.0))
+
+
+def test_compute_slices_allow_interleaving(sim):
+    """A long computation must not monopolize the CPU for its whole span."""
+    host = Host(sim, 0)
+    log = []
+
+    def worker(sim):
+        yield from host.compute(200.0, quantum=50.0)
+        log.append(("worker", sim.now))
+
+    def kernel(sim):
+        yield sim.timeout(10.0)  # arrives mid-computation
+        yield from host.cpu.execute(5.0)
+        log.append(("kernel", sim.now))
+
+    sim.process(worker(sim))
+    sim.process(kernel(sim))
+    sim.run()
+    # kernel work runs after the first 50us quantum, not after 200us
+    assert log[0][0] == "kernel"
+    assert log[0][1] == 55.0
+    assert log[1] == ("worker", 205.0)
+
+
+def test_compute_total_time_exact(sim):
+    host = Host(sim, 0)
+
+    def worker(sim):
+        yield from host.compute(123.0, quantum=50.0)
+        return sim.now
+
+    p = sim.process(worker(sim))
+    sim.run()
+    assert p.value == 123.0
+
+
+def test_compute_rejects_bad_args(sim):
+    host = Host(sim, 0)
+    with pytest.raises(ValueError):
+        list(host.compute(-1.0))
+    with pytest.raises(ValueError):
+        list(host.compute(10.0, quantum=0.0))
+
+
+def test_host_rngs_are_distinct_and_deterministic():
+    sim = Simulator()
+    h0 = Host(sim, 0, seed=1)
+    h1 = Host(sim, 1, seed=1)
+    h0b = Host(Simulator(), 0, seed=1)
+    a, b, a2 = h0.rng.random(), h1.rng.random(), h0b.rng.random()
+    assert a != b  # different hosts, different streams
+    assert a == a2  # same host+seed, same stream
+
+
+def test_wtime_is_sim_clock(sim):
+    host = Host(sim, 0)
+
+    def proc(sim):
+        yield sim.timeout(42.0)
+        return host.wtime()
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert p.value == 42.0

@@ -1,0 +1,5 @@
+"""Re-exports of the repo-wide fixtures (kept for import compatibility)."""
+
+from tests.conftest import ALL_DEVICES, CLUSTER_DEVICES, MEIKO_DEVICES, run_world
+
+__all__ = ["ALL_DEVICES", "CLUSTER_DEVICES", "MEIKO_DEVICES", "run_world"]

@@ -1,0 +1,274 @@
+"""Datatype tests: basic types, derived types, pack/unpack round trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi.datatypes import (
+    BYTE,
+    CHAR,
+    DOUBLE,
+    FLOAT,
+    INT,
+    LONG,
+    BasicType,
+    Contiguous,
+    Indexed,
+    Vector,
+    from_numpy_dtype,
+    infer_datatype,
+)
+from repro.mpi.exceptions import DatatypeError
+
+
+# ---------------------------------------------------------------------------
+# basic types
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "dtype,size",
+    [(BYTE, 1), (CHAR, 1), (INT, 4), (LONG, 8), (FLOAT, 4), (DOUBLE, 8)],
+)
+def test_basic_sizes(dtype, size):
+    assert dtype.size == size
+    assert dtype.extent == size
+    assert dtype.contiguous
+
+
+def test_basic_pack_unpack_ndarray():
+    a = np.arange(10, dtype=np.int32)
+    wire = INT.pack(a, 10)
+    assert len(wire) == 40
+    b = np.zeros(10, dtype=np.int32)
+    INT.unpack(wire, b, 10)
+    assert np.array_equal(a, b)
+
+
+def test_byte_pack_from_bytes():
+    assert BYTE.pack(b"hello", 5) == b"hello"
+    assert BYTE.pack(b"hello", 3) == b"hel"
+
+
+def test_byte_unpack_into_bytearray():
+    buf = bytearray(5)
+    BYTE.unpack(b"abc", buf, 3)
+    assert bytes(buf) == b"abc\x00\x00"
+
+
+def test_unpack_into_bytes_rejected():
+    with pytest.raises(DatatypeError):
+        BYTE.unpack(b"abc", b"xxxxx", 3)
+
+
+def test_dtype_mismatch_rejected():
+    a = np.zeros(4, dtype=np.float64)
+    with pytest.raises(DatatypeError):
+        INT.pack(a, 4)
+
+
+def test_bytes_buffer_with_wide_type_rejected():
+    with pytest.raises(DatatypeError):
+        INT.pack(b"12345678", 2)
+
+
+def test_pack_count_exceeds_buffer():
+    with pytest.raises(DatatypeError):
+        INT.pack(np.zeros(3, dtype=np.int32), 5)
+
+
+def test_unpack_wrong_byte_count():
+    with pytest.raises(DatatypeError):
+        INT.unpack(b"\x00" * 7, np.zeros(4, dtype=np.int32), 2)
+
+
+def test_negative_count_rejected():
+    with pytest.raises(DatatypeError):
+        INT.offsets(-1)
+
+
+def test_zero_count_pack():
+    assert INT.pack(np.zeros(3, dtype=np.int32), 0) == b""
+
+
+def test_infer_datatype():
+    assert infer_datatype(b"x") is BYTE
+    assert infer_datatype(bytearray(2)) is BYTE
+    assert infer_datatype(np.zeros(2, dtype=np.float64)) is DOUBLE
+    assert infer_datatype(np.zeros(2, dtype=np.int32)) is INT
+    with pytest.raises(DatatypeError):
+        infer_datatype([1, 2, 3])
+
+
+def test_from_numpy_dtype_caches_unknown():
+    t1 = from_numpy_dtype(np.uint16)
+    t2 = from_numpy_dtype(np.uint16)
+    assert t1 is t2
+    assert t1.size == 2
+
+
+def test_readonly_receive_buffer_rejected():
+    a = np.zeros(4, dtype=np.int32)
+    a.setflags(write=False)
+    with pytest.raises(DatatypeError):
+        INT.unpack(b"\x00" * 16, a, 4)
+
+
+# ---------------------------------------------------------------------------
+# derived types
+# ---------------------------------------------------------------------------
+
+
+def test_contiguous_size_extent():
+    t = Contiguous(4, DOUBLE)
+    assert t.size == 32
+    assert t.extent == 32
+    assert t.contiguous
+
+
+def test_contiguous_pack():
+    a = np.arange(8, dtype=np.float64)
+    t = Contiguous(4, DOUBLE)
+    wire = t.pack(a, 2)  # 2 items of 4 doubles = everything
+    b = np.zeros(8, dtype=np.float64)
+    t.unpack(wire, b, 2)
+    assert np.array_equal(a, b)
+
+
+def test_vector_strided_column():
+    """A Vector picks out a strided column of a row-major matrix."""
+    m = np.arange(12, dtype=np.float64).reshape(3, 4)
+    col = Vector(count=3, blocklength=1, stride=4, base=DOUBLE)
+    wire = col.pack(m.ravel(), 1)
+    vals = np.frombuffer(wire, dtype=np.float64)
+    assert np.array_equal(vals, m[:, 0])
+
+
+def test_vector_not_contiguous():
+    t = Vector(3, 1, 4, DOUBLE)
+    assert not t.contiguous
+    assert t.size == 24  # 3 doubles of data
+    assert t.extent == (2 * 4 + 1) * 8  # span
+
+
+def test_vector_unpack_scatter():
+    t = Vector(2, 2, 3, INT)
+    src = np.array([1, 2, 3, 4], dtype=np.int32)
+    wire = INT.pack(src, 4)
+    dst = np.zeros(6, dtype=np.int32)
+    t.unpack(wire, dst, 1)
+    assert dst.tolist() == [1, 2, 0, 3, 4, 0]
+
+
+def test_vector_overlapping_stride_rejected():
+    with pytest.raises(DatatypeError):
+        Vector(2, 4, 2, INT)
+
+
+def test_indexed_blocks():
+    t = Indexed([2, 1], [0, 5], INT)
+    a = np.arange(8, dtype=np.int32)
+    wire = t.pack(a, 1)
+    assert np.frombuffer(wire, dtype=np.int32).tolist() == [0, 1, 5]
+
+
+def test_indexed_overlap_rejected():
+    with pytest.raises(DatatypeError):
+        Indexed([3, 2], [0, 1], INT)
+
+
+def test_indexed_validation():
+    with pytest.raises(DatatypeError):
+        Indexed([1], [0, 1], INT)
+    with pytest.raises(DatatypeError):
+        Indexed([], [], INT)
+    with pytest.raises(DatatypeError):
+        Indexed([0], [0], INT)
+    with pytest.raises(DatatypeError):
+        Indexed([1], [-1], INT)
+
+
+def test_nested_derived_types():
+    inner = Contiguous(2, INT)
+    outer = Vector(2, 1, 2, inner)  # two 2-int blocks, strided
+    a = np.arange(8, dtype=np.int32)
+    wire = outer.pack(a, 1)
+    assert np.frombuffer(wire, dtype=np.int32).tolist() == [0, 1, 4, 5]
+
+
+def test_bad_constructions():
+    with pytest.raises(DatatypeError):
+        Contiguous(0, INT)
+    with pytest.raises(DatatypeError):
+        Vector(0, 1, 1, INT)
+    with pytest.raises(DatatypeError):
+        Vector(1, 0, 1, INT)
+
+
+# ---------------------------------------------------------------------------
+# property-based round trips
+# ---------------------------------------------------------------------------
+
+
+@given(st.binary(min_size=0, max_size=512))
+def test_byte_roundtrip(data):
+    buf = bytearray(len(data))
+    BYTE.unpack(BYTE.pack(data, len(data)), buf, len(data))
+    assert bytes(buf) == data
+
+
+@given(
+    st.lists(st.integers(min_value=-(2**31), max_value=2**31 - 1), min_size=0, max_size=128)
+)
+def test_int_roundtrip(values):
+    a = np.array(values, dtype=np.int32)
+    b = np.zeros_like(a)
+    INT.unpack(INT.pack(a, a.size), b, a.size)
+    assert np.array_equal(a, b)
+
+
+@settings(max_examples=50)
+@given(
+    count=st.integers(min_value=1, max_value=5),
+    blocklength=st.integers(min_value=1, max_value=4),
+    extra_stride=st.integers(min_value=0, max_value=3),
+    items=st.integers(min_value=1, max_value=3),
+)
+def test_vector_roundtrip(count, blocklength, extra_stride, items):
+    """pack->unpack of any Vector restores exactly the covered elements."""
+    stride = blocklength + extra_stride
+    t = Vector(count, blocklength, stride, DOUBLE)
+    n = t.extent_elems * items + 8
+    rng = np.random.default_rng(42)
+    src = rng.random(n)
+    dst = np.full(n, -1.0)
+    wire = t.pack(src, items)
+    assert len(wire) == t.size * items
+    t.unpack(wire, dst, items)
+    offs = t.offsets(items)
+    assert np.array_equal(dst[offs], src[offs])
+    mask = np.ones(n, dtype=bool)
+    mask[offs] = False
+    assert np.all(dst[mask] == -1.0)  # untouched elsewhere
+
+
+@settings(max_examples=30)
+@given(st.data())
+def test_indexed_roundtrip(data):
+    nblocks = data.draw(st.integers(min_value=1, max_value=4))
+    lengths = [data.draw(st.integers(min_value=1, max_value=3)) for _ in range(nblocks)]
+    # construct non-overlapping displacements
+    disps, cur = [], 0
+    for ln in lengths:
+        gap = data.draw(st.integers(min_value=0, max_value=2))
+        disps.append(cur + gap)
+        cur = disps[-1] + ln
+    t = Indexed(lengths, disps, FLOAT)
+    n = t.extent_elems + 4
+    rng = np.random.default_rng(7)
+    src = rng.random(n).astype(np.float32)
+    dst = np.zeros(n, dtype=np.float32)
+    t.unpack(t.pack(src, 1), dst, 1)
+    offs = t.offsets(1)
+    assert np.array_equal(dst[offs], src[offs])

@@ -1,0 +1,116 @@
+"""Group algebra tests (MPI_Group_*), including property-based checks."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mpi.constants import UNDEFINED
+from repro.mpi.exceptions import CommunicatorError
+from repro.mpi.group import Group
+
+ranks_strategy = st.lists(
+    st.integers(min_value=0, max_value=31), min_size=0, max_size=12, unique=True
+)
+
+
+def test_basic_properties():
+    g = Group([3, 1, 4])
+    assert g.size == 3
+    assert g.world_rank(0) == 3
+    assert g.rank_of(4) == 2
+    assert g.rank_of(9) == UNDEFINED
+    assert g.contains(1)
+    assert not g.contains(0)
+
+
+def test_duplicates_rejected():
+    with pytest.raises(CommunicatorError):
+        Group([1, 1])
+
+
+def test_negative_rank_rejected():
+    with pytest.raises(CommunicatorError):
+        Group([-1])
+
+
+def test_world_rank_bounds():
+    g = Group([0, 1])
+    with pytest.raises(CommunicatorError):
+        g.world_rank(2)
+    with pytest.raises(CommunicatorError):
+        g.world_rank(-1)
+
+
+def test_union_preserves_mpi_order():
+    a = Group([5, 2])
+    b = Group([2, 7, 5, 9])
+    assert a.union(b).world_ranks == (5, 2, 7, 9)
+
+
+def test_intersection_order_of_first():
+    a = Group([5, 2, 8])
+    b = Group([8, 5])
+    assert a.intersection(b).world_ranks == (5, 8)
+
+
+def test_difference():
+    a = Group([1, 2, 3, 4])
+    b = Group([2, 4])
+    assert a.difference(b).world_ranks == (1, 3)
+
+
+def test_include_exclude():
+    g = Group([10, 11, 12, 13])
+    assert g.include([2, 0]).world_ranks == (12, 10)
+    assert g.exclude([1, 3]).world_ranks == (10, 12)
+    with pytest.raises(CommunicatorError):
+        g.exclude([9])
+
+
+def test_range_include():
+    g = Group(list(range(16)))
+    assert g.range_include([(0, 6, 2)]).world_ranks == (0, 2, 4, 6)
+    assert g.range_include([(6, 0, -3)]).world_ranks == (6, 3, 0)
+    with pytest.raises(CommunicatorError):
+        g.range_include([(0, 4, 0)])
+
+
+def test_equality_and_similar():
+    assert Group([1, 2]) == Group([1, 2])
+    assert Group([1, 2]) != Group([2, 1])
+    assert Group([1, 2]).similar(Group([2, 1]))
+    assert not Group([1, 2]).similar(Group([1, 3]))
+
+
+def test_hashable():
+    assert len({Group([1, 2]), Group([1, 2]), Group([2, 1])}) == 2
+
+
+# ---------------------------------------------------------------------------
+# properties
+# ---------------------------------------------------------------------------
+
+
+@given(ranks_strategy, ranks_strategy)
+def test_union_contains_both(a, b):
+    u = Group(a).union(Group(b))
+    assert set(u.world_ranks) == set(a) | set(b)
+
+
+@given(ranks_strategy, ranks_strategy)
+def test_intersection_is_common(a, b):
+    i = Group(a).intersection(Group(b))
+    assert set(i.world_ranks) == set(a) & set(b)
+
+
+@given(ranks_strategy, ranks_strategy)
+def test_difference_disjoint_from_other(a, b):
+    d = Group(a).difference(Group(b))
+    assert set(d.world_ranks) == set(a) - set(b)
+
+
+@given(ranks_strategy)
+def test_rank_translation_roundtrip(ranks):
+    g = Group(ranks)
+    for i in range(g.size):
+        assert g.rank_of(g.world_rank(i)) == i

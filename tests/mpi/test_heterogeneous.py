@@ -1,0 +1,93 @@
+"""Heterogeneous-cluster tests: per-host CPU speeds (Indy + Challenge)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.node import Host, Processor
+from repro.mpi import World
+from repro.sim import Simulator
+
+
+def test_processor_speed_scales_cost():
+    sim = Simulator()
+    slow = Processor(sim, "slow", speed=1.0)
+    fast = Processor(sim, "fast", speed=2.0)
+
+    def run(cpu):
+        def proc(sim):
+            yield from cpu.execute(100.0)
+            return sim.now
+
+        return sim.process(proc(sim))
+
+    p1 = run(slow)
+    sim.run()
+    t_slow = p1.value
+    p2 = run(fast)
+    sim.run()
+    assert t_slow == 100.0
+    assert p2.value - t_slow == 50.0  # the fast CPU did it in half the time
+
+
+def test_processor_rejects_bad_speed():
+    with pytest.raises(ValueError):
+        Processor(Simulator(), speed=0.0)
+    with pytest.raises(ValueError):
+        Host(Simulator(), 0, speed=-1.0)
+
+
+def test_host_speeds_validation():
+    with pytest.raises(ConfigurationError):
+        World(3, platform="atm", host_speeds=[1.0, 2.0])  # wrong length
+    with pytest.raises(ConfigurationError):
+        World(2, platform="meiko", host_speeds=[1.0, 1.0])  # meiko: rejected
+
+
+def test_faster_host_lower_protocol_latency():
+    """A faster receiver shaves its kernel processing off the RTT."""
+
+    def rtt(speeds):
+        def main(comm):
+            if comm.rank == 0:
+                t0 = comm.wtime()
+                yield from comm.send(b"x", dest=1, tag=1)
+                yield from comm.recv(source=1, tag=2)
+                return comm.wtime() - t0
+            else:
+                data, _ = yield from comm.recv(source=0, tag=1)
+                yield from comm.send(data, dest=0, tag=2)
+
+        return World(2, platform="atm", device="tcp", host_speeds=speeds).run(main)[0]
+
+    assert rtt([1.0, 2.0]) < rtt([1.0, 1.0])
+
+
+def test_challenge_finishes_compute_first():
+    """With equal work, the Challenge-speed host reaches the barrier
+    early and waits for the Indys — classic load imbalance."""
+
+    def main(comm):
+        t0 = comm.wtime()
+        yield from comm.endpoint.host.compute(10_000.0)
+        compute_done = comm.wtime() - t0
+        yield from comm.barrier()
+        return compute_done
+
+    speeds = [1.0, 1.0, 1.0, 1.5]  # three Indys + one Challenge
+    res = World(4, platform="atm", device="tcp", host_speeds=speeds).run(main)
+    assert res[3] < res[0]
+    assert res[3] == pytest.approx(10_000.0 / 1.5, rel=0.01)
+
+
+def test_heterogeneous_nbody_still_correct():
+    from repro.apps import generate_particles, nbody_ring, reference_forces
+
+    def main(comm):
+        f, _ = yield from nbody_ring(comm, nparticles=16, seed=2, flop_time=0.03)
+        return f
+
+    res = World(4, platform="atm", device="tcp",
+                host_speeds=[1.0, 1.5, 1.0, 1.2]).run(main)
+    expected = reference_forces(generate_particles(16, seed=2))
+    assert np.allclose(res[0], expected, atol=1e-9)

@@ -1,0 +1,180 @@
+"""Matching-engine unit tests: MPI matching rules and ordering."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG, INTERNAL_TAG_BASE
+from repro.mpi.envelope import Envelope
+from repro.mpi.exceptions import ResourceExhausted
+from repro.mpi.matching import Arrival, MatchQueues
+from repro.mpi.request import Request
+
+
+class FakeComm:
+    def __init__(self, context_id=0):
+        self.context_id = context_id
+
+
+def recv_req(source=ANY_SOURCE, tag=ANY_TAG, context=0):
+    return Request("recv", FakeComm(context), None, 0, None, source, tag)
+
+
+def arrival(src=0, tag=0, context=0, nbytes=4, data=b"\x00" * 4, seq=0):
+    return Arrival(Envelope(src=src, tag=tag, context=context, nbytes=nbytes, seq=seq), data=data)
+
+
+def test_post_then_arrive_matches():
+    q = MatchQueues()
+    req = recv_req(source=1, tag=5)
+    assert q.post(req) == (None, 0)
+    matched, comps = q.arrive(arrival(src=1, tag=5))
+    assert matched is req
+    assert comps == 1
+    assert not q.posted and not q.unexpected
+
+
+def test_arrive_then_post_matches():
+    q = MatchQueues()
+    arr = arrival(src=1, tag=5)
+    assert q.arrive(arr) == (None, 0)
+    matched, comps = q.post(recv_req(source=1, tag=5))
+    assert matched is arr
+
+
+def test_any_source_any_tag():
+    q = MatchQueues()
+    req = recv_req()
+    q.post(req)
+    matched, _ = q.arrive(arrival(src=3, tag=99))
+    assert matched is req
+
+
+def test_wrong_tag_does_not_match():
+    q = MatchQueues()
+    q.post(recv_req(tag=5))
+    matched, _ = q.arrive(arrival(tag=6))
+    assert matched is None
+    assert len(q.unexpected) == 1
+
+
+def test_wrong_source_does_not_match():
+    q = MatchQueues()
+    q.post(recv_req(source=1, tag=ANY_TAG))
+    matched, _ = q.arrive(arrival(src=2))
+    assert matched is None
+
+
+def test_context_isolation():
+    q = MatchQueues()
+    q.post(recv_req(context=1))
+    matched, _ = q.arrive(arrival(context=2))
+    assert matched is None
+
+
+def test_wildcard_does_not_match_internal_tags():
+    """User ANY_TAG receives must not steal collective traffic."""
+    q = MatchQueues()
+    q.post(recv_req(tag=ANY_TAG))
+    matched, _ = q.arrive(arrival(tag=INTERNAL_TAG_BASE + 1))
+    assert matched is None
+    # but an exact internal-tag receive does match
+    matched, _ = q.post(recv_req(tag=INTERNAL_TAG_BASE + 1))
+    assert matched is not None
+
+
+def test_fifo_unexpected_order_same_sender():
+    """Non-overtaking: the oldest compatible unexpected message wins."""
+    q = MatchQueues()
+    a1 = arrival(src=0, tag=7, seq=0, data=b"one!")
+    a2 = arrival(src=0, tag=7, seq=1, data=b"two!")
+    q.arrive(a1)
+    q.arrive(a2)
+    matched, _ = q.post(recv_req(source=0, tag=7))
+    assert matched is a1
+    matched, _ = q.post(recv_req(source=0, tag=7))
+    assert matched is a2
+
+
+def test_fifo_posted_order():
+    """The oldest compatible posted receive wins."""
+    q = MatchQueues()
+    r1 = recv_req(tag=ANY_TAG)
+    r2 = recv_req(tag=ANY_TAG)
+    q.post(r1)
+    q.post(r2)
+    matched, _ = q.arrive(arrival())
+    assert matched is r1
+
+
+def test_tagged_receive_skips_earlier_nonmatching():
+    q = MatchQueues()
+    q.arrive(arrival(tag=1, data=b"aaaa"))
+    q.arrive(arrival(tag=2, data=b"bbbb"))
+    matched, comps = q.post(recv_req(tag=2))
+    assert matched.data == b"bbbb"
+    assert comps == 2
+
+
+def test_probe_non_consuming():
+    q = MatchQueues()
+    q.arrive(arrival(src=1, tag=3))
+    hit = q.probe(1, 3, 0)
+    assert hit is not None
+    assert len(q.unexpected) == 1
+    assert q.probe(1, 4, 0) is None
+    assert q.probe(2, 3, 0) is None
+    assert q.probe(ANY_SOURCE, ANY_TAG, 0) is not None
+
+
+def test_cancel_post():
+    q = MatchQueues()
+    req = recv_req()
+    q.post(req)
+    assert q.cancel_post(req)
+    assert not q.cancel_post(req)
+    matched, _ = q.arrive(arrival())
+    assert matched is None
+
+
+def test_unexpected_overflow_raises():
+    q = MatchQueues(max_unexpected=2)
+    q.arrive(arrival(tag=1))
+    q.arrive(arrival(tag=2))
+    with pytest.raises(ResourceExhausted):
+        q.arrive(arrival(tag=3))
+
+
+@given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3)), min_size=1, max_size=30))
+def test_property_matched_pairs_are_compatible(messages):
+    """Whatever arrives, every match pairs a compatible (source, tag)."""
+    q = MatchQueues()
+    matches = []
+    for i, (src, tag) in enumerate(messages):
+        if i % 2 == 0:
+            req = recv_req(source=src if src != 3 else ANY_SOURCE, tag=tag if tag != 3 else ANY_TAG)
+            arr, _ = q.post(req)
+            if arr:
+                matches.append((req, arr))
+        else:
+            arr = arrival(src=src, tag=tag, seq=i)
+            r, _ = q.arrive(arr)
+            if r:
+                matches.append((r, arr))
+    for req, arr in matches:
+        env = arr.envelope
+        assert req.peer in (ANY_SOURCE, env.src)
+        assert req.tag in (ANY_TAG, env.tag)
+
+
+@given(st.integers(2, 20))
+def test_property_same_key_messages_match_in_seq_order(n):
+    """For identical (src, tag), matched sequence numbers are increasing."""
+    q = MatchQueues()
+    for i in range(n):
+        q.arrive(arrival(src=0, tag=1, seq=i))
+    seqs = []
+    for _ in range(n):
+        m, _ = q.post(recv_req(source=0, tag=1))
+        seqs.append(m.envelope.seq)
+    assert seqs == sorted(seqs)

@@ -1,0 +1,78 @@
+"""Timeline (Gantt) tests."""
+
+import pytest
+
+from repro.mpi.profiling import profile
+from repro.mpi.timeline import Timeline
+from tests.conftest import run_world
+
+
+def test_record_and_analyze():
+    tl = Timeline()
+    tl.record(0, "send", 0.0, 10.0)
+    tl.record(0, "recv", 20.0, 50.0)
+    tl.record(1, "recv", 5.0, 15.0)
+    assert tl.ranks() == [0, 1]
+    assert tl.mpi_time(0) == 40.0
+    assert tl.busiest_call(0) == "recv"
+    assert tl.busiest_call(2) is None
+
+
+def test_record_rejects_inverted_span():
+    tl = Timeline()
+    with pytest.raises(ValueError):
+        tl.record(0, "send", 10.0, 5.0)
+
+
+def test_render_empty():
+    assert "no spans" in Timeline().render()
+
+
+def test_render_shape():
+    tl = Timeline()
+    tl.record(0, "send", 0.0, 50.0)
+    tl.record(1, "recv", 50.0, 100.0)
+    out = tl.render(width=20)
+    lines = out.splitlines()
+    assert lines[0].startswith("rank  0 |")
+    assert lines[1].startswith("rank  1 |")
+    # rank 0 busy in the first half, rank 1 in the second
+    row0 = lines[0].split("|")[1]
+    row1 = lines[1].split("|")[1]
+    assert row0[0] == "#" and row0[-1] == "."
+    assert row1[0] == "." and row1[-1] == "#"
+    assert "% in MPI" in lines[0]
+
+
+def test_collects_from_profiled_world():
+    tl = Timeline()
+
+    def main(comm):
+        p = profile(comm, timeline=tl)
+        other = 1 - comm.rank
+        yield from p.sendrecv(b"x" * 64, dest=other, source=other)
+        yield from p.barrier()
+        return True
+
+    run_world(2, main)
+    assert set(tl.ranks()) == {0, 1}
+    calls = {s.call for s in tl.spans}
+    assert "sendrecv" in calls and "barrier" in calls
+    rendered = tl.render(width=30)
+    assert "rank  0" in rendered and "rank  1" in rendered
+
+
+def test_timeline_shows_imbalance():
+    """A rank that computes longer shows less MPI occupancy."""
+    tl = Timeline()
+
+    def main(comm):
+        p = profile(comm, timeline=tl)
+        # rank 1 computes 10x longer before the barrier
+        yield from comm.endpoint.host.compute(1000.0 * (1 + 9 * comm.rank))
+        yield from p.barrier()
+        return True
+
+    run_world(2, main)
+    # rank 0 waits in the barrier for rank 1 -> more MPI time
+    assert tl.mpi_time(0) > tl.mpi_time(1) * 3

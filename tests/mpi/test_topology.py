@@ -1,0 +1,166 @@
+"""Cartesian topology tests (dims_create, CartComm, halo exchange)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mpi import PROC_NULL, World, create_cart, dims_create
+from repro.mpi.exceptions import CommunicatorError
+from tests.conftest import run_world
+
+
+# ---------------------------------------------------------------------------
+# dims_create
+# ---------------------------------------------------------------------------
+
+
+def test_dims_create_balanced():
+    assert sorted(dims_create(12, 2)) == [3, 4]
+    assert sorted(dims_create(16, 2)) == [4, 4]
+    assert sorted(dims_create(8, 3)) == [2, 2, 2]
+
+
+def test_dims_create_respects_fixed():
+    out = dims_create(12, 2, [3, 0])
+    assert out == [3, 4]
+
+
+def test_dims_create_prime():
+    assert sorted(dims_create(7, 2)) == [1, 7]
+
+
+def test_dims_create_errors():
+    with pytest.raises(CommunicatorError):
+        dims_create(12, 2, [5, 0])  # 12 not divisible by 5
+    with pytest.raises(CommunicatorError):
+        dims_create(12, 2, [3, 5])  # fully fixed but wrong product
+    with pytest.raises(CommunicatorError):
+        dims_create(12, 3, [0, 0])  # length mismatch
+
+
+@given(st.integers(min_value=1, max_value=256), st.integers(min_value=1, max_value=4))
+def test_dims_create_product_property(n, ndims):
+    dims = dims_create(n, ndims)
+    prod = 1
+    for d in dims:
+        prod *= d
+    assert prod == n
+    assert all(d >= 1 for d in dims)
+
+
+# ---------------------------------------------------------------------------
+# CartComm structure
+# ---------------------------------------------------------------------------
+
+
+def test_cart_coords_roundtrip(meiko_device):
+    platform, device = meiko_device
+
+    def main(comm):
+        cart = yield from create_cart(comm, [2, 3])
+        me = cart.coords()
+        assert cart.cart_rank(me) == cart.rank
+        # every rank's coords round-trip
+        for r in range(cart.size):
+            assert cart.cart_rank(cart.coords(r)) == r
+        return me
+
+    res = run_world(6, main, platform, device)
+    assert res[0] == (0, 0)
+    assert res[5] == (1, 2)
+
+
+def test_cart_shift_interior_and_edges():
+    def main(comm):
+        cart = yield from create_cart(comm, [2, 2], periods=[False, False])
+        src, dst = cart.shift(0, 1)
+        yield comm.endpoint.sim.timeout(0)
+        return (cart.coords(), src, dst)
+
+    res = run_world(4, main)
+    # rank 0 = (0,0): shifting along dim 0 -> src PROC_NULL, dst rank 2
+    assert res[0] == ((0, 0), PROC_NULL, 2)
+    assert res[2] == ((1, 0), 0, PROC_NULL)
+
+
+def test_cart_shift_periodic_wraps():
+    def main(comm):
+        cart = yield from create_cart(comm, [4], periods=[True])
+        src, dst = cart.shift(0, 1)
+        yield comm.endpoint.sim.timeout(0)
+        return (src, dst)
+
+    res = run_world(4, main)
+    assert res[0] == (3, 1)
+    assert res[3] == (2, 0)
+
+
+def test_cart_excess_ranks_get_none():
+    def main(comm):
+        cart = yield from create_cart(comm, [2])
+        return cart if cart is None else cart.rank
+
+    res = run_world(3, main)
+    assert res == [0, 1, None]
+
+
+def test_cart_too_big_rejected():
+    def main(comm):
+        with pytest.raises(CommunicatorError):
+            yield from create_cart(comm, [5])
+
+    run_world(2, main)
+
+
+def test_cart_sub_splits_rows():
+    def main(comm):
+        cart = yield from create_cart(comm, [2, 2])
+        row = yield from cart.sub([False, True])  # keep the column dim
+        local = np.array([float(cart.rank)])
+        total = yield from row.allreduce(local)
+        return (cart.coords(), row.size, float(total[0]))
+
+    res = run_world(4, main)
+    # rows {0,1} and {2,3}: sums 1 and 5
+    assert res[0] == ((0, 0), 2, 1.0)
+    assert res[3] == ((1, 1), 2, 5.0)
+
+
+def test_cart_neighbors():
+    def main(comm):
+        cart = yield from create_cart(comm, [3], periods=[True])
+        yield comm.endpoint.sim.timeout(0)
+        return cart.neighbors()
+
+    res = run_world(3, main)
+    assert res[1] == [0, 2]
+
+
+# ---------------------------------------------------------------------------
+# halo exchange integration (the canonical Cartesian use)
+# ---------------------------------------------------------------------------
+
+
+def test_halo_exchange_1d_ring(any_device):
+    """Each rank exchanges boundary values with its ring neighbours via
+    sendrecv on a periodic Cartesian communicator."""
+    platform, device = any_device
+
+    def main(comm):
+        cart = yield from create_cart(comm, [comm.size], periods=[True])
+        left, right = cart.shift(0, 1)
+        mine = np.full(4, float(cart.rank))
+        halo = np.zeros(4)
+        # send my block right, receive my left neighbour's block
+        _, status = yield from cart.sendrecv(
+            mine, dest=right, recvbuf=halo, source=left, sendtag=11, recvtag=11
+        )
+        return float(halo[0]), status.source
+
+    nprocs = 4
+    res = run_world(nprocs, main, platform, device)
+    for r, (val, src) in enumerate(res):
+        expected = (r - 1) % nprocs
+        assert val == float(expected)
+        assert src == expected

@@ -1,0 +1,99 @@
+"""World runner tests: errors, deadlock detection, context allocation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mpi import World
+
+
+def test_run_returns_per_rank_values():
+    def main(comm):
+        yield comm.endpoint.sim.timeout(1.0)
+        return comm.rank * 2
+
+    assert World(3).run(main) == [0, 2, 4]
+
+
+def test_rank_exception_propagates():
+    def main(comm):
+        yield comm.endpoint.sim.timeout(1.0)
+        if comm.rank == 1:
+            raise ValueError("rank 1 exploded")
+
+    with pytest.raises(ValueError, match="rank 1 exploded"):
+        World(2).run(main)
+
+
+def test_deadlock_detected():
+    def main(comm):
+        # both ranks receive; nobody sends
+        yield from comm.recv(source=1 - comm.rank, tag=0)
+
+    with pytest.raises(ConfigurationError, match="deadlock"):
+        World(2).run(main)
+
+
+def test_time_limit():
+    def main(comm):
+        yield comm.endpoint.sim.timeout(10_000.0)
+
+    with pytest.raises(ConfigurationError, match="time limit"):
+        World(1).run(main, limit=100.0)
+
+
+def test_unknown_platform_rejected():
+    with pytest.raises(ConfigurationError):
+        World(2, platform="transputer")
+
+
+def test_unknown_device_rejected():
+    with pytest.raises(ConfigurationError):
+        World(2, platform="meiko", device="warp")
+
+
+def test_zero_procs_rejected():
+    with pytest.raises(ConfigurationError):
+        World(0)
+
+
+def test_context_allocation_is_memoized():
+    w = World(2)
+    a = w.allocate_context(("k", 1))
+    b = w.allocate_context(("k", 2))
+    assert a != b
+    assert w.allocate_context(("k", 1)) == a
+
+
+def test_wtime_monotonic_and_shared():
+    def main(comm):
+        t0 = comm.wtime()
+        yield from comm.barrier()
+        t1 = comm.wtime()
+        assert t1 >= t0
+        return t1
+
+    times = World(3).run(main)
+    # all ranks read the same global clock: spread is small after a barrier
+    assert max(times) - min(times) < 1000.0
+
+
+def test_determinism_same_seed():
+    def main(comm):
+        if comm.rank == 0:
+            yield from comm.send(b"x" * 100, dest=1, tag=1)
+            return comm.wtime()
+        data, _ = yield from comm.recv(source=0, tag=1)
+        return comm.wtime()
+
+    t1 = World(2, seed=5).run(main)
+    t2 = World(2, seed=5).run(main)
+    assert t1 == t2
+
+
+def test_run_subset_of_ranks():
+    def main(comm):
+        yield comm.endpoint.sim.timeout(1.0)
+        return comm.rank
+
+    w = World(4)
+    assert w.run(main, ranks=[0, 2]) == [0, 2]

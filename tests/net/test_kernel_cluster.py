@@ -1,0 +1,155 @@
+"""Kernel / ClusterMachine / Fore API tests: cost charging, dispatch,
+CPU contention between protocol work and application compute."""
+
+import pytest
+
+from repro.errors import ConfigurationError, NetworkError
+from repro.hw.cluster import ClusterMachine
+from repro.net.kernel import ATM_KERNEL, ETH_KERNEL, KernelParams
+from repro.net.tcp import TcpLayer
+from repro.sim import Simulator
+
+
+def build(network="ethernet", **kw):
+    sim = Simulator()
+    return sim, ClusterMachine(sim, 2, network=network, **kw)
+
+
+# ---------------------------------------------------------------------------
+# machine construction
+# ---------------------------------------------------------------------------
+
+
+def test_cluster_validation():
+    sim = Simulator()
+    with pytest.raises(ConfigurationError):
+        ClusterMachine(sim, 0)
+    with pytest.raises(ConfigurationError):
+        ClusterMachine(sim, 2, network="token-ring")
+
+
+def test_mss_per_interface():
+    _, eth = build("ethernet")
+    _, atm = build("atm")
+    assert eth.kernels[0].mss == 1500 - 40
+    assert atm.kernels[0].mss == 9188 - 40
+    assert atm.kernels[0].mss > eth.kernels[0].mss
+
+
+def test_kernel_profiles_differ():
+    _, eth = build("ethernet")
+    _, atm = build("atm")
+    assert eth.kernels[0].params is ETH_KERNEL
+    assert atm.kernels[0].params is ATM_KERNEL
+    assert atm.kernels[0].params.syscall_read > eth.kernels[0].params.syscall_read
+
+
+def test_kernel_params_override():
+    kp = KernelParams().with_overrides(syscall_read=5.0)
+    _, m = build("ethernet", kernel_params=kp)
+    assert m.kernels[0].params.syscall_read == 5.0
+
+
+def test_fore_requires_atm():
+    _, m = build("ethernet")
+    with pytest.raises(ConfigurationError):
+        m.fore(0)
+
+
+def test_fore_api_lazy_and_cached():
+    _, m = build("atm")
+    assert m.fore(0) is m.fore(0)
+
+
+def test_fore_bind_duplicate_rejected():
+    _, m = build("atm")
+    api = m.fore(0)
+    api.bind(5)
+    with pytest.raises(NetworkError):
+        api.bind(5)
+
+
+def test_fore_recv_unbound_rejected():
+    sim, m = build("atm")
+    api = m.fore(0)
+    with pytest.raises(NetworkError):
+        next(api.recv(99))
+
+
+# ---------------------------------------------------------------------------
+# cost charging
+# ---------------------------------------------------------------------------
+
+
+def test_syscall_costs_charged_to_cpu():
+    sim, m = build("ethernet")
+    k = m.kernels[0]
+
+    def proc(sim):
+        yield from k.syscall_write(1000)
+        yield from k.syscall_read(1000)
+
+    sim.process(proc(sim))
+    sim.run()
+    p = k.params
+    expected = p.syscall_write + p.syscall_read + 2000 * p.copy_per_byte
+    assert m.hosts[0].cpu.busy_time == pytest.approx(expected)
+
+
+def test_protocol_work_contends_with_compute():
+    """A host busy computing delays its own receive processing."""
+
+    def one_way(busy: bool):
+        sim, m = build("ethernet")
+        a, b = TcpLayer.connect_pair(m.kernels[0], m.kernels[1], 5000, 5000)
+
+        def sender(sim):
+            yield sim.timeout(10.0)
+            yield from a.send(b"x" * 100)
+
+        def busy_receiver(sim):
+            if busy:
+                # hog the CPU in one huge uninterruptible slice
+                yield from m.hosts[1].cpu.execute(5_000.0)
+            got = yield from b.recv_exact(100)
+            return sim.now
+
+        sim.process(sender(sim))
+        p = sim.process(busy_receiver(sim))
+        sim.run()
+        return p.value
+
+    assert one_way(True) > one_way(False) + 3000.0
+
+
+def test_rx_worker_dispatches_by_type():
+    """Unknown link payload types are ignored, not crashed on."""
+    sim, m = build("ethernet")
+
+    class Alien:
+        pass
+
+    m.kernels[0].enqueue_rx(Alien())
+    sim.run()  # no exception
+
+
+def test_ip_layer_stats():
+    sim, m = build("ethernet")
+    sock0 = m.kernels[0].udp.bind(1)
+    sock1 = m.kernels[1].udp.bind(1)
+
+    def sender(sim):
+        yield from sock0.sendto(1, 1, bytes(4000))
+
+    sim.process(sender(sim))
+    sim.run()
+    assert m.kernels[0].ip.datagrams_sent == 1
+    assert m.kernels[0].ip.fragments_sent > 1
+    assert m.kernels[1].ip.datagrams_delivered == 1
+
+
+def test_atm_kernel_fore_costs_nonzero():
+    assert ATM_KERNEL.fore_out > 0
+    assert ATM_KERNEL.fore_in > 0
+    # and the Ethernet profile has no Fore path
+    assert ETH_KERNEL.fore_out == 0

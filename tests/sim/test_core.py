@@ -1,0 +1,542 @@
+"""Unit tests for the discrete-event kernel: events, processes, time."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+# ---------------------------------------------------------------------------
+# clock & timeouts
+# ---------------------------------------------------------------------------
+
+
+def test_clock_starts_at_zero(sim):
+    assert sim.now == 0.0
+
+
+def test_timeout_advances_clock(sim):
+    log = []
+
+    def proc(sim):
+        yield sim.timeout(5.0)
+        log.append(sim.now)
+        yield sim.timeout(2.5)
+        log.append(sim.now)
+
+    sim.process(proc(sim))
+    sim.run()
+    assert log == [5.0, 7.5]
+
+
+def test_timeout_carries_value(sim):
+    def proc(sim):
+        v = yield sim.timeout(1.0, value="payload")
+        return v
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert p.value == "payload"
+
+
+def test_negative_timeout_rejected(sim):
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_zero_timeout_fires_same_time(sim):
+    def proc(sim):
+        yield sim.timeout(0.0)
+        return sim.now
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert p.value == 0.0
+
+
+def test_run_until_horizon_leaves_pending_events(sim):
+    fired = []
+
+    def proc(sim):
+        yield sim.timeout(10.0)
+        fired.append(sim.now)
+
+    sim.process(proc(sim))
+    sim.run(until=5.0)
+    assert fired == []
+    assert sim.now == 5.0
+    sim.run()
+    assert fired == [10.0]
+
+
+def test_run_until_in_past_rejected(sim):
+    sim.run(until=5.0)
+    with pytest.raises(ValueError):
+        sim.run(until=1.0)
+
+
+def test_peek_reports_next_event_time(sim):
+    assert sim.peek() == float("inf")
+    sim.timeout(4.0)
+    assert sim.peek() == 4.0
+
+
+# ---------------------------------------------------------------------------
+# deterministic ordering
+# ---------------------------------------------------------------------------
+
+
+def test_same_time_events_fire_in_creation_order(sim):
+    order = []
+
+    def proc(sim, tag):
+        yield sim.timeout(1.0)
+        order.append(tag)
+
+    for tag in "abcde":
+        sim.process(proc(sim, tag))
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_interleaving_is_deterministic():
+    def run_once():
+        sim = Simulator()
+        order = []
+
+        def a(sim):
+            for _ in range(3):
+                yield sim.timeout(2.0)
+                order.append(("a", sim.now))
+
+        def b(sim):
+            for _ in range(3):
+                yield sim.timeout(3.0)
+                order.append(("b", sim.now))
+
+        sim.process(a(sim))
+        sim.process(b(sim))
+        sim.run()
+        return order
+
+    assert run_once() == run_once()
+
+
+# ---------------------------------------------------------------------------
+# events
+# ---------------------------------------------------------------------------
+
+
+def test_event_succeed_wakes_waiter(sim):
+    ev = sim.event()
+    got = []
+
+    def waiter(sim, ev):
+        v = yield ev
+        got.append((sim.now, v))
+
+    def firer(sim, ev):
+        yield sim.timeout(3.0)
+        ev.succeed(42)
+
+    sim.process(waiter(sim, ev))
+    sim.process(firer(sim, ev))
+    sim.run()
+    assert got == [(3.0, 42)]
+
+
+def test_event_double_trigger_rejected(sim):
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+    with pytest.raises(SimulationError):
+        ev.fail(RuntimeError())
+
+
+def test_event_value_before_trigger_rejected(sim):
+    ev = sim.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+    with pytest.raises(SimulationError):
+        _ = ev.ok
+
+
+def test_event_fail_throws_into_waiter(sim):
+    class Boom(Exception):
+        pass
+
+    caught = []
+
+    def waiter(sim, ev):
+        try:
+            yield ev
+        except Boom as e:
+            caught.append(e)
+
+    ev = sim.event()
+    sim.process(waiter(sim, ev))
+    ev.fail(Boom())
+    sim.run()
+    assert len(caught) == 1
+
+
+def test_unhandled_failed_event_aborts_run(sim):
+    ev = sim.event()
+    ev.fail(RuntimeError("nobody caught me"))
+    with pytest.raises(RuntimeError, match="nobody caught me"):
+        sim.run()
+
+
+def test_defused_failure_does_not_abort(sim):
+    ev = sim.event()
+    ev.fail(RuntimeError("defused"))
+    ev.defuse()
+    sim.run()  # no raise
+
+
+def test_fail_requires_exception(sim):
+    with pytest.raises(TypeError):
+        sim.event().fail("not an exception")
+
+
+def test_yield_already_fired_event_resumes_immediately(sim):
+    ev = sim.event()
+    ev.succeed("early")
+
+    def proc(sim, ev):
+        yield sim.timeout(5.0)
+        v = yield ev  # fired long ago
+        return (sim.now, v)
+
+    p = sim.process(proc(sim, ev))
+    sim.run()
+    assert p.value == (5.0, "early")
+
+
+def test_callback_after_fire_runs_immediately(sim):
+    ev = sim.event()
+    ev.succeed(7)
+    sim.run()
+    seen = []
+    ev.add_callback(lambda e: seen.append(e.value))
+    assert seen == [7]
+
+
+# ---------------------------------------------------------------------------
+# processes
+# ---------------------------------------------------------------------------
+
+
+def test_process_return_value(sim):
+    def proc(sim):
+        yield sim.timeout(1.0)
+        return "result"
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert p.ok and p.value == "result"
+
+
+def test_process_exception_propagates_to_waiter(sim):
+    def bad(sim):
+        yield sim.timeout(1.0)
+        raise ValueError("inner")
+
+    def outer(sim):
+        try:
+            yield sim.process(bad(sim))
+        except ValueError as e:
+            return str(e)
+
+    p = sim.process(outer(sim))
+    sim.run()
+    assert p.value == "inner"
+
+
+def test_unwaited_process_exception_aborts_run(sim):
+    def bad(sim):
+        yield sim.timeout(1.0)
+        raise ValueError("unwaited")
+
+    sim.process(bad(sim))
+    with pytest.raises(ValueError, match="unwaited"):
+        sim.run()
+
+
+def test_process_is_waitable_event(sim):
+    def child(sim):
+        yield sim.timeout(4.0)
+        return 99
+
+    def parent(sim):
+        v = yield sim.process(child(sim))
+        return (sim.now, v)
+
+    p = sim.process(parent(sim))
+    sim.run()
+    assert p.value == (4.0, 99)
+
+
+def test_yield_from_composition(sim):
+    def leaf(sim):
+        yield sim.timeout(2.0)
+        return 5
+
+    def mid(sim):
+        v = yield from leaf(sim)
+        yield sim.timeout(1.0)
+        return v * 2
+
+    def top(sim):
+        v = yield from mid(sim)
+        return v + 1
+
+    p = sim.process(top(sim))
+    sim.run()
+    assert p.value == 11
+    assert sim.now == 3.0
+
+
+def test_process_rejects_non_generator(sim):
+    with pytest.raises(TypeError):
+        Process(sim, lambda: None)
+
+
+def test_yielding_non_event_fails_process(sim):
+    def bad(sim):
+        yield 42
+
+    def outer(sim):
+        with pytest.raises(SimulationError):
+            yield sim.process(bad(sim))
+
+    sim.process(outer(sim))
+    sim.run()
+
+
+def test_is_alive(sim):
+    def proc(sim):
+        yield sim.timeout(5.0)
+
+    p = sim.process(proc(sim))
+    assert p.is_alive
+    sim.run()
+    assert not p.is_alive
+
+
+def test_run_until_complete_returns_value(sim):
+    def proc(sim):
+        yield sim.timeout(1.0)
+        return 123
+
+    p = sim.process(proc(sim))
+    assert sim.run_until_complete(p) == 123
+
+
+def test_run_until_complete_reraises(sim):
+    def proc(sim):
+        yield sim.timeout(1.0)
+        raise KeyError("boom")
+
+    p = sim.process(proc(sim))
+    with pytest.raises(KeyError):
+        sim.run_until_complete(p)
+
+
+def test_run_until_complete_detects_deadlock(sim):
+    def proc(sim):
+        yield sim.event()  # never fires
+
+    p = sim.process(proc(sim))
+    with pytest.raises(SimulationError, match="deadlock"):
+        sim.run_until_complete(p)
+
+
+def test_run_until_complete_respects_limit(sim):
+    def proc(sim):
+        yield sim.timeout(1000.0)
+
+    p = sim.process(proc(sim))
+    with pytest.raises(SimulationError, match="limit"):
+        sim.run_until_complete(p, limit=10.0)
+
+
+# ---------------------------------------------------------------------------
+# interrupts
+# ---------------------------------------------------------------------------
+
+
+def test_interrupt_delivers_cause(sim):
+    caught = []
+
+    def sleeper(sim):
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as i:
+            caught.append((sim.now, i.cause))
+
+    def interrupter(sim, victim):
+        yield sim.timeout(5.0)
+        victim.interrupt("wake up")
+
+    victim = sim.process(sleeper(sim))
+    sim.process(interrupter(sim, victim))
+    sim.run()
+    assert caught == [(5.0, "wake up")]
+
+
+def test_interrupted_process_can_rewait_original_event(sim):
+    log = []
+
+    def sleeper(sim):
+        to = sim.timeout(100.0)
+        try:
+            yield to
+        except Interrupt:
+            log.append(("interrupted", sim.now))
+        yield to  # resume waiting for the same timeout
+        log.append(("done", sim.now))
+
+    def interrupter(sim, victim):
+        yield sim.timeout(10.0)
+        victim.interrupt()
+
+    victim = sim.process(sleeper(sim))
+    sim.process(interrupter(sim, victim))
+    sim.run()
+    assert log == [("interrupted", 10.0), ("done", 100.0)]
+
+
+def test_interrupt_finished_process_rejected(sim):
+    def quick(sim):
+        yield sim.timeout(1.0)
+
+    p = sim.process(quick(sim))
+    sim.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_self_interrupt_rejected(sim):
+    def proc(sim):
+        me = sim.active_process
+        with pytest.raises(SimulationError):
+            me.interrupt()
+        yield sim.timeout(1.0)
+
+    sim.process(proc(sim))
+    sim.run()
+
+
+def test_uncaught_interrupt_fails_process(sim):
+    def sleeper(sim):
+        yield sim.timeout(100.0)
+
+    def outer(sim, victim):
+        yield sim.timeout(1.0)
+        victim.interrupt("die")
+        try:
+            yield victim
+        except Interrupt as i:
+            return i.cause
+
+    victim = sim.process(sleeper(sim))
+    p = sim.process(outer(sim, victim))
+    sim.run()
+    assert p.value == "die"
+
+
+# ---------------------------------------------------------------------------
+# conditions
+# ---------------------------------------------------------------------------
+
+
+def test_any_of_fires_on_first(sim):
+    def proc(sim):
+        t1 = sim.timeout(5.0, "slow")
+        t2 = sim.timeout(2.0, "fast")
+        result = yield AnyOf(sim, [t1, t2])
+        return (sim.now, result)
+
+    p = sim.process(proc(sim))
+    sim.run()
+    t, result = p.value
+    assert t == 2.0
+    assert list(result.values()) == ["fast"]
+
+
+def test_all_of_waits_for_all(sim):
+    def proc(sim):
+        t1 = sim.timeout(5.0, "a")
+        t2 = sim.timeout(2.0, "b")
+        result = yield AllOf(sim, [t1, t2])
+        return (sim.now, sorted(result.values()))
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert p.value == (5.0, ["a", "b"])
+
+
+def test_empty_all_of_fires_immediately(sim):
+    def proc(sim):
+        result = yield AllOf(sim, [])
+        return result
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert p.value == {}
+
+
+def test_condition_failure_propagates(sim):
+    def failer(sim):
+        yield sim.timeout(1.0)
+        raise RuntimeError("child died")
+
+    def proc(sim):
+        child = sim.process(failer(sim))
+        with pytest.raises(RuntimeError):
+            yield AllOf(sim, [child, sim.timeout(10.0)])
+        return sim.now
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert p.value == 1.0
+
+
+def test_condition_mixed_simulators_rejected(sim):
+    other = Simulator()
+    with pytest.raises(SimulationError):
+        AllOf(sim, [sim.timeout(1.0), other.timeout(1.0)])
+
+
+def test_any_of_helper_method(sim):
+    def proc(sim):
+        yield sim.any_of([sim.timeout(1.0), sim.timeout(2.0)])
+        return sim.now
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert p.value == 1.0
+
+
+def test_all_of_helper_method(sim):
+    def proc(sim):
+        yield sim.all_of([sim.timeout(1.0), sim.timeout(2.0)])
+        return sim.now
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert p.value == 2.0

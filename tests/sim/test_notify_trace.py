@@ -1,0 +1,143 @@
+"""Tests for Notify (counted events) and the Tracer."""
+
+import pytest
+
+from repro.sim import Simulator, Tracer
+from repro.sim.notify import Notify
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+# ---------------------------------------------------------------------------
+# Notify
+# ---------------------------------------------------------------------------
+
+
+def test_set_before_wait_counted(sim):
+    n = Notify(sim)
+    n.set()
+    n.set()
+    assert n.count == 2
+
+    def proc(sim):
+        yield n.wait()
+        yield n.wait()
+        return sim.now
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert p.value == 0.0
+    assert n.count == 0
+
+
+def test_waiters_fifo(sim):
+    n = Notify(sim)
+    order = []
+
+    def waiter(sim, tag):
+        yield n.wait()
+        order.append(tag)
+
+    for tag in "abc":
+        sim.process(waiter(sim, tag))
+
+    def setter(sim):
+        for _ in range(3):
+            yield sim.timeout(1.0)
+            n.set()
+
+    sim.process(setter(sim))
+    sim.run()
+    assert order == list("abc")
+
+
+def test_cancel_wait_preserves_token(sim):
+    n = Notify(sim)
+    ev = n.wait()
+    assert n.cancel_wait(ev)
+    n.set()
+    assert n.count == 1  # the cancelled waiter did not consume it
+    assert not n.cancel_wait(ev)  # second cancel is a no-op
+
+
+def test_poll(sim):
+    n = Notify(sim)
+    assert not n.poll()
+    n.set()
+    assert n.poll()
+    assert not n.poll()
+
+
+def test_total_sets_counts_lifetime(sim):
+    n = Notify(sim)
+    for _ in range(5):
+        n.set()
+    n.poll()
+    assert n.total_sets == 5
+
+
+# ---------------------------------------------------------------------------
+# Tracer
+# ---------------------------------------------------------------------------
+
+
+def test_tracer_disabled_by_default():
+    t = Tracer()
+    t.log(1.0, "cat", "x")
+    assert t.records == []
+
+
+def test_tracer_enable_specific():
+    t = Tracer()
+    t.enable("a")
+    t.log(1.0, "a", 1)
+    t.log(2.0, "b", 2)
+    assert len(t.records) == 1
+    assert t.records[0].category == "a"
+
+
+def test_tracer_wildcard():
+    t = Tracer()
+    t.enable("*")
+    t.log(1.0, "anything")
+    assert len(t.records) == 1
+
+
+def test_tracer_disable():
+    t = Tracer()
+    t.enable("a")
+    t.disable("a")
+    t.log(1.0, "a")
+    assert t.records == []
+
+
+def test_tracer_counts_and_last():
+    t = Tracer()
+    t.enable("*")
+    t.log(1.0, "x")
+    t.log(2.0, "x")
+    t.log(3.0, "y")
+    assert t.counts() == {"x": 2, "y": 1}
+    assert t.last("x").time == 2.0
+    assert t.last("z") is None
+
+
+def test_tracer_spans():
+    t = Tracer()
+    t.enable("*")
+    t.log(1.0, "start")
+    t.log(4.0, "end")
+    t.log(10.0, "start")
+    t.log(11.5, "end")
+    assert t.spans("start", "end") == [3.0, 1.5]
+
+
+def test_tracer_clear():
+    t = Tracer()
+    t.enable("*")
+    t.log(1.0, "x")
+    t.clear()
+    assert t.records == []
