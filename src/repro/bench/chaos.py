@@ -1,0 +1,189 @@
+"""Chaos harness: sweep fault intensity over MPI workloads.
+
+Each cell of the sweep builds a fresh deterministic world with a seeded
+:class:`repro.faults.FaultPlan`, runs a workload, and classifies the
+outcome:
+
+* ``ok`` — the job completed; the cell reports simulated time, the
+  slowdown versus the fault-free baseline (time-to-recovery cost of the
+  retransmissions), and the fabric's fault accounting.
+* ``net-error`` — a transport gave up (bounded retransmission
+  exhausted) and the failure surfaced with rank context.
+* ``deadlock`` — the watchdog diagnosed blocked ranks with no pending
+  events and named them.
+
+On the seed revision a lossy run simply hung; every cell now
+terminates, which is the point of the harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import DeadlockError, NetworkError
+from repro.faults import FaultPlan, PacketLoss
+from repro.mpi import World
+from repro.mpi.exceptions import CommError
+
+__all__ = [
+    "CLUSTER_PLATFORMS",
+    "chaos_cell",
+    "chaos_sweep",
+    "format_chaos",
+]
+
+CLUSTER_PLATFORMS = ("ethernet", "atm")
+
+#: kernel override used by the sweep: fail fast enough that a
+#: non-recoverable cell ends in bounded simulated (and wall-clock) time
+FAST_FAIL = {"rto": 4_000.0, "rto_max": 64_000.0, "max_retries": 8}
+
+
+def _kernel_params(network: str, overrides: Optional[dict]):
+    from repro.net.kernel import ATM_KERNEL, ETH_KERNEL
+
+    base = ETH_KERNEL if network == "ethernet" else ATM_KERNEL
+    return replace(base, **overrides) if overrides else base
+
+
+def _pingpong(nbytes: int, repeats: int):
+    def main(comm):
+        payload = bytes(nbytes)
+        for _ in range(repeats):
+            if comm.rank == 0:
+                yield from comm.send(payload, dest=1, tag=1)
+                yield from comm.recv(source=1, tag=2)
+            else:
+                data, _ = yield from comm.recv(source=0, tag=1)
+                yield from comm.send(data, dest=0, tag=2)
+        return comm.wtime()
+
+    return main, 2
+
+
+def _nbody(nparticles: int, nprocs: int):
+    from repro.apps import nbody_ring
+
+    def main(comm):
+        _, elapsed = yield from nbody_ring(comm, nparticles=nparticles, seed=0,
+                                           flop_time=0.03)
+        return elapsed
+
+    return main, nprocs
+
+
+def _workload(name: str, nprocs: int, nbytes: int, repeats: int):
+    if name == "pingpong":
+        return _pingpong(nbytes, repeats)
+    if name == "nbody":
+        return _nbody(nbytes, nprocs)  # nbytes doubles as the particle count
+    raise ValueError(f"unknown chaos workload {name!r}")
+
+
+def _fabric_counts(world: World) -> Dict[str, int]:
+    fabric = world.platform.machine.fabric
+    out = {}
+    for prefix in ("frames", "pdus", "packets"):
+        for what in ("dropped", "corrupted", "duplicated"):
+            n = getattr(fabric, f"{prefix}_{what}", None)
+            if n is not None:
+                out[what] = n
+    return out
+
+
+def chaos_cell(
+    platform: str,
+    loss: float,
+    workload: str = "pingpong",
+    nprocs: int = 2,
+    nbytes: int = 256,
+    repeats: int = 20,
+    seed: int = 1,
+    kernel_overrides: Optional[dict] = None,
+) -> Dict:
+    """Run one (platform, loss-rate) cell and classify the outcome."""
+    faults = FaultPlan.of(PacketLoss(probability=loss)) if loss > 0 else None
+    main, nprocs = _workload(workload, nprocs, nbytes, repeats)
+    world = World(
+        nprocs,
+        platform=platform,
+        faults=faults,
+        kernel_params=_kernel_params(platform, kernel_overrides or FAST_FAIL),
+        seed=seed,
+    )
+    row: Dict = {
+        "platform": platform,
+        "workload": workload,
+        "loss": loss,
+        "outcome": "ok",
+        "time_us": None,
+        "diagnostic": "",
+    }
+    try:
+        world.run(main)
+        row["time_us"] = world.sim.now
+    except DeadlockError as e:
+        row["outcome"] = "deadlock"
+        row["time_us"] = world.sim.now
+        row["diagnostic"] = f"stuck ranks {e.stuck_ranks}"
+    except (NetworkError, CommError) as e:
+        row["outcome"] = "net-error"
+        row["time_us"] = getattr(e, "sim_time_us", world.sim.now)
+        rank = getattr(e, "mpi_rank", getattr(e, "rank", "?"))
+        row["diagnostic"] = f"rank {rank}: {type(e).__name__}"
+    row.update(_fabric_counts(world))
+    return row
+
+
+def chaos_sweep(
+    platforms: Sequence[str] = CLUSTER_PLATFORMS,
+    losses: Sequence[float] = (0.0, 0.01, 0.05, 0.10),
+    workloads: Sequence[str] = ("pingpong", "nbody"),
+    nbody_particles: int = 16,
+    repeats: int = 20,
+    seed: int = 1,
+) -> List[Dict]:
+    """Full sweep: every (platform, workload, loss) cell + slowdowns.
+
+    The loss=0 cell of each (platform, workload) pair is the baseline;
+    completed lossy cells get ``slowdown = time / baseline_time`` (the
+    goodput degradation from retransmission and backoff).
+    """
+    rows: List[Dict] = []
+    for platform in platforms:
+        for workload in workloads:
+            nbytes = nbody_particles if workload == "nbody" else 256
+            nprocs = 4 if workload == "nbody" else 2
+            baseline = None
+            for loss in losses:
+                row = chaos_cell(
+                    platform, loss, workload=workload, nprocs=nprocs,
+                    nbytes=nbytes, repeats=repeats, seed=seed,
+                )
+                if loss == 0 and row["outcome"] == "ok":
+                    baseline = row["time_us"]
+                if baseline and row["outcome"] == "ok":
+                    row["slowdown"] = row["time_us"] / baseline
+                rows.append(row)
+    return rows
+
+
+def format_chaos(rows: Sequence[Dict]) -> str:
+    """Paper-style fixed-width table of a chaos sweep."""
+    from repro.bench.tables import format_table
+
+    table = []
+    for r in rows:
+        t = f"{r['time_us']:.0f}" if r["time_us"] is not None else "-"
+        s = f"{r['slowdown']:.2f}x" if r.get("slowdown") else "-"
+        table.append([
+            r["platform"], r["workload"], f"{r['loss']:.0%}", r["outcome"],
+            t, s, r.get("dropped", 0), r["diagnostic"],
+        ])
+    return format_table(
+        ["platform", "workload", "loss", "outcome", "sim us", "slowdown",
+         "dropped", "diagnostic"],
+        table,
+        title="Chaos sweep: seeded packet loss over MPI workloads",
+    )

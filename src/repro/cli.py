@@ -14,6 +14,9 @@ Commands
 ``app``
     Run one of the applications (linsolve, matmul, nbody, jacobi) and
     report time + verification.
+``chaos``
+    Sweep seeded packet loss over MPI workloads on the cluster fabrics
+    and report recovery slowdown or the failure diagnostic per cell.
 """
 
 from __future__ import annotations
@@ -78,6 +81,17 @@ def build_parser() -> argparse.ArgumentParser:
     app.add_argument("--nprocs", type=int, default=4)
     app.add_argument("--size", type=int, default=None,
                      help="problem size (N / particles / grid rows)")
+
+    ch = sub.add_parser("chaos", help="fault-injection sweep over MPI workloads")
+    ch.add_argument("--platforms", default="ethernet,atm",
+                    help="comma-separated cluster fabrics to sweep")
+    ch.add_argument("--losses", default="0,0.01,0.05,0.1",
+                    help="comma-separated packet-loss probabilities")
+    ch.add_argument("--workloads", default="pingpong,nbody",
+                    help="comma-separated workloads (pingpong, nbody)")
+    ch.add_argument("--repeats", type=int, default=20,
+                    help="ping-pong round trips per cell")
+    ch.add_argument("--seed", type=int, default=1)
     return parser
 
 
@@ -220,6 +234,20 @@ def cmd_app(args, out) -> int:
     return 0 if ok else 1
 
 
+def cmd_chaos(args, out) -> int:
+    from repro.bench.chaos import chaos_sweep, format_chaos
+
+    rows = chaos_sweep(
+        platforms=[p for p in args.platforms.split(",") if p],
+        losses=[float(x) for x in args.losses.split(",") if x.strip()],
+        workloads=[w for w in args.workloads.split(",") if w],
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    print(format_chaos(rows), file=out)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
@@ -229,6 +257,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "bandwidth": cmd_bandwidth,
         "figure": cmd_figure,
         "app": cmd_app,
+        "chaos": cmd_chaos,
     }[args.command]
     return handler(args, out)
 

@@ -5,7 +5,9 @@ __all__ = [
     "HardwareError",
     "NetworkError",
     "ConnectionClosed",
+    "RetransmitExhausted",
     "ConfigurationError",
+    "DeadlockError",
 ]
 
 
@@ -25,5 +27,22 @@ class ConnectionClosed(NetworkError):
     """Operation on a connection that the peer has closed."""
 
 
+class RetransmitExhausted(NetworkError):
+    """A reliable transport gave up after ``max_retries`` retransmissions."""
+
+
 class ConfigurationError(ReproError):
     """Invalid platform/world/benchmark configuration."""
+
+
+class DeadlockError(ConfigurationError):
+    """All ranks blocked with no pending events.
+
+    The watchdog diagnostic in ``args[0]`` lists, per stuck rank, its
+    outstanding sends/receives and flow-control state;
+    :attr:`stuck_ranks` names the blocked ranks programmatically.
+    """
+
+    def __init__(self, message: str, stuck_ranks=None):
+        super().__init__(message)
+        self.stuck_ranks = list(stuck_ranks or [])

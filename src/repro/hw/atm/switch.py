@@ -22,18 +22,23 @@ __all__ = ["AtmSwitch"]
 class AtmSwitch:
     """An output-buffered cell switch."""
 
-    def __init__(self, sim: Simulator, params, nports: int = 8, drop_fn=None):
+    def __init__(self, sim: Simulator, params, nports: int = 8, drop_fn=None, injector=None):
         self.sim = sim
         self.params = params
         self.nports = nports
-        #: loss injection hook: return True to drop a PDU train
+        #: legacy loss injection hook: return True to drop a PDU train
+        #: (deprecated — prefer a FaultPlan via ``injector``)
         self.drop_fn: Optional[Callable] = drop_fn
+        #: structured fault injection (:class:`repro.faults.FaultInjector`)
+        self.injector = injector
         self._ports: Dict[int, Resource] = {
             i: Resource(sim, 1, name=f"atm-port{i}") for i in range(nports)
         }
         self.nics: Dict[int, "AtmNicLike"] = {}
         self.pdus_forwarded = 0
         self.pdus_dropped = 0
+        self.pdus_corrupted = 0
+        self.pdus_duplicated = 0
 
     def attach(self, nic) -> None:
         if nic.addr in self.nics:
@@ -50,7 +55,23 @@ class AtmSwitch:
         if self.drop_fn is not None and self.drop_fn(pdu):
             self.pdus_dropped += 1
             return
-        self.sim.process(self._forward(pdu), name=f"atm-fwd-{pdu.dst}")
+        copies = 1
+        if self.injector is not None:
+            from repro.faults import CORRUPT, DROP, DUPLICATE
+
+            action = self.injector.decide(pdu.src, pdu.dst, pdu.nbytes)
+            if action == DROP:
+                self.pdus_dropped += 1
+                return
+            if action == CORRUPT:
+                # delivered damaged; the AAL5 CRC-32 discards the train
+                self.pdus_corrupted += 1
+                return
+            if action == DUPLICATE:
+                self.pdus_duplicated += 1
+                copies = 2
+        for _ in range(copies):
+            self.sim.process(self._forward(pdu), name=f"atm-fwd-{pdu.dst}")
 
     def _forward(self, pdu):
         p = self.params

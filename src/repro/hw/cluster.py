@@ -36,6 +36,7 @@ class ClusterMachine:
         seed: int = 0,
         drop_fn=None,
         host_speeds: Optional[List[float]] = None,
+        faults=None,
     ):
         if nhosts < 1:
             raise ConfigurationError(f"nhosts must be >= 1, got {nhosts}")
@@ -52,9 +53,10 @@ class ClusterMachine:
             Host(sim, i, name=f"sgi{i}", seed=seed, speed=speeds[i]) for i in range(nhosts)
         ]
         self.kernels: List[Kernel] = []
+        injector = faults.injector(network, sim, seed) if faults is not None else None
         if network == "ethernet":
             self.params = params or EthernetParams()
-            self.fabric = Medium(sim, self.params, drop_fn=drop_fn)
+            self.fabric = Medium(sim, self.params, drop_fn=drop_fn, injector=injector)
             kparams = kernel_params or ETH_KERNEL
             for host in self.hosts:
                 nic = EthernetNic(host, self.fabric)
@@ -63,7 +65,8 @@ class ClusterMachine:
         else:
             self.params = params or AtmParams()
             self.fabric = AtmSwitch(
-                sim, self.params, nports=max(8, nhosts), drop_fn=drop_fn
+                sim, self.params, nports=max(8, nhosts), drop_fn=drop_fn,
+                injector=injector,
             )
             kparams = kernel_params or ATM_KERNEL
             for host in self.hosts:

@@ -39,17 +39,23 @@ class Medium:
         sim: Simulator,
         params: Optional[EthernetParams] = None,
         drop_fn: Optional[Callable[[Frame], bool]] = None,
+        injector=None,
     ):
         self.sim = sim
         self.params = params or EthernetParams()
-        #: loss injection: return True to silently drop a frame
+        #: legacy loss injection: return True to silently drop a frame
+        #: (deprecated — prefer a FaultPlan via ``injector``)
         self.drop_fn = drop_fn
+        #: structured fault injection (:class:`repro.faults.FaultInjector`)
+        self.injector = injector
         self.nics: Dict[int, "EthernetNicLike"] = {}
         self._busy_until = 0.0
         self._attempts: List[_Attempt] = []
         # statistics
         self.frames_delivered = 0
         self.frames_dropped = 0
+        self.frames_corrupted = 0
+        self.frames_duplicated = 0
         self.collisions = 0
         self.busy_time = 0.0
 
@@ -123,8 +129,24 @@ class Medium:
         if self.drop_fn is not None and self.drop_fn(frame):
             self.frames_dropped += 1
             return
-        ev = self.sim.timeout(self.params.prop_delay, frame)
-        ev.add_callback(self._deliver)
+        copies = 1
+        if self.injector is not None:
+            from repro.faults import CORRUPT, DROP, DUPLICATE
+
+            action = self.injector.decide(frame.src, frame.dst, frame.nbytes)
+            if action == DROP:
+                self.frames_dropped += 1
+                return
+            if action == CORRUPT:
+                # delivered damaged; the receiver's CRC discards it
+                self.frames_corrupted += 1
+                return
+            if action == DUPLICATE:
+                self.frames_duplicated += 1
+                copies = 2
+        for _ in range(copies):
+            ev = self.sim.timeout(self.params.prop_delay, frame)
+            ev.add_callback(self._deliver)
 
     def _deliver(self, event) -> None:
         frame: Frame = event.value

@@ -28,12 +28,14 @@ class MeikoMachine:
         nnodes: int,
         params: Optional[MeikoParams] = None,
         seed: int = 0,
+        faults=None,
     ):
         if nnodes < 1:
             raise ConfigurationError(f"nnodes must be >= 1, got {nnodes}")
         self.sim = sim
         self.params = params or MeikoParams()
-        self.network = MeikoNetwork(sim, nnodes, self.params)
+        injector = faults.injector("meiko", sim, seed) if faults is not None else None
+        self.network = MeikoNetwork(sim, nnodes, self.params, injector=injector)
         self.nodes: List[MeikoNode] = [
             MeikoNode(sim, i, self.params, self.network, seed=seed) for i in range(nnodes)
         ]

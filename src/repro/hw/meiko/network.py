@@ -49,16 +49,22 @@ class Packet:
 class MeikoNetwork:
     """Latency model of the fat-tree fabric."""
 
-    def __init__(self, sim: Simulator, nnodes: int, params: MeikoParams):
+    def __init__(self, sim: Simulator, nnodes: int, params: MeikoParams, injector=None):
         if nnodes < 1:
             raise HardwareError(f"need at least one node, got {nnodes}")
         self.sim = sim
         self.nnodes = nnodes
         self.params = params
+        #: structured fault injection (:class:`repro.faults.FaultInjector`);
+        #: the CS/2 fabric is CRC-protected per link, so a corrupted packet
+        #: behaves like a dropped one (counted separately below)
+        self.injector = injector
         #: filled by MeikoMachine: node index -> MeikoNode
         self.nodes: List = []
         #: delivered packet count, by kind (for tests/diagnostics)
         self.delivered = {PKT_TXN: 0, PKT_DMA: 0}
+        self.packets_dropped = 0
+        self.packets_corrupted = 0
 
     # -- topology ---------------------------------------------------------
     def stages(self, src: int, dst: int) -> int:
@@ -103,9 +109,27 @@ class MeikoNetwork:
         latency and is queued on the destination's receive path."""
         self._check(packet.src)
         self._check(packet.dst)
+        if self._faulted(packet):
+            return
         delay = self.route_latency(packet.src, packet.dst)
         ev = self.sim.timeout(delay, packet)
         ev.add_callback(self._arrive)
+
+    def _faulted(self, packet: Packet) -> bool:
+        """Consult the fault injector; True if the packet is lost."""
+        if self.injector is None:
+            return False
+        from repro.faults import CORRUPT, DROP
+
+        action = self.injector.decide(packet.src, packet.dst, packet.nbytes)
+        if action == DROP:
+            self.packets_dropped += 1
+            return True
+        if action == CORRUPT:
+            # per-link CRC: the fabric discards a damaged packet
+            self.packets_corrupted += 1
+            return True
+        return False  # duplication never matches the meiko fabric
 
     def broadcast(self, src: int, make_packet: Callable[[int], Packet]) -> None:
         """Hardware broadcast: one traversal delivers to **all** nodes
@@ -117,6 +141,8 @@ class MeikoNetwork:
         for dst in range(self.nnodes):
             packet = make_packet(dst)
             if packet is None:
+                continue
+            if self._faulted(packet):
                 continue
             ev = self.sim.timeout(delay, packet)
             ev.add_callback(self._arrive)

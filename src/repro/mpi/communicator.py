@@ -25,19 +25,23 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.errors import NetworkError
 from repro.mpi import collectives as _coll
 from repro.mpi.constants import (
     ANY_SOURCE,
     ANY_TAG,
+    ERRORS_ARE_FATAL,
+    ERRORS_RETURN,
     MODE_BUFFERED,
     MODE_READY,
     MODE_STANDARD,
     MODE_SYNCHRONOUS,
     PROC_NULL,
+    SUCCESS,
     TAG_UB,
 )
 from repro.mpi.datatypes import Datatype, infer_datatype
-from repro.mpi.exceptions import CommunicatorError, MPIError
+from repro.mpi.exceptions import CommError, CommunicatorError, MPIError, errcode_of
 from repro.mpi.group import Group
 from repro.mpi.persistent import PersistentRequest
 from repro.mpi.request import Request
@@ -67,6 +71,47 @@ class Communicator:
             )
         self.size = group.size
         self._creation_counter = 0
+        #: ERRORS_ARE_FATAL (default) or ERRORS_RETURN
+        self.errhandler = ERRORS_ARE_FATAL
+
+    # -------------------------------------------------------- error handling
+    def set_errhandler(self, handler: str) -> None:
+        """MPI_Errhandler_set: ERRORS_ARE_FATAL (default) or ERRORS_RETURN.
+
+        With ``ERRORS_ARE_FATAL``, a device/transport failure raises
+        :class:`CommError` (rank/peer/tag context, original error
+        chained) out of the MPI call.  With ``ERRORS_RETURN``, blocking
+        sends return an error code instead of ``SUCCESS`` and receives
+        return ``(None, status)`` with ``status.error`` set, letting the
+        rank continue.  MPI semantic errors (truncation, invalid rank)
+        raise regardless — this handler governs *device* failures only.
+        """
+        if handler not in (ERRORS_ARE_FATAL, ERRORS_RETURN):
+            raise MPIError(
+                f"unknown error handler {handler!r}; use ERRORS_ARE_FATAL or ERRORS_RETURN"
+            )
+        self.errhandler = handler
+
+    def get_errhandler(self) -> str:
+        """MPI_Errhandler_get."""
+        return self.errhandler
+
+    def _device_error(self, exc: BaseException, peer=None, tag=None) -> int:
+        """Apply this communicator's error handler to a device failure.
+
+        ERRORS_ARE_FATAL: raise a context-carrying :class:`CommError`.
+        ERRORS_RETURN: return the numeric error code.
+        """
+        if self.errhandler == ERRORS_RETURN:
+            return errcode_of(exc)
+        raise CommError(
+            f"rank {self.rank}: device failure in operation "
+            f"(peer={peer}, tag={tag}): {exc}",
+            rank=self.rank,
+            peer=peer,
+            tag=tag,
+            errcode=errcode_of(exc),
+        ) from exc
 
     # ------------------------------------------------------------- plumbing
     def world_rank(self, rank: int) -> int:
@@ -160,25 +205,38 @@ class Communicator:
         yield from self.endpoint.start_recv(req)
         return req
 
+    def _blocking_send(self, buf, dest, tag, count, datatype, mode):
+        """Shared body of the blocking sends: SUCCESS or an error code."""
+        try:
+            req = yield from self.isend(buf, dest, tag, count, datatype, mode)
+        except NetworkError as exc:
+            return self._device_error(exc, peer=dest, tag=tag)
+        status = yield from self.wait(req)
+        return SUCCESS if status is None else status.error
+
     def send(self, buf, dest, tag: int = 0, count=None, datatype=None):
-        """Generator: blocking standard-mode send (MPI_Send)."""
-        req = yield from self.isend(buf, dest, tag, count, datatype, MODE_STANDARD)
-        yield from self.wait(req)
+        """Generator -> int: blocking standard-mode send (MPI_Send).
+
+        Returns SUCCESS; under ERRORS_RETURN a device failure returns an
+        error code instead of raising.
+        """
+        return (yield from self._blocking_send(buf, dest, tag, count, datatype,
+                                               MODE_STANDARD))
 
     def bsend(self, buf, dest, tag: int = 0, count=None, datatype=None):
-        """Generator: blocking buffered-mode send (MPI_Bsend)."""
-        req = yield from self.isend(buf, dest, tag, count, datatype, MODE_BUFFERED)
-        yield from self.wait(req)
+        """Generator -> int: blocking buffered-mode send (MPI_Bsend)."""
+        return (yield from self._blocking_send(buf, dest, tag, count, datatype,
+                                               MODE_BUFFERED))
 
     def ssend(self, buf, dest, tag: int = 0, count=None, datatype=None):
-        """Generator: blocking synchronous-mode send (MPI_Ssend)."""
-        req = yield from self.isend(buf, dest, tag, count, datatype, MODE_SYNCHRONOUS)
-        yield from self.wait(req)
+        """Generator -> int: blocking synchronous-mode send (MPI_Ssend)."""
+        return (yield from self._blocking_send(buf, dest, tag, count, datatype,
+                                               MODE_SYNCHRONOUS))
 
     def rsend(self, buf, dest, tag: int = 0, count=None, datatype=None):
-        """Generator: blocking ready-mode send (MPI_Rsend)."""
-        req = yield from self.isend(buf, dest, tag, count, datatype, MODE_READY)
-        yield from self.wait(req)
+        """Generator -> int: blocking ready-mode send (MPI_Rsend)."""
+        return (yield from self._blocking_send(buf, dest, tag, count, datatype,
+                                               MODE_READY))
 
     def issend(self, buf, dest, tag: int = 0, count=None, datatype=None):
         """Generator -> Request: nonblocking synchronous send (MPI_Issend)."""
@@ -203,10 +261,20 @@ class Communicator:
         """Generator -> (data, Status): blocking receive (MPI_Recv).
 
         With a buffer: fills it and returns ``(buf, status)``.  Without:
-        returns the received payload as ``bytes``.
+        returns the received payload as ``bytes``.  Under ERRORS_RETURN
+        a device failure returns ``(None, status)`` with ``status.error``
+        set instead of raising.
         """
-        req = yield from self.irecv(source, tag, buf, count, datatype)
+        try:
+            req = yield from self.irecv(source, tag, buf, count, datatype)
+        except NetworkError as exc:
+            code = self._device_error(exc, peer=source, tag=tag)
+            status = Status(source=source, tag=tag)
+            status.error = code
+            return None, status
         status = yield from self.wait(req)
+        if status is not None and status.error != SUCCESS:
+            return None, status
         return (req.data if buf is None else buf), status
 
     def sendrecv(
@@ -267,11 +335,30 @@ class Communicator:
         if isinstance(request, PersistentRequest):
             request._reset()
 
+    def _failed_status(self, inner, exc) -> Status:
+        """Status for a device-failed request (ERRORS_RETURN); raises
+        CommError instead under ERRORS_ARE_FATAL."""
+        code = self._device_error(exc, peer=inner.peer, tag=inner.tag)
+        status = Status(source=inner.peer, tag=inner.tag)
+        status.error = code
+        return status
+
     def wait(self, request):
-        """Generator -> Status: block until *request* completes (MPI_Wait)."""
+        """Generator -> Status: block until *request* completes (MPI_Wait).
+
+        A device failure raises :class:`CommError` under
+        ERRORS_ARE_FATAL; under ERRORS_RETURN the wait completes with a
+        Status whose ``error`` field holds the code.  MPI semantic
+        errors (truncation etc.) raise regardless of the handler.
+        """
         inner = self._inner(request)
-        yield from self.endpoint.wait([inner], mode="all")
-        inner.raise_if_failed()
+        try:
+            yield from self.endpoint.wait([inner], mode="all")
+            inner.raise_if_failed()
+        except NetworkError as exc:
+            status = self._failed_status(inner, exc)
+            self._settle(request)
+            return status
         status = inner.status
         self._settle(request)
         return status
@@ -287,11 +374,28 @@ class Communicator:
         return True, status
 
     def waitall(self, requests: Sequence):
-        """Generator -> [Status]: MPI_Waitall."""
+        """Generator -> [Status]: MPI_Waitall.
+
+        On device failure under ERRORS_RETURN, each failed (or
+        consequently incomplete) request's Status carries the error
+        code; the others report their normal completion.
+        """
         inners = [self._inner(r) for r in requests]
-        yield from self.endpoint.wait(inners, mode="all")
-        for r in inners:
-            r.raise_if_failed()
+        try:
+            yield from self.endpoint.wait(inners, mode="all")
+            for r in inners:
+                r.raise_if_failed()
+        except NetworkError as exc:
+            statuses = []
+            for r in inners:
+                if r.complete and r.error is None:
+                    statuses.append(r.status)
+                else:
+                    err = r.error if isinstance(r.error, NetworkError) else exc
+                    statuses.append(self._failed_status(r, err))
+            for r in requests:
+                self._settle(r)
+            return statuses
         statuses = [r.status for r in inners]
         for r in requests:
             self._settle(r)
@@ -501,7 +605,9 @@ class Communicator:
         self._creation_counter += 1
         ctx = self.world.allocate_context((self.context_id, self._creation_counter, "dup"))
         yield from self.barrier()
-        return Communicator(self.world, self.group, ctx, self.endpoint)
+        new = Communicator(self.world, self.group, ctx, self.endpoint)
+        new.errhandler = self.errhandler
+        return new
 
     def split(self, color: Optional[int], key: int = 0):
         """Generator -> Optional[Communicator]: MPI_Comm_split (collective).
@@ -521,7 +627,9 @@ class Communicator:
         ranks = [r for _k, r in members]
         group = Group([self.group.world_rank(r) for r in ranks])
         ctx = self.world.allocate_context((self.context_id, counter, "split", color))
-        return Communicator(self.world, group, ctx, self.endpoint)
+        new = Communicator(self.world, group, ctx, self.endpoint)
+        new.errhandler = self.errhandler
+        return new
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Communicator ctx={self.context_id} rank={self.rank}/{self.size}>"

@@ -11,6 +11,12 @@ __all__ = [
     "MODE_SYNCHRONOUS",
     "MODE_READY",
     "INTERNAL_TAG_BASE",
+    "SUCCESS",
+    "ERR_TRUNCATE",
+    "ERR_OTHER",
+    "ERR_NETWORK",
+    "ERRORS_ARE_FATAL",
+    "ERRORS_RETURN",
 ]
 
 #: wildcard source for receive/probe (MPI_ANY_SOURCE)
@@ -36,3 +42,18 @@ MODE_READY = "ready"
 #: collective algorithms (never matched by user wildcards, because user
 #: tags must be <= TAG_UB)
 INTERNAL_TAG_BASE = 2**30
+
+#: error codes (MPI_SUCCESS / MPI_ERR_*; values follow MPI-1.1 where a
+#: standard code exists)
+SUCCESS = 0
+ERR_TRUNCATE = 15
+ERR_OTHER = 16
+#: implementation-specific: a device/transport failure (retransmissions
+#: exhausted, connection reset, unreachable peer)
+ERR_NETWORK = 18
+
+#: error handlers (MPI_Errhandler analogues, settable per communicator)
+#: the default: a device failure raises CommError out of the rank
+ERRORS_ARE_FATAL = "errors_are_fatal"
+#: opt-in: device failures come back as error codes / Status.error
+ERRORS_RETURN = "errors_return"

@@ -89,6 +89,25 @@ class Endpoint:
     def wtime(self) -> float:
         return self.sim.now
 
+    def describe_state(self) -> str:
+        """One-line diagnostic of this endpoint's outstanding operations,
+        used by the World's deadlock watchdog."""
+        q = self.queues
+        posted = ", ".join(f"(src={r.peer}, tag={r.tag})" for r in q.posted) or "none"
+        unexpected = (
+            ", ".join(f"(src={a.envelope.src}, tag={a.envelope.tag})" for a in q.unexpected)
+            or "none"
+        )
+        parts = [f"posted-recvs=[{posted}]", f"unexpected=[{unexpected}]"]
+        flow = self._describe_flow()
+        if flow:
+            parts.append(flow)
+        return "; ".join(parts)
+
+    def _describe_flow(self) -> str:
+        """Device-specific flow-control state for :meth:`describe_state`."""
+        return ""
+
     def wait(self, reqs: Sequence[Request], mode: str = "all"):
         """Generator: block until all (or any) of *reqs* complete.
 

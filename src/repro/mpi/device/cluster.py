@@ -267,8 +267,16 @@ class StreamEndpoint(Endpoint):
         return did
 
     def _drain_conn(self, peer: int):
-        """Parse as many complete messages as are buffered (never blocks)."""
+        """Parse as many complete messages as are buffered (never blocks).
+
+        A dead connection (retransmissions exhausted, peer reset) raises
+        its terminal error here, surfacing device failure inside whatever
+        MPI call is driving progress.
+        """
         conn = self.conns[peer]
+        err = getattr(conn, "error", None)
+        if err is not None:
+            raise err
         st = self._rx[peer]
         did = False
         while True:
@@ -377,6 +385,22 @@ class StreamEndpoint(Endpoint):
                 yield from self.conns[peer].send(header)
 
     # ----------------------------------------------------------------- helpers
+    def _describe_flow(self) -> str:
+        queued = {
+            dest: [f"tag={op.env.tag}" for op in q] for dest, q in self.sendq.items() if q
+        }
+        waiting = ", ".join(
+            f"dest={dest}:[{', '.join(tags)}] credits={self.credits[dest]}"
+            for dest, tags in queued.items()
+        ) or "none"
+        owed = {p: o for p, o in self.owed.items() if o} or "none"
+        return (
+            f"sends-waiting-for-credit=[{waiting}]; credits-owed={owed}; "
+            f"rendezvous-awaiting-request={len(self.pending_rdv)}; "
+            f"rendezvous-awaiting-data={len(self.rdv_recv)}; "
+            f"ssends-awaiting-ack={len(self.awaiting_ack)}"
+        )
+
     @staticmethod
     def _capacity_bytes(req: Request) -> float:
         if req.buf is None:

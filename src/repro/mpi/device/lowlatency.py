@@ -336,6 +336,19 @@ class LowLatencyEndpoint(Endpoint):
         self.kick.set()
 
     # ----------------------------------------------------------------- helpers
+    def _describe_flow(self) -> str:
+        queued = {
+            dest: [f"tag={op.env.tag}" for op in q] for dest, q in self.sendq.items() if q
+        }
+        waiting_slot = ", ".join(
+            f"dest={dest}:[{', '.join(tags)}]" for dest, tags in queued.items()
+        ) or "none"
+        return (
+            f"sends-waiting-for-slot=[{waiting_slot}]; "
+            f"rendezvous-awaiting-request={len(self.pending_rdv)}; "
+            f"ssends-awaiting-ack={len(self.awaiting_ack)}"
+        )
+
     @staticmethod
     def _capacity_bytes(req: Request) -> float:
         if req.buf is None:

@@ -16,6 +16,8 @@ __all__ = [
     "ResourceExhausted",
     "CommunicatorError",
     "DatatypeError",
+    "CommError",
+    "errcode_of",
 ]
 
 
@@ -45,3 +47,37 @@ class CommunicatorError(MPIError):
 
 class DatatypeError(MPIError):
     """Invalid datatype construction or buffer mismatch (MPI_ERR_TYPE)."""
+
+
+class CommError(MPIError):
+    """A device/transport failure surfaced through MPI.
+
+    Raised by the ``ERRORS_ARE_FATAL`` handler (the default), carrying
+    the context a user needs to act on it: the local ``rank``, the
+    ``peer`` rank and ``tag`` of the failing operation (when known), and
+    the numeric ``errcode`` (``ERR_NETWORK`` etc.).  The underlying
+    transport error is chained as ``__cause__``.
+    """
+
+    def __init__(self, message: str, rank=None, peer=None, tag=None, errcode=None):
+        super().__init__(message)
+        self.rank = rank
+        self.peer = peer
+        self.tag = tag
+        from repro.mpi.constants import ERR_NETWORK
+
+        self.errcode = ERR_NETWORK if errcode is None else errcode
+
+
+def errcode_of(exc: BaseException) -> int:
+    """The MPI error code for an exception (used by ERRORS_RETURN)."""
+    from repro.errors import NetworkError
+    from repro.mpi.constants import ERR_NETWORK, ERR_OTHER, ERR_TRUNCATE
+
+    if isinstance(exc, CommError):
+        return exc.errcode
+    if isinstance(exc, TruncationError):
+        return ERR_TRUNCATE
+    if isinstance(exc, NetworkError):
+        return ERR_NETWORK
+    return ERR_OTHER

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, DeadlockError
 from repro.mpi.communicator import Communicator
 from repro.mpi.group import Group
 from repro.platforms import build_platform
@@ -40,15 +40,24 @@ class World:
         MPI device; defaults to the platform's paper configuration
         (``lowlatency`` on the Meiko, ``tcp`` on the clusters).
     seed:
-        Seed for all stochastic hardware behaviour (Ethernet backoff).
+        Seed for all stochastic hardware behaviour (Ethernet backoff,
+        fault injection, retransmission jitter).
     machine_params / device_config:
         Optional parameter-dataclass overrides for sweeps.
     host_speeds:
         Cluster platforms only: per-host CPU speed multipliers — the
         paper's testbed mixes 133 MHz Indys with a faster Challenge.
-    kernel_params / drop_fn:
-        Cluster platforms only: kernel cost-model override and
-        frame/PDU loss injection (for fault testing).
+    kernel_params:
+        Cluster platforms only: kernel cost-model override.
+    drop_fn:
+        Cluster platforms only, **deprecated**: ad-hoc frame/PDU loss
+        hook.  Use ``faults`` instead — a :class:`repro.faults.FaultPlan`
+        is deterministic, composable, works on every fabric (including
+        the Meiko), and keeps its own accounting.
+    faults:
+        A :class:`repro.faults.FaultPlan`: packet loss / duplication /
+        corruption, link-down windows, node crash / pause / slow-down.
+        Valid on all platforms.  See ``docs/FAULTS.md``.
     """
 
     def __init__(
@@ -62,15 +71,21 @@ class World:
         host_speeds: Any = None,
         kernel_params: Any = None,
         drop_fn: Any = None,
+        faults: Any = None,
     ):
         self.sim = Simulator()
         self.nprocs = nprocs
+        self.faults = faults
         self.platform = build_platform(
             platform, device, nprocs, self.sim, seed, machine_params, device_config,
-            host_speeds, kernel_params, drop_fn,
+            host_speeds, kernel_params, drop_fn, faults,
         )
         self.endpoints = self.platform.endpoints
         self.machine = self.platform.machine
+        if faults is not None:
+            from repro.faults import apply_host_faults
+
+            apply_host_faults(self.sim, faults, self.platform.hosts)
         self._contexts: Dict[Any, int] = {}
         self._next_context = WORLD_CONTEXT + 1
         world_group = Group(range(nprocs))
@@ -104,9 +119,18 @@ class World:
     ) -> List[Any]:
         """Run ``main(comm, *args)`` on every rank; return their results.
 
-        ``main`` must be a generator function.  Raises the first rank
-        failure; raises :class:`ConfigurationError` on deadlock (all
-        ranks blocked with no pending events).
+        ``main`` must be a generator function.
+
+        Failure semantics:
+
+        * a rank raising an exception aborts the remaining ranks and
+          re-raises that exception with ``mpi_rank`` and ``sim_time_us``
+          attributes attached;
+        * all ranks blocked with no event pending raises
+          :class:`DeadlockError` — the watchdog diagnostic lists each
+          stuck rank's outstanding sends/receives and flow-control
+          state;
+        * exceeding *limit* raises :class:`ConfigurationError`.
         """
         ranks = list(range(self.nprocs)) if ranks is None else ranks
         procs = [
@@ -114,17 +138,69 @@ class World:
         ]
         sim = self.sim
         while not all(p.triggered for p in procs):
+            if any(p.triggered and not p.ok for p in procs):
+                break  # a rank died: abort the survivors instead of hanging
             if not sim._heap:
-                stuck = [p.name for p in procs if not p.triggered]
-                raise ConfigurationError(
-                    f"deadlock: ranks {stuck} are blocked and no events are pending"
-                )
+                raise self._watchdog(procs, ranks)
             if sim.peek() > limit:
                 raise ConfigurationError(f"time limit {limit} µs exceeded")
             sim.step()
-        failures = [p for p in procs if not p.ok]
-        for p in failures[1:]:
-            p.defuse()
+        failures = [p for p in procs if p.triggered and not p.ok]
         if failures:
-            raise failures[0].value
+            self._abort(procs, ranks, failures)
         return [p.value for p in procs]
+
+    # -------------------------------------------------------- failure paths
+    def _abort(self, procs, ranks, failures) -> None:
+        """Abort surviving ranks and re-raise the first failure with
+        rank/timestamp context attached."""
+        sim = self.sim
+        first = failures[0]
+        failed_rank = ranks[procs.index(first)]
+        failed_at = sim.now
+        # we are handling every rank's outcome; nothing may crash the sim
+        for p in procs:
+            p.defuse()
+        for p in procs:
+            if not p.triggered:
+                p.interrupt(
+                    ConfigurationError(
+                        f"aborted: rank {failed_rank} failed at t={failed_at:.3f} µs"
+                    )
+                )
+        # deliver the interrupts (URGENT events at the current time) so
+        # resource claims are released by the ranks' finally blocks
+        while not all(p.triggered for p in procs) and sim._heap:
+            sim.step()
+        exc = first.value
+        try:
+            exc.mpi_rank = failed_rank
+            exc.sim_time_us = failed_at
+        except (AttributeError, TypeError):  # __slots__ or immutable exception
+            pass
+        if hasattr(exc, "add_note"):  # pragma: no branch - 3.11+
+            exc.add_note(
+                f"[repro] raised on rank {failed_rank} at t={failed_at:.3f} µs; "
+                f"remaining ranks aborted"
+            )
+        raise exc
+
+    def _watchdog(self, procs, ranks) -> DeadlockError:
+        """Build the deadlock diagnostic: one line per stuck rank with its
+        outstanding operations and flow-control state."""
+        lines = []
+        for p, r in zip(procs, ranks):
+            if p.triggered:
+                continue
+            try:
+                state = self.endpoints[r].describe_state()
+            except Exception as exc:  # pragma: no cover - diagnostics must not mask
+                state = f"<describe_state failed: {exc!r}>"
+            lines.append(f"  rank {r}: {state}")
+        detail = "\n".join(lines)
+        stuck = [ranks[procs.index(p)] for p in procs if not p.triggered]
+        return DeadlockError(
+            f"deadlock at t={self.sim.now:.3f} µs: ranks {stuck} are blocked "
+            f"and no events are pending\n{detail}",
+            stuck_ranks=stuck,
+        )

@@ -54,8 +54,18 @@ class KernelParams:
     #: Fore API (direct AAL access through STREAMS) per-message costs
     fore_out: float = 0.0
     fore_in: float = 0.0
-    #: TCP retransmission timeout
+    #: TCP retransmission timeout (initial; backed off on repeat losses)
     rto: float = 200_000.0
+    #: consecutive retransmissions of the same data before the transport
+    #: gives up and fails the connection with RetransmitExhausted
+    max_retries: int = 12
+    #: RTO multiplier per consecutive unanswered retransmission
+    rto_backoff: float = 2.0
+    #: ceiling on the backed-off RTO
+    rto_max: float = 4_000_000.0
+    #: fractional retransmission-timer jitter (±), drawn from the host's
+    #: seeded RNG to avoid synchronized retry storms deterministically
+    retx_jitter: float = 0.1
     #: Nagle's algorithm: hold sub-MSS segments while data is unacked.
     #: Off by default — MPI implementations of the era disabled it
     #: (TCP_NODELAY) because it interacts terribly with delayed ACKs on

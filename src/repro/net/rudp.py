@@ -16,7 +16,7 @@ from __future__ import annotations
 import struct
 from typing import Callable, Dict, Optional
 
-from repro.errors import ConnectionClosed, NetworkError
+from repro.errors import ConnectionClosed, NetworkError, RetransmitExhausted
 from repro.net.udp import UdpSocket
 from repro.sim.notify import Notify
 
@@ -75,6 +75,9 @@ class RudpConnection:
         self.peer_closed = False
         self.on_data: Optional[Callable] = None
         self.closed = False
+        #: terminal failure (RetransmitExhausted); raised by send/recv
+        self.error: Optional[NetworkError] = None
+        self.max_retries = p.max_retries
         # delayed-ACK state (mirrors the kernel TCP policy: acks ride
         # outgoing data; a standalone ack waits ack_delay or 2*mss)
         self._ack_pending = 0
@@ -96,12 +99,16 @@ class RudpConnection:
 
     def send(self, data: bytes):
         """Generator: append to the stream (blocks on buffer space)."""
+        if self.error is not None:
+            raise self.error
         if self.closed:
             raise ConnectionClosed("send on a closed RUDP connection")
         data = bytes(data)
         sndbuf = self.kernel.params.sndbuf
         offset = 0
         while offset < len(data):
+            if self.error is not None:
+                raise self.error
             used = len(self._unsent) + len(self._unacked)
             if used >= sndbuf:
                 yield self._space.wait()
@@ -121,6 +128,8 @@ class RudpConnection:
         if n < 0:
             raise NetworkError(f"negative read size {n}")
         while len(self._rcvbuf) < n:
+            if self.error is not None:
+                raise self.error
             if self.peer_closed:
                 raise ConnectionClosed(
                     f"peer closed with {len(self._rcvbuf)} of {n} bytes buffered"
@@ -141,6 +150,8 @@ class RudpConnection:
     def _sender(self):
         while True:
             yield self._send_kick.wait()
+            if self.error is not None:
+                return
             while self._unsent:
                 inflight = self.snd_nxt - self.snd_una
                 room = self.window - inflight
@@ -164,20 +175,45 @@ class RudpConnection:
                 )
 
     def _retx(self):
+        p = self.kernel.params
+        rng = self.kernel.host.rng
+        attempts = 0
         while True:
             if self.snd_una >= self.snd_nxt:
+                attempts = 0
                 yield self._retx_kick.wait()
                 continue
             version = self._ack_version
-            yield self.sim.timeout(self.rto)
+            # exponential backoff with deterministic (seeded) jitter
+            rto = min(self.rto * p.rto_backoff**attempts, p.rto_max)
+            if p.retx_jitter:
+                rto *= 1.0 + p.retx_jitter * rng.uniform(-1.0, 1.0)
+            yield self.sim.timeout(rto)
             if self._ack_version != version or self.snd_una >= self.snd_nxt:
+                attempts = 0
                 continue
+            attempts += 1
+            if attempts > self.max_retries:
+                self._fail(RetransmitExhausted(
+                    f"rudp to host {self.remote_host}:{self.remote_port}: "
+                    f"{self.max_retries} retransmissions of seq {self.snd_una} unanswered"
+                ))
+                return
             n = min(self.mss, len(self._unacked))
             chunk = bytes(self._unacked[:n])
             self.retransmissions += 1
             yield from self.sock.sendto(
                 self.remote_host, self.remote_port, self._packet(self.snd_una, chunk)
             )
+
+    def _fail(self, exc: NetworkError) -> None:
+        """Terminal failure: record it and wake every waiter."""
+        self.error = exc
+        self._readable.set()
+        self._space.set()
+        self._send_kick.set()
+        if self.on_data is not None:
+            self.on_data()
 
     def _receiver(self):
         """User-level receive pump: one recvfrom syscall per packet."""

@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-from repro.errors import ConnectionClosed, NetworkError
+from repro.errors import ConnectionClosed, NetworkError, RetransmitExhausted
 from repro.sim import Store
 from repro.sim.notify import Notify
 
@@ -47,6 +47,7 @@ class TcpSegment:
     data: bytes = b""
     syn: bool = False
     fin: bool = False
+    rst: bool = False
     window: int = 65535
 
     @property
@@ -86,6 +87,8 @@ class TcpConnection:
         self.peer_closed = False
         #: optional callback fired whenever new in-order data arrives
         self.on_data = None
+        #: terminal failure (RetransmitExhausted / reset); raised by send/recv
+        self.error: Optional[NetworkError] = None
         # delayed-ACK state: acks ride outgoing data when possible; a
         # standalone ACK goes out after ack_delay or two segments' worth
         self._bytes_since_ack = 0
@@ -108,6 +111,8 @@ class TcpConnection:
 
     def send(self, data: bytes):
         """Generator: write *data* to the stream (blocks on buffer space)."""
+        if self.error is not None:
+            raise self.error
         if self.state != ESTABLISHED:
             raise ConnectionClosed("send on a non-established connection")
         data = bytes(data)
@@ -115,6 +120,8 @@ class TcpConnection:
         p = self.kernel.params
         offset = 0
         while offset < len(data):
+            if self.error is not None:
+                raise self.error
             used = len(self._unsent) + len(self._unacked)
             if used >= p.sndbuf:
                 yield self._space.wait()
@@ -131,6 +138,8 @@ class TcpConnection:
         if n < 0:
             raise NetworkError(f"negative read size {n}")
         while len(self._rcvbuf) < n:
+            if self.error is not None:
+                raise self.error
             if self.peer_closed:
                 raise ConnectionClosed(
                     f"peer closed with {len(self._rcvbuf)} of {n} bytes buffered"
@@ -165,6 +174,8 @@ class TcpConnection:
         mss = self.kernel.mss
         while True:
             yield self._send_kick.wait()
+            if self.error is not None:
+                return
             while self._unsent and self.state == ESTABLISHED:
                 inflight = self.snd_nxt - self.snd_una
                 room = self.peer_window - inflight
@@ -188,16 +199,33 @@ class TcpConnection:
                 self._retx_kick.set()
 
     def _retx(self):
-        """Timeout retransmission of the oldest unacked segment."""
+        """Timeout retransmission of the oldest unacked segment, with
+        exponential backoff; after ``max_retries`` unanswered attempts
+        the connection is reset (RST to the peer, RetransmitExhausted
+        locally)."""
         p = self.kernel.params
+        rng = self.kernel.host.rng
+        attempts = 0
         while True:
             if self.snd_una >= self.snd_nxt:
+                attempts = 0
                 yield self._retx_kick.wait()
                 continue
             version = self._ack_version
-            yield self.sim.timeout(p.rto)
+            rto = min(p.rto * p.rto_backoff**attempts, p.rto_max)
+            if p.retx_jitter:
+                rto *= 1.0 + p.retx_jitter * rng.uniform(-1.0, 1.0)
+            yield self.sim.timeout(rto)
             if self._ack_version != version or self.snd_una >= self.snd_nxt:
+                attempts = 0
                 continue  # progress was made
+            attempts += 1
+            if attempts > p.max_retries:
+                self._reset(RetransmitExhausted(
+                    f"tcp {self.local_port}->host{self.remote_host}:{self.remote_port}: "
+                    f"{p.max_retries} retransmissions of seq {self.snd_una} unanswered"
+                ))
+                return
             n = min(self.kernel.mss, len(self._unacked))
             chunk = bytes(self._unacked[:n])
             self.retransmissions += 1
@@ -207,11 +235,40 @@ class TcpConnection:
                 data=chunk, window=p.window,
             ))
 
+    def _reset(self, exc: NetworkError) -> None:
+        """Abort the connection: RST the peer, fail local waiters."""
+        if self.state != CLOSED:
+            self._transmit(TcpSegment(
+                self.local_port, self.remote_port, self.snd_nxt, self.rcv_nxt, rst=True
+            ))
+        self.state = CLOSED
+        self.error = exc
+        self._readable.set()
+        self._space.set()
+        self._send_kick.set()
+        self._established.set()
+        if self.on_data is not None:
+            self.on_data()
+
     def _on_segment(self, seg: TcpSegment):
         """Generator (kernel worker context)."""
         p = self.kernel.params
         self.segments_received += 1
         yield from self.kernel.charge(p.tcp_in + len(seg.data) * p.checksum_per_byte)
+        if seg.rst:
+            # peer aborted: fail local waiters without answering
+            self.state = CLOSED
+            self.error = ConnectionClosed(
+                f"connection reset by host{self.remote_host}:{self.remote_port}"
+            )
+            self.peer_closed = True
+            self._readable.set()
+            self._space.set()
+            self._send_kick.set()
+            self._established.set()
+            if self.on_data is not None:
+                self.on_data()
+            return
         # ACK processing (with fast retransmit on 3 duplicate ACKs)
         if seg.ack > self.snd_una:
             acked = seg.ack - self.snd_una

@@ -46,8 +46,13 @@ def build_platform(
     host_speeds: Any = None,
     kernel_params: Any = None,
     drop_fn: Any = None,
+    faults: Any = None,
 ) -> Platform:
-    """Build *platform* with *nprocs* ranks on *sim*."""
+    """Build *platform* with *nprocs* ranks on *sim*.
+
+    ``faults`` (a :class:`repro.faults.FaultPlan`) is valid on every
+    platform; the legacy ``drop_fn`` hook is cluster-only and deprecated.
+    """
     if nprocs < 1:
         raise ConfigurationError(f"nprocs must be >= 1, got {nprocs}")
     if platform not in DEFAULT_DEVICES:
@@ -60,18 +65,22 @@ def build_platform(
             raise ConfigurationError(
                 "host_speeds/kernel_params/drop_fn apply to the workstation clusters only"
             )
-        return _build_meiko(device, nprocs, sim, seed, machine_params, device_config)
+        return _build_meiko(
+            device, nprocs, sim, seed, machine_params, device_config, faults
+        )
     return _build_cluster(
         platform, device, nprocs, sim, seed, machine_params, device_config,
-        host_speeds, kernel_params, drop_fn,
+        host_speeds, kernel_params, drop_fn, faults,
     )
 
 
-def _build_meiko(device, nprocs, sim, seed, machine_params, device_config) -> Platform:
+def _build_meiko(
+    device, nprocs, sim, seed, machine_params, device_config, faults=None
+) -> Platform:
     from repro.hw.meiko import MeikoMachine, MeikoParams
 
     params = machine_params or MeikoParams()
-    machine = MeikoMachine(sim, nprocs, params=params, seed=seed)
+    machine = MeikoMachine(sim, nprocs, params=params, seed=seed, faults=faults)
     if device == "lowlatency":
         from repro.mpi.device.lowlatency import LowLatencyEndpoint
 
@@ -101,13 +110,14 @@ def _build_meiko(device, nprocs, sim, seed, machine_params, device_config) -> Pl
 
 def _build_cluster(
     platform, device, nprocs, sim, seed, machine_params, device_config,
-    host_speeds=None, kernel_params=None, drop_fn=None,
+    host_speeds=None, kernel_params=None, drop_fn=None, faults=None,
 ) -> Platform:
     from repro.hw.cluster import ClusterMachine
 
     machine = ClusterMachine(
         sim, nprocs, network=platform, params=machine_params, seed=seed,
         host_speeds=host_speeds, kernel_params=kernel_params, drop_fn=drop_fn,
+        faults=faults,
     )
     if device == "tcp":
         from repro.mpi.device.tcpdev import TcpEndpoint

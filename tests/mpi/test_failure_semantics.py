@@ -1,0 +1,255 @@
+"""MPI failure semantics: bounded retransmission, error handlers,
+watchdog diagnostics, and World failure reporting."""
+
+import pytest
+
+from repro.errors import (
+    ConnectionClosed,
+    DeadlockError,
+    NetworkError,
+    RetransmitExhausted,
+)
+from repro.faults import FaultPlan, LinkDown, PacketLoss
+from repro.hw.cluster import ClusterMachine
+from repro.mpi import World
+from repro.mpi.constants import ERR_NETWORK, ERRORS_ARE_FATAL, ERRORS_RETURN, SUCCESS
+from repro.mpi.exceptions import CommError, MPIError
+from repro.net.kernel import KernelParams
+from repro.net.tcp import TcpLayer
+from repro.sim import Simulator
+
+#: fail fast so exhausted-retry tests stay cheap
+FAST_FAIL = KernelParams().with_overrides(rto=500.0, rto_max=8_000.0, max_retries=3)
+
+#: reverse path dead: data flows 0 -> 1, acks never come back
+ACK_BLACKHOLE = FaultPlan.of(LinkDown(src=1, dst=0, t_start=0.0))
+
+
+# ---------------------------------------------------------------------------
+# bounded retransmission at the transport layer
+# ---------------------------------------------------------------------------
+
+
+def _dead_link_machine(network, transport):
+    sim = Simulator()
+    machine = ClusterMachine(
+        sim, 2, network=network, kernel_params=FAST_FAIL,
+        faults=FaultPlan.of(LinkDown(t_start=0.0)),
+    )
+    if transport == "tcp":
+        a, b = TcpLayer.connect_pair(machine.kernels[0], machine.kernels[1],
+                                     5000, 5000)
+    else:
+        from repro.net.rudp import RudpConnection
+
+        s0 = machine.kernels[0].udp.bind(7000)
+        machine.kernels[1].udp.bind(7000)
+        a = RudpConnection(machine.kernels[0], s0, 1, 7000)
+        b = None
+    return sim, a, b
+
+
+@pytest.mark.parametrize("transport", ["tcp", "udp"])
+def test_bounded_retransmission_gives_up(transport):
+    """A dead link exhausts max_retries and raises RetransmitExhausted
+    instead of retrying forever."""
+    sim, a, _b = _dead_link_machine("ethernet", transport)
+
+    def client(sim):
+        yield from a.send(b"x" * 100)
+        yield from a.recv_exact(1)  # blocks; woken by the failure
+
+    proc = sim.process(client(sim))
+    with pytest.raises(RetransmitExhausted) as ei:
+        sim.run()
+        proc.value  # noqa: B018 -- raise deferred failure if sim.run absorbed it
+    assert "retransmissions" in str(ei.value)
+    assert isinstance(a.error, RetransmitExhausted)
+    # backoff is exponential but capped: the whole thing ends quickly
+    assert sim.now < 1e6
+
+
+def test_retransmission_backoff_is_bounded_and_seeded():
+    """Same seed => identical give-up time (the jitter is deterministic)."""
+
+    def give_up_time():
+        sim, a, _ = _dead_link_machine("ethernet", "tcp")
+
+        def client(sim):
+            yield from a.send(b"x" * 100)
+            yield from a.recv_exact(1)
+
+        sim.process(client(sim))
+        with pytest.raises(RetransmitExhausted):
+            sim.run()
+        return sim.now
+
+    assert give_up_time() == give_up_time()
+
+
+def test_tcp_reset_notifies_peer():
+    """When one side gives up it transmits RST; the peer's next receive
+    reports the reset instead of hanging."""
+    sim = Simulator()
+    machine = ClusterMachine(
+        sim, 2, network="ethernet", kernel_params=FAST_FAIL,
+        faults=ACK_BLACKHOLE,
+    )
+    a, b = TcpLayer.connect_pair(machine.kernels[0], machine.kernels[1],
+                                 5000, 5000)
+    outcomes = {}
+
+    def sender(sim):
+        try:
+            yield from a.send(b"x" * 100)
+            yield from a.recv_exact(1)
+        except NetworkError as e:
+            outcomes["a"] = e
+
+    def receiver(sim):
+        try:
+            yield from b.recv_exact(200)  # more than was sent: must block
+        except NetworkError as e:
+            outcomes["b"] = e
+
+    sim.process(sender(sim))
+    sim.process(receiver(sim))
+    sim.run()
+    assert isinstance(outcomes["a"], RetransmitExhausted)
+    assert isinstance(outcomes["b"], ConnectionClosed)
+    assert "reset" in str(outcomes["b"])
+
+
+# ---------------------------------------------------------------------------
+# MPI error handlers
+# ---------------------------------------------------------------------------
+
+
+def test_errors_are_fatal_raises_comm_error_with_context():
+    def main(comm):
+        if comm.rank == 0:
+            yield from comm.ssend(b"hello", dest=1, tag=7)
+        else:
+            yield from comm.recv(source=0, tag=7)
+            yield from comm.recv(source=0, tag=7)
+
+    world = World(2, platform="ethernet", faults=ACK_BLACKHOLE,
+                  kernel_params=FAST_FAIL, seed=11)
+    with pytest.raises(CommError) as ei:
+        world.run(main)
+    e = ei.value
+    assert e.rank == 0 and e.peer == 1 and e.tag == 7
+    assert e.errcode == ERR_NETWORK
+    assert isinstance(e.__cause__, NetworkError)
+    # World attribution: which rank, when
+    assert e.mpi_rank == 0
+    assert e.sim_time_us > 0
+
+
+def test_errors_return_surfaces_codes_without_killing_world():
+    """Rank 0's ssend returns an error code, rank 1's second recv
+    returns (None, status) with the code — and the job still completes
+    normally, returning values from every rank."""
+
+    def main(comm):
+        comm.set_errhandler(ERRORS_RETURN)
+        assert comm.get_errhandler() == ERRORS_RETURN
+        if comm.rank == 0:
+            code = yield from comm.ssend(b"hello", dest=1, tag=7)
+            return code
+        first = yield from comm.recv(source=0, tag=7)
+        second = yield from comm.recv(source=0, tag=7)
+        return first, second
+
+    world = World(2, platform="ethernet", faults=ACK_BLACKHOLE,
+                  kernel_params=FAST_FAIL, seed=11)
+    res = world.run(main)
+    assert res[0] == ERR_NETWORK
+    (data1, st1), (data2, st2) = res[1]
+    assert bytes(data1) == b"hello" and st1.error == SUCCESS
+    assert data2 is None and st2.error == ERR_NETWORK
+
+
+def test_errors_return_does_not_mask_semantic_errors():
+    """ERRORS_RETURN governs device failures only: MPI usage errors
+    (truncation) still raise."""
+    from repro.mpi.exceptions import TruncationError
+
+    def main(comm):
+        comm.set_errhandler(ERRORS_RETURN)
+        if comm.rank == 0:
+            yield from comm.send(b"x" * 100, dest=1, tag=1)
+        else:
+            buf = bytearray(10)  # too small
+            yield from comm.recv(source=0, tag=1, buf=buf)
+
+    with pytest.raises(TruncationError):
+        World(2, platform="ethernet", seed=0).run(main)
+
+
+def test_set_errhandler_validates():
+    def main(comm):
+        with pytest.raises(MPIError):
+            comm.set_errhandler("errors_panic")
+        assert comm.get_errhandler() == ERRORS_ARE_FATAL
+        yield from comm.barrier()
+
+    World(2, platform="meiko", seed=0).run(main)
+
+
+def test_errhandler_inherited_by_dup():
+    def main(comm):
+        comm.set_errhandler(ERRORS_RETURN)
+        dup = yield from comm.dup()
+        return dup.get_errhandler()
+
+    res = World(2, platform="meiko", seed=0).run(main)
+    assert res == [ERRORS_RETURN, ERRORS_RETURN]
+
+
+# ---------------------------------------------------------------------------
+# watchdog and failure reporting
+# ---------------------------------------------------------------------------
+
+
+def test_watchdog_names_stuck_pair_on_meiko_eager_loss():
+    """A lost eager message on the Meiko leaves sender (awaiting the
+    ssend ack) and receiver (posted recv) stuck; the watchdog's report
+    names both and describes their state."""
+
+    def main(comm):
+        if comm.rank == 0:
+            yield from comm.ssend(b"x" * 64, dest=1, tag=9)
+        else:
+            yield from comm.recv(source=0, tag=9)
+
+    world = World(2, platform="meiko",
+                  faults=FaultPlan.of(PacketLoss(probability=1.0, max_events=1)),
+                  seed=0)
+    with pytest.raises(DeadlockError) as ei:
+        world.run(main)
+    e = ei.value
+    assert e.stuck_ranks == [0, 1]
+    msg = str(e)
+    assert "rank 0" in msg and "rank 1" in msg
+    assert "tag=9" in msg  # the posted receive is described
+
+
+def test_world_reports_failing_rank_and_time():
+    """A rank exception aborts the survivors and is re-raised with the
+    rank id and simulated timestamp attached."""
+
+    def main(comm):
+        yield from comm.barrier()
+        if comm.rank == 2:
+            raise RuntimeError("boom")
+        # survivors would block forever without the abort
+        yield from comm.recv(source=comm.rank, tag=99)
+
+    world = World(4, platform="meiko", seed=0)
+    with pytest.raises(RuntimeError, match="boom") as ei:
+        world.run(main)
+    assert ei.value.mpi_rank == 2
+    assert ei.value.sim_time_us > 0
+    notes = getattr(ei.value, "__notes__", [])
+    assert any("rank" in n for n in notes)
