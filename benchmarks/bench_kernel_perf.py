@@ -1,0 +1,53 @@
+"""Tracked kernel performance suite — writes ``BENCH_kernel.json``.
+
+Two entry points:
+
+* ``python benchmarks/bench_kernel_perf.py [--quick] [--out PATH]`` —
+  run the four kernel workloads (see ``repro.bench.kernel_perf``),
+  print a table, write the JSON report, and exit non-zero if any
+  workload falls below its events-per-second floor.  ``--quick`` runs
+  reduced problem sizes (CI smoke) and halves the floors.
+* ``pytest benchmarks/bench_simulator_throughput.py`` — the same
+  workloads and floors as pytest-benchmark cases.
+"""
+
+import argparse
+import json
+import sys
+
+from repro.bench.kernel_perf import FLOORS, run_suite
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--quick", action="store_true", help="reduced sizes, halved floors")
+    ap.add_argument("--out", default="BENCH_kernel.json", help="JSON report path")
+    ap.add_argument("--repeats", type=int, default=3, help="best-of repetitions")
+    ap.add_argument("--no-floor", action="store_true", help="report only, never fail")
+    args = ap.parse_args(argv)
+
+    suite = run_suite(quick=args.quick, repeats=args.repeats)
+    scale = 0.5 if args.quick else 1.0
+    failed = []
+    print(f"kernel perf suite ({suite['mode']} mode, best of {args.repeats})")
+    for name, rec in suite["workloads"].items():
+        floor = int(FLOORS[name] * scale)
+        ok = rec["events_per_sec"] >= floor
+        if not ok:
+            failed.append(name)
+        print(
+            f"  {name:<12} {rec['events']:>8} events  {rec['wall_s']:>9.4f} s  "
+            f"{rec['events_per_sec']:>9} ev/s  (floor {floor}{'' if ok else '  ** UNDER **'})"
+        )
+    with open(args.out, "w") as fh:
+        json.dump(suite, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    if failed and not args.no_floor:
+        print(f"FAIL: under floor: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

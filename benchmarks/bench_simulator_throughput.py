@@ -2,36 +2,34 @@
 
 Every other benchmark here reports *simulated* microseconds; this one
 guards the *simulator's own* performance — events per wall-clock second
-on a representative workload (the Figure 7 linear solver at 8 ranks) —
-so a kernel regression shows up as a benchmark regression rather than a
-mysteriously slow suite.
+— so a kernel regression shows up as a benchmark regression rather than
+a mysteriously slow suite.
+
+Four workloads (defined in ``repro.bench.kernel_perf``) cover the hot
+paths from different directions: the Figure 7 solver (collective-heavy
+Meiko traffic), the Figure 9 n-body ring (full TCP/Ethernet stack), a
+lossy ping-pong under fault injection (retransmission timers really
+fire), and a pure timer-churn microbenchmark (the arm/cancel pattern
+the protocol stacks use for their RTO timers).
+
+``python benchmarks/bench_kernel_perf.py`` runs the same workloads from
+the command line and writes the tracked ``BENCH_kernel.json`` report.
 """
 
-from repro.apps import linsolve
-from repro.mpi import World
+import pytest
+
+from repro.bench.kernel_perf import FLOORS, WORKLOADS
 
 
-def _solver_events():
-    """Run a mid-size solver and return how many events were scheduled."""
-    world = World(8, platform="meiko", device="lowlatency")
-
-    def main(comm):
-        _, elapsed = yield from linsolve(comm, n=96, seed=0)
-        return elapsed
-
-    world.run(main)
-    return world.sim._seq  # total events scheduled over the run
-
-
-def test_simulator_throughput(benchmark):
-    events = benchmark(_solver_events)
-    assert events > 10_000  # a real workload, not a trivial loop
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_simulator_throughput(benchmark, name):
+    events = benchmark(WORKLOADS[name], False)
+    assert events > 500  # a real workload, not a trivial loop
     wall_s = benchmark.stats["mean"]
     throughput = events / wall_s
     benchmark.extra_info["events"] = events
     benchmark.extra_info["events_per_sec"] = int(throughput)
-    # floor: even a slow CI box should push > 50k events/s through the
-    # heap-based kernel; a big regression trips this before it hurts
-    assert throughput > 50_000, f"simulator at {throughput:.0f} events/s"
-    print(f"\nsimulator throughput: {throughput/1e6:.2f} M events/s "
-          f"({events} events per solver run)")
+    # per-workload floors: even a slow CI box should clear these; a big
+    # kernel regression trips the assert before it hurts elsewhere
+    floor = FLOORS[name]
+    assert throughput > floor, f"{name}: {throughput:.0f} events/s under floor {floor}"

@@ -1,0 +1,165 @@
+"""Multi-workload simulator-kernel performance suite.
+
+Every other benchmark in the repo reports *simulated* microseconds;
+this module guards the *simulator's own* wall-clock performance.  Four
+workloads exercise the kernel's hot paths from different directions:
+
+``solver``
+    The Figure 7 linear solver on 8 Meiko ranks — collective-heavy MPI
+    traffic through the low-latency device (matching engine, DMA
+    engines, process switching).
+``nbody``
+    The Figure 9 n-body ring on 4 Ethernet workstations — the full
+    TCP/IP stack per message (byte buffers, delayed ACKs, CSMA/CD).
+``chaos``
+    A lossy-Ethernet ping-pong under deterministic fault injection —
+    retransmission timers actually fire, exercising timer re-arm,
+    cancellation, and the fault-injection hooks.
+``timer_churn``
+    A pure-kernel microbenchmark of the cancellable-timer pattern the
+    protocol stacks use: every operation arms a long retransmit-style
+    timer (the 200 ms default RTO) that is cancelled microseconds later
+    when the operation completes.  Before cancellable timers, each of
+    those timers sat in the heap until it fired dead.
+
+``run_suite`` returns one record per workload (events scheduled,
+wall-clock seconds, events per second) ready to be serialized as
+``BENCH_kernel.json`` — the tracked perf trajectory of the kernel.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import Callable, Dict
+
+__all__ = ["WORKLOADS", "FLOORS", "run_workload", "run_suite"]
+
+#: conservative events-per-second floors (full workloads, slow-CI safe);
+#: quick mode halves them.  Measured on the reference box: solver ~171k,
+#: nbody ~168k, chaos ~180k, timer_churn ~1.3M events/s.
+FLOORS = {
+    "solver": 75_000,
+    "nbody": 60_000,
+    "chaos": 60_000,
+    "timer_churn": 250_000,
+}
+
+
+def _solver(quick: bool) -> int:
+    from repro.apps import linsolve
+    from repro.mpi import World
+
+    world = World(8, platform="meiko", device="lowlatency")
+
+    def main(comm):
+        _, elapsed = yield from linsolve(comm, n=48 if quick else 96, seed=0)
+        return elapsed
+
+    world.run(main)
+    return world.sim._seq
+
+
+def _nbody(quick: bool) -> int:
+    from repro.apps import nbody_ring
+    from repro.mpi import World
+
+    world = World(4, platform="ethernet")
+
+    def main(comm):
+        _, e = yield from nbody_ring(
+            comm, nparticles=16 if quick else 32, seed=0, flop_time=0.03
+        )
+        return e
+
+    world.run(main)
+    return world.sim._seq
+
+
+def _chaos(quick: bool) -> int:
+    from repro.faults import FaultPlan, PacketLoss
+    from repro.mpi import World
+    from repro.net.kernel import ETH_KERNEL
+
+    world = World(
+        2,
+        platform="ethernet",
+        faults=FaultPlan.of(PacketLoss(probability=0.05)),
+        kernel_params=replace(ETH_KERNEL, rto=4000.0, rto_max=64000.0, max_retries=8),
+        seed=1,
+    )
+    rounds = 10 if quick else 40
+
+    def main(comm):
+        payload = bytes(256)
+        for _ in range(rounds):
+            if comm.rank == 0:
+                yield from comm.send(payload, dest=1, tag=1)
+                yield from comm.recv(source=1, tag=2)
+            else:
+                d, _ = yield from comm.recv(source=0, tag=1)
+                yield from comm.send(d, dest=0, tag=2)
+        return comm.wtime()
+
+    world.run(main)
+    return world.sim._seq
+
+
+def _timer_churn(quick: bool) -> int:
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    n = 4_000 if quick else 20_000
+
+    def op(sim):
+        for _ in range(n):
+            # the protocol-stack pattern: arm a retransmit-scale timer,
+            # finish the operation almost immediately, cancel the timer
+            handle = sim.call_later(200_000.0, _noop)
+            yield sim.timeout(1.0)
+            handle.cancel()
+
+    def _noop(_event):  # pragma: no cover - cancelled before firing
+        raise AssertionError("cancelled timer fired")
+
+    sim.process(op(sim))
+    sim.run()
+    return sim._seq
+
+
+WORKLOADS: Dict[str, Callable[[bool], int]] = {
+    "solver": _solver,
+    "nbody": _nbody,
+    "chaos": _chaos,
+    "timer_churn": _timer_churn,
+}
+
+
+def run_workload(name: str, quick: bool = False, repeats: int = 3) -> Dict:
+    """Best-of-*repeats* timing for one workload."""
+    fn = WORKLOADS[name]
+    best = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        events = fn(quick)
+        dt = time.perf_counter() - t0
+        if best is None or dt < best[0]:
+            best = (dt, events)
+    dt, events = best
+    return {
+        "events": events,
+        "wall_s": round(dt, 6),
+        "events_per_sec": int(events / dt),
+    }
+
+
+def run_suite(quick: bool = False, repeats: int = 3) -> Dict:
+    """Run every workload; returns {workload: record} plus metadata."""
+    results = {
+        name: run_workload(name, quick=quick, repeats=repeats) for name in WORKLOADS
+    }
+    return {
+        "mode": "quick" if quick else "full",
+        "repeats": repeats,
+        "workloads": results,
+    }

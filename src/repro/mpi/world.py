@@ -137,14 +137,34 @@ class World:
             self.sim.process(main(self.comms[r], *args), name=f"rank{r}") for r in ranks
         ]
         sim = self.sim
-        while not all(p.triggered for p in procs):
-            if any(p.triggered and not p.ok for p in procs):
-                break  # a rank died: abort the survivors instead of hanging
-            if not sim._heap:
-                raise self._watchdog(procs, ranks)
-            if sim.peek() > limit:
-                raise ConfigurationError(f"time limit {limit} µs exceeded")
-            sim.step()
+        # Completion/failure tracking is callback-based: the per-event
+        # check is two counter reads instead of two O(nprocs) scans.
+        state = {"done": 0, "died": False}
+
+        def _on_done(event, state=state):
+            state["done"] += 1
+            if not event._ok:
+                state["died"] = True
+
+        for p in procs:
+            p.add_callback(_on_done)
+        nprocs = len(procs)
+        peek = sim.peek
+        step = sim.step
+        inf = float("inf")
+        if limit == inf:
+            while state["done"] < nprocs and not state["died"]:
+                if peek() == inf:  # prunes tombstones: _heap empty <=> drained
+                    raise self._watchdog(procs, ranks)
+                step()
+        else:
+            while state["done"] < nprocs and not state["died"]:
+                next_t = peek()
+                if next_t == inf:
+                    raise self._watchdog(procs, ranks)
+                if next_t > limit:
+                    raise ConfigurationError(f"time limit {limit} µs exceeded")
+                step()
         failures = [p for p in procs if p.triggered and not p.ok]
         if failures:
             self._abort(procs, ranks, failures)
@@ -170,7 +190,7 @@ class World:
                 )
         # deliver the interrupts (URGENT events at the current time) so
         # resource claims are released by the ranks' finally blocks
-        while not all(p.triggered for p in procs) and sim._heap:
+        while not all(p.triggered for p in procs) and sim.peek() != float("inf"):
             sim.step()
         exc = first.value
         try:

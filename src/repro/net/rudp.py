@@ -17,6 +17,7 @@ import struct
 from typing import Callable, Dict, Optional
 
 from repro.errors import ConnectionClosed, NetworkError, RetransmitExhausted
+from repro.net.bytebuf import ByteQueue
 from repro.net.udp import UdpSocket
 from repro.sim.notify import Notify
 
@@ -61,15 +62,21 @@ class RudpConnection:
         # send side
         self.snd_una = 0
         self.snd_nxt = 0
-        self._unsent = bytearray()
-        self._unacked = bytearray()
+        self._unsent = ByteQueue()
+        self._unacked = ByteQueue()
         self._send_kick = Notify(self.sim, "rudp-send")
-        self._retx_kick = Notify(self.sim, "rudp-retx")
         self._space = Notify(self.sim, "rudp-space")
         self._ack_version = 0
+        # retransmission timer: cancellable callback, no dedicated
+        # process — same draw-order contract as the TCP one
+        self._retx_timer = None
+        self._retx_arming = False
+        self._retx_attempts = 0
+        self._retx_epoch = 0
+        self._retx_deadline = -1.0
         # receive side
         self.rcv_nxt = 0
-        self._rcvbuf = bytearray()
+        self._rcvbuf = ByteQueue()
         self._ooo: Dict[int, bytes] = {}
         self._readable = Notify(self.sim, "rudp-read")
         self.peer_closed = False
@@ -81,7 +88,8 @@ class RudpConnection:
         # delayed-ACK state (mirrors the kernel TCP policy: acks ride
         # outgoing data; a standalone ack waits ack_delay or 2*mss)
         self._ack_pending = 0
-        self._ack_timer_armed = False
+        self._ack_timer = None
+        self._ack_deadline = -1.0
         self.ack_delay = p.ack_delay
         # statistics
         self.packets_sent = 0
@@ -89,7 +97,6 @@ class RudpConnection:
         self.retransmissions = 0
         self.duplicates = 0
         self.sim.process(self._sender(), name=f"rudp-snd-{sock.port}")
-        self.sim.process(self._retx(), name=f"rudp-rtx-{sock.port}")
         self.sim.process(self._receiver(), name=f"rudp-rcv-{sock.port}")
 
     # -------------------------------------------------------------- user API
@@ -103,21 +110,30 @@ class RudpConnection:
             raise self.error
         if self.closed:
             raise ConnectionClosed("send on a closed RUDP connection")
-        data = bytes(data)
+        if not isinstance(data, bytes) and not (
+            isinstance(data, memoryview) and data.readonly
+        ):
+            data = bytes(data)  # freeze mutable buffers once, at the API edge
+        total = len(data)
         sndbuf = self.kernel.params.sndbuf
         offset = 0
-        while offset < len(data):
+        view = None
+        while offset < total:
             if self.error is not None:
                 raise self.error
             used = len(self._unsent) + len(self._unacked)
             if used >= sndbuf:
                 yield self._space.wait()
                 continue
-            take = min(sndbuf - used, len(data) - offset)
-            self._unsent.extend(data[offset : offset + take])
+            take = min(sndbuf - used, total - offset)
+            if offset == 0 and take == total:
+                self._unsent.append(data)  # whole buffer, by reference
+            else:
+                if view is None:
+                    view = memoryview(data)
+                self._unsent.append(view[offset : offset + take])
             offset += take
             self._send_kick.set()
-            self._retx_kick.set()
 
     def recv_exact(self, n: int):
         """Generator -> bytes: block until *n* stream bytes are readable.
@@ -135,9 +151,7 @@ class RudpConnection:
                     f"peer closed with {len(self._rcvbuf)} of {n} bytes buffered"
                 )
             yield self._readable.wait()
-        out = bytes(self._rcvbuf[:n])
-        del self._rcvbuf[:n]
-        return out
+        return self._rcvbuf.take(n)
 
     def close(self) -> None:
         self.closed = True
@@ -158,56 +172,96 @@ class RudpConnection:
                 if room <= 0:
                     break
                 n = min(self.mss, len(self._unsent), room)
-                chunk = bytes(self._unsent[:n])
-                del self._unsent[:n]
-                self._unacked.extend(chunk)
+                chunk = self._unsent.take(n)
+                self._unacked.append(chunk)
                 self.packets_sent += 1
-                self._ack_pending = 0  # this packet carries the ack
+                self._ack_rides_out()  # this packet carries the ack
                 yield from self.kernel.charge(self.proc_cost)
                 yield from self.sock.sendto(
                     self.remote_host, self.remote_port, self._packet(self.snd_nxt, chunk)
                 )
                 self.snd_nxt += n
-                self._retx_kick.set()
+                self._arm_retx()
             if self.closed and not self._unsent and self.snd_una >= self.snd_nxt:
                 yield from self.sock.sendto(
                     self.remote_host, self.remote_port, self._packet(self.snd_nxt, b"", _FLAG_FIN)
                 )
 
-    def _retx(self):
-        p = self.kernel.params
-        rng = self.kernel.host.rng
-        attempts = 0
-        while True:
-            if self.snd_una >= self.snd_nxt:
-                attempts = 0
-                yield self._retx_kick.wait()
-                continue
-            version = self._ack_version
-            # exponential backoff with deterministic (seeded) jitter
-            rto = min(self.rto * p.rto_backoff**attempts, p.rto_max)
-            if p.retx_jitter:
-                rto *= 1.0 + p.retx_jitter * rng.uniform(-1.0, 1.0)
-            yield self.sim.timeout(rto)
-            if self._ack_version != version or self.snd_una >= self.snd_nxt:
-                attempts = 0
-                continue
-            attempts += 1
-            if attempts > self.max_retries:
-                self._fail(RetransmitExhausted(
-                    f"rudp to host {self.remote_host}:{self.remote_port}: "
-                    f"{self.max_retries} retransmissions of seq {self.snd_una} unanswered"
-                ))
-                return
-            n = min(self.mss, len(self._unacked))
-            chunk = bytes(self._unacked[:n])
-            self.retransmissions += 1
-            yield from self.sock.sendto(
-                self.remote_host, self.remote_port, self._packet(self.snd_una, chunk)
+    # ------------------------------------------------- retransmission timer
+    # Timeout retransmission with exponential backoff and deterministic
+    # (seeded) jitter; after ``max_retries`` unanswered attempts the
+    # connection fails locally.  Cancellable-callback scheme with the
+    # same RNG-draw-order contract as the TCP timer: fresh arms draw in
+    # a zero-delay event, a full ACK cancels but keeps the deadline so a
+    # re-arm before it resumes the old window without drawing, and
+    # fire-time re-arms draw inline.
+
+    def _arm_retx(self) -> None:
+        """Ensure the retransmission timer is running (called on transmit)."""
+        if self._retx_timer is not None or self._retx_arming or self.error is not None:
+            return
+        if self.sim.now < self._retx_deadline:
+            self._retx_timer = self.sim.call_later(
+                self._retx_deadline - self.sim.now, self._on_retx_timer
             )
+            return
+        self._retx_arming = True
+        self.sim.call_later(0.0, self._arm_retx_fresh)
+
+    def _arm_retx_fresh(self, _event=None) -> None:
+        """Draw a jittered RTO and start a fresh retransmission window."""
+        self._retx_arming = False
+        if self._retx_timer is not None or self.error is not None:
+            return
+        if self.snd_una >= self.snd_nxt:
+            self._retx_attempts = 0
+            return
+        p = self.kernel.params
+        rto = min(self.rto * p.rto_backoff**self._retx_attempts, p.rto_max)
+        if p.retx_jitter:
+            rto *= 1.0 + p.retx_jitter * self.kernel.host.rng.uniform(-1.0, 1.0)
+        self._retx_epoch = self._ack_version
+        self._retx_deadline = self.sim.now + rto
+        self._retx_timer = self.sim.call_later(rto, self._on_retx_timer)
+
+    def _on_retx_timer(self, _event=None) -> None:
+        self._retx_timer = None
+        if self.error is not None:
+            return
+        if self.snd_una >= self.snd_nxt:
+            self._retx_attempts = 0
+            return  # all data acked: dormant until the next transmit
+        if self._ack_version != self._retx_epoch:
+            self._retx_attempts = 0
+            self._arm_retx_fresh()
+            return  # progress was made
+        self._retx_attempts += 1
+        if self._retx_attempts > self.max_retries:
+            self._fail(RetransmitExhausted(
+                f"rudp to host {self.remote_host}:{self.remote_port}: "
+                f"{self.max_retries} retransmissions of seq {self.snd_una} unanswered"
+            ))
+            return
+        self.sim.process(self._retransmit_oldest(), name=f"rudp-rtx-{self.sock.port}")
+
+    def _retransmit_oldest(self):
+        """Short-lived process: resend the oldest unacked packet."""
+        n = min(self.mss, len(self._unacked))
+        chunk = self._unacked.peek(n)
+        self.retransmissions += 1
+        yield from self.sock.sendto(
+            self.remote_host, self.remote_port, self._packet(self.snd_una, chunk)
+        )
+        self._arm_retx_fresh()
+
+    def _cancel_retx(self) -> None:
+        if self._retx_timer is not None:
+            self._retx_timer.cancel()
+            self._retx_timer = None
 
     def _fail(self, exc: NetworkError) -> None:
         """Terminal failure: record it and wake every waiter."""
+        self._cancel_retx()
         self.error = exc
         self._readable.set()
         self._space.set()
@@ -221,12 +275,17 @@ class RudpConnection:
             _src, payload = yield from self.sock.recvfrom()
             yield from self.kernel.charge(self.proc_cost)
             seq, ack, flags = _HDR.unpack_from(payload)
-            data = payload[RUDP_HEADER:]
+            # zero-copy view of the stream bytes after the header
+            data = memoryview(payload)[RUDP_HEADER:]
             self.packets_received += 1
             if ack > self.snd_una:
-                del self._unacked[: ack - self.snd_una]
+                self._unacked.drop(ack - self.snd_una)
                 self.snd_una = ack
                 self._ack_version += 1
+                if self.snd_una >= self.snd_nxt:
+                    # fully acked: cancel in O(1); _retx_deadline is kept
+                    # so a re-arm before it resumes the old window
+                    self._cancel_retx()
                 self._space.set()
                 self._send_kick.set()
             if flags & _FLAG_FIN:
@@ -235,27 +294,45 @@ class RudpConnection:
                 if self.on_data is not None:
                     self.on_data()
             if data:
-                self._accept(seq, bytes(data))
+                self._accept(seq, data)
                 self._ack_pending += len(data)
                 if self._ack_pending >= 2 * self.mss:
                     yield from self._send_ack()
-                elif not self._ack_timer_armed:
-                    self._ack_timer_armed = True
-                    self.sim.process(self._delayed_ack(), name="rudp-dack")
+                else:
+                    self._arm_dack()
+
+    # Delayed-ACK timer (mirrors the TCP one, deadline-resume included).
+    def _ack_rides_out(self) -> None:
+        """An outgoing packet carries the current ack: a pending
+        standalone-ACK timer would fire dead, so cancel it."""
+        self._ack_pending = 0
+        if self._ack_timer is not None:
+            self._ack_timer.cancel()
+            self._ack_timer = None
+
+    def _arm_dack(self) -> None:
+        if self._ack_timer is not None:
+            return
+        now = self.sim.now
+        if now < self._ack_deadline:
+            delay = self._ack_deadline - now  # resume the cancelled window
+        else:
+            delay = self.ack_delay
+            self._ack_deadline = now + delay
+        self._ack_timer = self.sim.call_later(delay, self._on_ack_timer)
+
+    def _on_ack_timer(self, _event=None) -> None:
+        self._ack_timer = None
+        if self._ack_pending > 0:
+            self.sim.process(self._send_ack(), name="rudp-dack")
 
     def _send_ack(self):
-        self._ack_pending = 0
+        self._ack_rides_out()
         yield from self.sock.sendto(
             self.remote_host, self.remote_port, self._packet(self.snd_nxt, b"")
         )
 
-    def _delayed_ack(self):
-        yield self.sim.timeout(self.ack_delay)
-        self._ack_timer_armed = False
-        if self._ack_pending > 0:
-            yield from self._send_ack()
-
-    def _accept(self, seq: int, data: bytes) -> None:
+    def _accept(self, seq: int, data) -> None:
         if seq + len(data) <= self.rcv_nxt:
             self.duplicates += 1
             return
@@ -264,11 +341,11 @@ class RudpConnection:
             return
         if seq < self.rcv_nxt:
             data = data[self.rcv_nxt - seq:]
-        self._rcvbuf.extend(data)
+        self._rcvbuf.append(data)
         self.rcv_nxt += len(data)
         while self.rcv_nxt in self._ooo:
             nxt = self._ooo.pop(self.rcv_nxt)
-            self._rcvbuf.extend(nxt)
+            self._rcvbuf.append(nxt)
             self.rcv_nxt += len(nxt)
         self._readable.set()
         if self.on_data is not None:

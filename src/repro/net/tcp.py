@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.errors import ConnectionClosed, NetworkError, RetransmitExhausted
+from repro.net.bytebuf import ByteQueue
 from repro.sim import Store
 from repro.sim.notify import Notify
 
@@ -71,16 +72,22 @@ class TcpConnection:
         # send side
         self.snd_una = 0
         self.snd_nxt = 0
-        self._unsent = bytearray()
-        self._unacked = bytearray()
+        self._unsent = ByteQueue()
+        self._unacked = ByteQueue()
         self.peer_window = p.window
         self._send_kick = Notify(self.sim, "tcp-send")
-        self._retx_kick = Notify(self.sim, "tcp-retx")
         self._space = Notify(self.sim, "tcp-space")
         self._ack_version = 0
+        # retransmission timer: a cancellable callback, no dedicated
+        # process — see _arm_retx for the draw-order contract
+        self._retx_timer = None
+        self._retx_arming = False
+        self._retx_attempts = 0
+        self._retx_epoch = 0
+        self._retx_deadline = -1.0
         # receive side
         self.rcv_nxt = 0
-        self._rcvbuf = bytearray()
+        self._rcvbuf = ByteQueue()
         self._ooo: Dict[int, bytes] = {}
         self._readable = Notify(self.sim, "tcp-read")
         self._established = Notify(self.sim, "tcp-est")
@@ -90,9 +97,12 @@ class TcpConnection:
         #: terminal failure (RetransmitExhausted / reset); raised by send/recv
         self.error: Optional[NetworkError] = None
         # delayed-ACK state: acks ride outgoing data when possible; a
-        # standalone ACK goes out after ack_delay or two segments' worth
+        # standalone ACK goes out after ack_delay or two segments' worth.
+        # The timer is cancelled when an ack rides out, but its deadline
+        # is remembered so a re-arm resumes the pending window.
         self._bytes_since_ack = 0
-        self._ack_timer_armed = False
+        self._ack_timer = None
+        self._ack_deadline = -1.0
         # fast-retransmit state: duplicate ACKs seen at snd_una
         self._dupacks = 0
         # statistics
@@ -101,7 +111,6 @@ class TcpConnection:
         self.retransmissions = 0
         self.fast_retransmissions = 0
         self.sim.process(self._sender(), name=f"tcp-snd-{self.local_port}")
-        self.sim.process(self._retx(), name=f"tcp-rtx-{self.local_port}")
 
     # ------------------------------------------------------------- user API
     @property
@@ -115,22 +124,31 @@ class TcpConnection:
             raise self.error
         if self.state != ESTABLISHED:
             raise ConnectionClosed("send on a non-established connection")
-        data = bytes(data)
-        yield from self.kernel.syscall_write(len(data))
+        if not isinstance(data, bytes) and not (
+            isinstance(data, memoryview) and data.readonly
+        ):
+            data = bytes(data)  # freeze mutable buffers once, at the API edge
+        total = len(data)
+        yield from self.kernel.syscall_write(total)
         p = self.kernel.params
         offset = 0
-        while offset < len(data):
+        view = None
+        while offset < total:
             if self.error is not None:
                 raise self.error
             used = len(self._unsent) + len(self._unacked)
             if used >= p.sndbuf:
                 yield self._space.wait()
                 continue
-            take = min(p.sndbuf - used, len(data) - offset)
-            self._unsent.extend(data[offset : offset + take])
+            take = min(p.sndbuf - used, total - offset)
+            if offset == 0 and take == total:
+                self._unsent.append(data)  # whole buffer, by reference
+            else:
+                if view is None:
+                    view = memoryview(data)
+                self._unsent.append(view[offset : offset + take])
             offset += take
             self._send_kick.set()
-            self._retx_kick.set()
 
     def recv_exact(self, n: int):
         """Generator -> bytes: block until *n* bytes are readable, then
@@ -146,9 +164,7 @@ class TcpConnection:
                 )
             yield self._readable.wait()
         yield from self.kernel.syscall_read(n)
-        out = bytes(self._rcvbuf[:n])
-        del self._rcvbuf[:n]
-        return out
+        return self._rcvbuf.take(n)
 
     def close(self) -> None:
         """Half-close: send FIN (best-effort; see module docstring)."""
@@ -186,57 +202,104 @@ class TcpConnection:
                     # to be acknowledged (or for a full segment to form)
                     break
                 n = min(mss, len(self._unsent), room)
-                chunk = bytes(self._unsent[:n])
-                del self._unsent[:n]
-                self._unacked.extend(chunk)
+                chunk = self._unsent.take(n)
+                self._unacked.append(chunk)
                 yield from self.kernel.charge(p.tcp_out + n * p.checksum_per_byte)
-                self._bytes_since_ack = 0  # this segment carries the ack
+                self._ack_rides_out()  # this segment carries the ack
                 self._transmit(TcpSegment(
                     self.local_port, self.remote_port, self.snd_nxt, self.rcv_nxt,
                     data=chunk, window=p.window,
                 ))
                 self.snd_nxt += n
-                self._retx_kick.set()
+                self._arm_retx()
 
-    def _retx(self):
-        """Timeout retransmission of the oldest unacked segment, with
-        exponential backoff; after ``max_retries`` unanswered attempts
-        the connection is reset (RST to the peer, RetransmitExhausted
-        locally)."""
+    # ------------------------------------------------- retransmission timer
+    # Timeout retransmission of the oldest unacked segment, with
+    # exponential backoff; after ``max_retries`` unanswered attempts the
+    # connection is reset (RST to the peer, RetransmitExhausted locally).
+    #
+    # The timer is a cancellable callback, not a dedicated process.  The
+    # deterministic-replay contract with the old sleeping-process
+    # implementation: the jittered RTO must be drawn from the shared host
+    # RNG in exactly the event slots where the old process woke up.  So a
+    # fresh arm defers its draw to a zero-delay event (where the wakeup
+    # notification used to land), a full ACK cancels the timer but keeps
+    # its deadline so a re-arm before the deadline "resumes" the old
+    # window without drawing, and fire-time re-arms draw inline (inside
+    # the event where the old process checked its progress).
+
+    def _arm_retx(self) -> None:
+        """Ensure the retransmission timer is running (called on transmit)."""
+        if self._retx_timer is not None or self._retx_arming or self.error is not None:
+            return
+        if self.sim.now < self._retx_deadline:
+            # resume the window cancelled by a full ACK: no new draw; the
+            # fire handler sees the ACK progress and starts a fresh window
+            self._retx_timer = self.sim.call_later(
+                self._retx_deadline - self.sim.now, self._on_retx_timer
+            )
+            return
+        self._retx_arming = True
+        self.sim.call_later(0.0, self._arm_retx_fresh)
+
+    def _arm_retx_fresh(self, _event=None) -> None:
+        """Draw a jittered RTO and start a fresh retransmission window."""
+        self._retx_arming = False
+        if self._retx_timer is not None or self.error is not None:
+            return
+        if self.snd_una >= self.snd_nxt:
+            self._retx_attempts = 0
+            return  # everything acked while arming: nothing to time
         p = self.kernel.params
-        rng = self.kernel.host.rng
-        attempts = 0
-        while True:
-            if self.snd_una >= self.snd_nxt:
-                attempts = 0
-                yield self._retx_kick.wait()
-                continue
-            version = self._ack_version
-            rto = min(p.rto * p.rto_backoff**attempts, p.rto_max)
-            if p.retx_jitter:
-                rto *= 1.0 + p.retx_jitter * rng.uniform(-1.0, 1.0)
-            yield self.sim.timeout(rto)
-            if self._ack_version != version or self.snd_una >= self.snd_nxt:
-                attempts = 0
-                continue  # progress was made
-            attempts += 1
-            if attempts > p.max_retries:
-                self._reset(RetransmitExhausted(
-                    f"tcp {self.local_port}->host{self.remote_host}:{self.remote_port}: "
-                    f"{p.max_retries} retransmissions of seq {self.snd_una} unanswered"
-                ))
-                return
-            n = min(self.kernel.mss, len(self._unacked))
-            chunk = bytes(self._unacked[:n])
-            self.retransmissions += 1
-            yield from self.kernel.charge(p.tcp_out + n * p.checksum_per_byte)
-            self._transmit(TcpSegment(
-                self.local_port, self.remote_port, self.snd_una, self.rcv_nxt,
-                data=chunk, window=p.window,
+        rto = min(p.rto * p.rto_backoff**self._retx_attempts, p.rto_max)
+        if p.retx_jitter:
+            rto *= 1.0 + p.retx_jitter * self.kernel.host.rng.uniform(-1.0, 1.0)
+        self._retx_epoch = self._ack_version
+        self._retx_deadline = self.sim.now + rto
+        self._retx_timer = self.sim.call_later(rto, self._on_retx_timer)
+
+    def _on_retx_timer(self, _event=None) -> None:
+        self._retx_timer = None
+        if self.error is not None:
+            return
+        if self.snd_una >= self.snd_nxt:
+            self._retx_attempts = 0
+            return  # all data acked: go dormant until the next transmit
+        if self._ack_version != self._retx_epoch:
+            self._retx_attempts = 0
+            self._arm_retx_fresh()
+            return  # progress was made
+        self._retx_attempts += 1
+        p = self.kernel.params
+        if self._retx_attempts > p.max_retries:
+            self._reset(RetransmitExhausted(
+                f"tcp {self.local_port}->host{self.remote_host}:{self.remote_port}: "
+                f"{p.max_retries} retransmissions of seq {self.snd_una} unanswered"
             ))
+            return
+        self.sim.process(self._retransmit_oldest(), name=f"tcp-rtx-{self.local_port}")
+
+    def _retransmit_oldest(self):
+        """Short-lived process: charge for and resend the oldest segment."""
+        p = self.kernel.params
+        n = min(self.kernel.mss, len(self._unacked))
+        chunk = self._unacked.peek(n)
+        self.retransmissions += 1
+        yield from self.kernel.charge(p.tcp_out + n * p.checksum_per_byte)
+        self._transmit(TcpSegment(
+            self.local_port, self.remote_port, self.snd_una, self.rcv_nxt,
+            data=chunk, window=p.window,
+        ))
+        self._arm_retx_fresh()
+
+    def _cancel_retx(self) -> None:
+        if self._retx_timer is not None:
+            self._retx_timer.cancel()
+            self._retx_timer = None
 
     def _reset(self, exc: NetworkError) -> None:
         """Abort the connection: RST the peer, fail local waiters."""
+        self._cancel_retx()
         if self.state != CLOSED:
             self._transmit(TcpSegment(
                 self.local_port, self.remote_port, self.snd_nxt, self.rcv_nxt, rst=True
@@ -257,6 +320,7 @@ class TcpConnection:
         yield from self.kernel.charge(p.tcp_in + len(seg.data) * p.checksum_per_byte)
         if seg.rst:
             # peer aborted: fail local waiters without answering
+            self._cancel_retx()
             self.state = CLOSED
             self.error = ConnectionClosed(
                 f"connection reset by host{self.remote_host}:{self.remote_port}"
@@ -272,10 +336,14 @@ class TcpConnection:
         # ACK processing (with fast retransmit on 3 duplicate ACKs)
         if seg.ack > self.snd_una:
             acked = seg.ack - self.snd_una
-            del self._unacked[:acked]
+            self._unacked.drop(acked)
             self.snd_una = seg.ack
             self._ack_version += 1
             self._dupacks = 0
+            if self.snd_una >= self.snd_nxt:
+                # fully acked: cancel the timer in O(1).  _retx_deadline
+                # is kept so a re-arm before it resumes the old window.
+                self._cancel_retx()
             self._space.set()
             self._send_kick.set()
         elif seg.ack == self.snd_una and not seg.data and self.snd_una < self.snd_nxt:
@@ -299,9 +367,8 @@ class TcpConnection:
             self._bytes_since_ack += len(seg.data)
             if self._bytes_since_ack >= 2 * self.kernel.mss:
                 yield from self._send_ack()
-            elif not self._ack_timer_armed:
-                self._ack_timer_armed = True
-                self.sim.process(self._delayed_ack(), name="tcp-dack")
+            else:
+                self._arm_dack()
 
     def _fast_retransmit(self):
         """Resend the oldest unacked segment without waiting for the RTO."""
@@ -309,7 +376,7 @@ class TcpConnection:
         n = min(self.kernel.mss, len(self._unacked))
         if n == 0:
             return
-        chunk = bytes(self._unacked[:n])
+        chunk = self._unacked.peek(n)
         self.retransmissions += 1
         self.fast_retransmissions += 1
         self._ack_version += 1  # restart the RTO clock
@@ -321,17 +388,41 @@ class TcpConnection:
 
     def _send_ack(self):
         p = self.kernel.params
-        self._bytes_since_ack = 0
+        self._ack_rides_out()
         yield from self.kernel.charge(p.ack_cost)
         self._transmit(TcpSegment(
             self.local_port, self.remote_port, self.snd_nxt, self.rcv_nxt, window=p.window
         ))
 
-    def _delayed_ack(self):
-        yield self.sim.timeout(self.kernel.params.ack_delay)
-        self._ack_timer_armed = False
+    # Delayed-ACK timer.  Same determinism contract as the retransmission
+    # timer: the old implementation armed once and let the timer run to
+    # its deadline even if the pending ack rode out on data first, so a
+    # cancelled timer keeps its deadline and a re-arm before the deadline
+    # resumes it (a later data arrival must NOT push the standalone ACK
+    # out by a fresh ack_delay).
+    def _ack_rides_out(self) -> None:
+        """An outgoing segment carries the current ack: a pending
+        standalone-ACK timer would fire dead, so cancel it."""
+        self._bytes_since_ack = 0
+        if self._ack_timer is not None:
+            self._ack_timer.cancel()
+            self._ack_timer = None
+
+    def _arm_dack(self) -> None:
+        if self._ack_timer is not None:
+            return
+        now = self.sim.now
+        if now < self._ack_deadline:
+            delay = self._ack_deadline - now  # resume the cancelled window
+        else:
+            delay = self.kernel.params.ack_delay
+            self._ack_deadline = now + delay
+        self._ack_timer = self.sim.call_later(delay, self._on_ack_timer)
+
+    def _on_ack_timer(self, _event=None) -> None:
+        self._ack_timer = None
         if self._bytes_since_ack > 0:
-            yield from self._send_ack()
+            self.sim.process(self._send_ack(), name="tcp-dack")
 
     def _accept_data(self, seg: TcpSegment) -> None:
         seq, data = seg.seq, seg.data
@@ -343,12 +434,12 @@ class TcpConnection:
         if seq < self.rcv_nxt:  # partial overlap from a retransmission
             data = data[self.rcv_nxt - seq:]
             seq = self.rcv_nxt
-        self._rcvbuf.extend(data)
+        self._rcvbuf.append(data)
         self.rcv_nxt += len(data)
         # drain any now-contiguous out-of-order segments
         while self.rcv_nxt in self._ooo:
             nxt = self._ooo.pop(self.rcv_nxt)
-            self._rcvbuf.extend(nxt)
+            self._rcvbuf.append(nxt)
             self.rcv_nxt += len(nxt)
         self._readable.set()
         if self.on_data is not None:
@@ -419,6 +510,8 @@ class TcpLayer:
             yield self.kernel.sim.any_of([ev, timeout])
             if not ev.processed:
                 conn._established.cancel_wait(ev)
+            if not timeout.processed:
+                timeout.cancel()  # established won: the RTO must not fire dead
         return conn
 
     @staticmethod

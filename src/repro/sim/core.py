@@ -4,9 +4,13 @@ The kernel is intentionally small and has no dependencies beyond the
 standard library.  It provides:
 
 * :class:`Simulator` -- the event loop (a binary heap of scheduled
-  events, a monotonically increasing clock, deterministic tie-breaking);
+  events, a monotonically increasing clock, deterministic tie-breaking,
+  a same-timestamp batch drain in :meth:`Simulator.run`);
 * :class:`Event` -- a one-shot future that processes can wait on;
-* :class:`Timeout` -- an event that fires after a fixed delay;
+* :class:`Timeout` -- an event that fires after a fixed delay; also a
+  cancellable timer handle (:meth:`Timeout.cancel`, O(1) lazy heap
+  deletion) and the vehicle for callback timers
+  (:meth:`Simulator.call_later`);
 * :class:`Process` -- a generator coroutine driven by the simulator,
   itself an event (it fires when the generator returns);
 * :class:`AnyOf` / :class:`AllOf` -- condition events;
@@ -22,7 +26,7 @@ simulation produces the identical event order.
 
 from __future__ import annotations
 
-from heapq import heappush, heappop
+from heapq import heapify, heappush, heappop
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 __all__ = [
@@ -37,6 +41,8 @@ __all__ = [
     "AllOf",
     "Simulator",
 ]
+
+_INF = float("inf")
 
 #: Scheduling priority for events that must run before ordinary events at
 #: the same timestamp (used internally for process interruption).
@@ -72,7 +78,7 @@ class Event:
     has the failure exception thrown into it).
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled", "_defused")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled", "_defused", "_cancelled")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
@@ -83,6 +89,7 @@ class Event:
         self._ok: Optional[bool] = None
         self._scheduled = False
         self._defused = False
+        self._cancelled = False
 
     # -- state ----------------------------------------------------------
     @property
@@ -162,7 +169,15 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` microseconds after creation."""
+    """An event that fires ``delay`` microseconds after creation.
+
+    A Timeout doubles as a *cancellable timer handle*: :meth:`cancel`
+    withdraws it in O(1) before it fires (lazy heap deletion — the heap
+    entry becomes a tombstone that the simulator discards unfired).
+    This is how the protocol stacks retire retransmission timers whose
+    work was obsoleted by an ACK, instead of letting dead events pile up
+    and fire into no-op guards.
+    """
 
     __slots__ = ("delay",)
 
@@ -175,6 +190,26 @@ class Timeout(Event):
         self._value = value
         self.sim._schedule(self, delay, NORMAL)
 
+    def cancel(self) -> bool:
+        """Withdraw the timer before it fires.  Returns True on success.
+
+        O(1): the scheduled heap entry is tombstoned and skipped (never
+        fired) when it reaches the top; the heap is compacted once
+        tombstones dominate.  Cancelling an already-fired (or already-
+        cancelled) timer returns False and does nothing.
+
+        Cancellation silently discards the timer's callbacks — a process
+        blocked on a cancelled timer would never resume, so only cancel
+        timers you own (callback timers from :meth:`Simulator.call_later`
+        or timeouts nothing is waiting on).
+        """
+        if self._cancelled or self.callbacks is None:
+            return False
+        self._cancelled = True
+        self.callbacks = []  # drop references; never runs, `processed` stays False
+        self.sim._note_cancel()
+        return True
+
 
 class _Initialize(Event):
     """Internal event used to start a freshly created process."""
@@ -185,7 +220,7 @@ class _Initialize(Event):
         super().__init__(sim)
         self._ok = True
         self._value = None
-        self.callbacks.append(process._resume)
+        self.callbacks.append(process._resume_cb)
         self.sim._schedule(self, 0.0, URGENT)
 
 
@@ -198,7 +233,7 @@ class Process(Event):
     an uncaught exception from the generator.
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_target", "name", "_resume_cb", "_send", "_throw")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
@@ -208,6 +243,11 @@ class Process(Event):
         #: the event this process is currently waiting on (None if running/new)
         self._target: Optional[Event] = None
         self.name = name or getattr(generator, "__name__", "process")
+        # Cache the bound methods used once per resume: creating a fresh
+        # bound-method object per yield is measurable in the hot loop.
+        self._resume_cb = self._resume
+        self._send = generator.send
+        self._throw = generator.throw
         _Initialize(sim, self)
 
     @property
@@ -230,13 +270,13 @@ class Process(Event):
         interrupt_ev._ok = False
         interrupt_ev._value = Interrupt(cause)
         interrupt_ev._defused = True
-        interrupt_ev.callbacks.append(self._resume)
+        interrupt_ev.callbacks.append(self._resume_cb)
         self.sim._schedule(interrupt_ev, 0.0, URGENT)
         # Detach from the event we were waiting on so its firing does not
         # also resume us.
         if self._target is not None and self._target.callbacks is not None:
             try:
-                self._target.callbacks.remove(self._resume)
+                self._target.callbacks.remove(self._resume_cb)
             except ValueError:
                 pass
         self._target = None
@@ -244,16 +284,17 @@ class Process(Event):
     # -- driving --------------------------------------------------------
     def _resume(self, event: Event) -> None:
         sim = self.sim
+        send = self._send
         sim._active_process = self
         self._target = None
         while True:
             try:
                 if event._ok:
-                    target = self._generator.send(event._value)
+                    target = send(event._value)
                 else:
                     # mark the failure as handled: it is being delivered
                     event._defused = True
-                    target = self._generator.throw(event._value)
+                    target = self._throw(event._value)
             except StopIteration as exc:
                 sim._active_process = None
                 self._ok = True
@@ -280,7 +321,7 @@ class Process(Event):
                 # Already fired: loop and deliver immediately.
                 event = target
                 continue
-            target.callbacks.append(self._resume)
+            target.callbacks.append(self._resume_cb)
             self._target = target
             sim._active_process = None
             return
@@ -365,6 +406,8 @@ class Simulator:
         self._heap: List = []
         self._seq = 0
         self._active_process: Optional[Process] = None
+        #: tombstoned (cancelled) entries still sitting in the heap
+        self._dead = 0
 
     @property
     def now(self) -> float:
@@ -385,6 +428,19 @@ class Simulator:
         """An event firing *delay* microseconds from now."""
         return Timeout(self, delay, value)
 
+    def call_later(self, delay: float, fn: Callable[[Event], None]) -> Timeout:
+        """Schedule ``fn(event)`` to run *delay* microseconds from now.
+
+        Returns the :class:`Timeout` as a cancellable timer handle:
+        ``handle.cancel()`` withdraws the callback in O(1) before it
+        fires.  This is the cheap way to run timer-driven bookkeeping
+        (retransmission deadlines, delayed ACKs) without dedicating a
+        process to sleep on each timer.
+        """
+        t = Timeout(self, delay)
+        t.callbacks.append(fn)
+        return t
+
     def process(self, generator: Generator, name: str = "") -> Process:
         """Start a new process from *generator*."""
         return Process(self, generator, name)
@@ -400,35 +456,86 @@ class Simulator:
         if event._scheduled:
             raise SimulationError(f"{event!r} is already scheduled")
         event._scheduled = True
-        self._seq += 1
-        heappush(self._heap, (self._now + delay, priority, self._seq, event))
+        seq = self._seq + 1
+        self._seq = seq
+        heappush(self._heap, (self._now + delay, priority, seq, event))
+
+    def _note_cancel(self) -> None:
+        """Account one tombstone; compact the heap if they dominate."""
+        self._dead += 1
+        heap = self._heap
+        if self._dead > 512 and self._dead * 2 > len(heap):
+            # in place: run()/step() hold local references to this list
+            heap[:] = [entry for entry in heap if not entry[3]._cancelled]
+            heapify(heap)
+            self._dead = 0
 
     # -- running --------------------------------------------------------
     def step(self) -> None:
-        """Fire the next scheduled event, advancing the clock."""
-        t, _prio, _seq, event = heappop(self._heap)
-        if t < self._now:  # pragma: no cover - defensive
-            raise SimulationError("time went backwards")
-        self._now = t
-        event._fire()
+        """Fire the next scheduled live event, advancing the clock.
+
+        Cancelled timers encountered on the way are discarded unfired.
+        Stepping an empty (or all-tombstone) queue raises
+        :class:`SimulationError`.
+        """
+        heap = self._heap
+        while heap:
+            t, _prio, _seq, event = heappop(heap)
+            if event._cancelled:
+                self._dead -= 1
+                continue
+            if t < self._now:  # pragma: no cover - defensive
+                raise SimulationError("time went backwards")
+            self._now = t
+            event._fire()
+            return
+        raise SimulationError("step() on an empty event queue")
 
     def peek(self) -> float:
-        """Time of the next scheduled event (``inf`` if none)."""
-        return self._heap[0][0] if self._heap else float("inf")
+        """Time of the next live scheduled event (``inf`` if none).
+
+        Prunes cancelled timers off the top of the heap, so after a call
+        ``self._heap`` is empty iff no live events remain.
+        """
+        heap = self._heap
+        while heap and heap[0][3]._cancelled:
+            heappop(heap)
+            self._dead -= 1
+        return heap[0][0] if heap else _INF
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the event queue drains or the clock passes *until*.
 
         If *until* is given the clock is left exactly at ``until`` when
         the horizon is reached (pending events stay queued).
+
+        The loop drains all events that share a timestamp in one batch:
+        the horizon check and clock write happen once per distinct
+        timestamp, not once per event.
         """
         if until is not None and until < self._now:
             raise ValueError(f"until={until!r} is in the past (now={self._now!r})")
-        while self._heap:
-            if until is not None and self._heap[0][0] > until:
+        heap = self._heap
+        pop = heappop
+        while heap:
+            entry = heap[0]
+            if entry[3]._cancelled:
+                pop(heap)
+                self._dead -= 1
+                continue
+            t = entry[0]
+            if until is not None and t > until:
                 self._now = until
                 return
-            self.step()
+            self._now = t
+            # same-timestamp batch drain (includes events the fired
+            # events schedule for this same instant)
+            while heap and heap[0][0] == t:
+                event = pop(heap)[3]
+                if event._cancelled:
+                    self._dead -= 1
+                else:
+                    event._fire()
         if until is not None:
             self._now = until
 
@@ -437,17 +544,27 @@ class Simulator:
 
         ``limit`` guards against deadlock: exceeding it raises
         :class:`SimulationError`.
+
+        After the generator returns, the loop keeps stepping until the
+        process *event* itself has fired, so ``process.processed`` is
+        True on return and same-time bookkeeping (waiter callbacks,
+        condition updates) has run.
         """
         while not process.triggered:
+            t = self.peek()  # prunes tombstones: _heap empty <=> drained
             if not self._heap:
                 raise SimulationError(
                     f"deadlock: event queue drained but {process.name!r} never finished"
                 )
-            if self._heap[0][0] > limit:
+            if t > limit:
                 raise SimulationError(f"time limit {limit} exceeded waiting for {process.name!r}")
             self.step()
-        # Drain same-time bookkeeping events so .processed is consistent.
         if not process.ok:
             process._defused = True
+        # Drain up to (and including) the completion event so .processed
+        # is consistent for the caller.
+        while not process.processed:
+            self.step()
+        if not process.ok:
             raise process.value
         return process.value

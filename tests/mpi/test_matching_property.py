@@ -1,0 +1,235 @@
+"""Bucketed matching engine vs a reference FIFO-scan implementation.
+
+The production :class:`~repro.mpi.matching.MatchQueues` hash-buckets
+both queues by (context, source, tag) for O(1) lookups; MPI ordering
+semantics (non-overtaking, FIFO match order, wildcard rules) and the
+``comparisons`` counts — which feed the simulated matching cost — must
+be EXACTLY those of the plain FIFO scan it replaced.  The reference
+below is that scan, verbatim in structure; the property tests drive
+both with identical operation sequences and require identical results.
+"""
+
+import random
+from collections import deque
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG, INTERNAL_TAG_BASE
+from repro.mpi.envelope import Envelope
+from repro.mpi.exceptions import ResourceExhausted
+from repro.mpi.matching import Arrival, MatchQueues
+from repro.mpi.request import Request
+
+
+class ReferenceQueues:
+    """The pre-bucketing engine: linear FIFO scans over plain deques."""
+
+    def __init__(self, max_unexpected=4096):
+        self.posted = deque()
+        self.unexpected = deque()
+        self.max_unexpected = max_unexpected
+
+    @staticmethod
+    def _accepts(req, env):
+        return env.matches(
+            source=req.peer,
+            tag=req.tag,
+            context=req.comm.context_id,
+            any_source=ANY_SOURCE,
+            any_tag=ANY_TAG,
+        )
+
+    def post(self, req):
+        comparisons = 0
+        for arrival in self.unexpected:
+            comparisons += 1
+            if self._accepts(req, arrival.envelope):
+                self.unexpected.remove(arrival)
+                return arrival, comparisons
+        self.posted.append(req)
+        return None, comparisons
+
+    def arrive(self, arrival):
+        comparisons = 0
+        for req in self.posted:
+            comparisons += 1
+            if self._accepts(req, arrival.envelope):
+                self.posted.remove(req)
+                return req, comparisons
+        if len(self.unexpected) >= self.max_unexpected:
+            raise ResourceExhausted("overflow")
+        self.unexpected.append(arrival)
+        return None, comparisons
+
+    def probe(self, source, tag, context):
+        for arrival in self.unexpected:
+            if arrival.envelope.matches(source, tag, context, ANY_SOURCE, ANY_TAG):
+                return arrival
+        return None
+
+    def cancel_post(self, req):
+        try:
+            self.posted.remove(req)
+            return True
+        except ValueError:
+            return False
+
+
+class FakeComm:
+    def __init__(self, context_id=0):
+        self.context_id = context_id
+
+
+_COMMS = {ctx: FakeComm(ctx) for ctx in (0, 1)}
+
+SOURCES = [ANY_SOURCE, 0, 1, 2]
+TAGS = [ANY_TAG, 0, 5, 7, INTERNAL_TAG_BASE, INTERNAL_TAG_BASE + 3]
+CONTEXTS = [0, 1]
+
+
+def _run_sequence(ops):
+    """Apply one op sequence to both engines, asserting step-for-step parity."""
+    fast = MatchQueues(max_unexpected=16)
+    ref = ReferenceQueues(max_unexpected=16)
+    posted_pairs = []  # (fast_req, ref_req) twins still possibly queued
+    seq = 0
+
+    for op in ops:
+        kind = op[0]
+        if kind == "post":
+            _, source, tag, ctx = op
+            freq = Request("recv", _COMMS[ctx], None, 0, None, source, tag)
+            rreq = Request("recv", _COMMS[ctx], None, 0, None, source, tag)
+            fa, fc = fast.post(freq)
+            ra, rc = ref.post(rreq)
+            assert fc == rc, f"post comparisons diverge: {fc} != {rc}"
+            assert (fa is None) == (ra is None)
+            if fa is not None:
+                assert fa.envelope == ra.envelope
+            else:
+                posted_pairs.append((freq, rreq))
+        elif kind == "arrive":
+            _, src, tag, ctx = op
+            env = Envelope(src=src, tag=tag, context=ctx, nbytes=4, seq=seq)
+            seq += 1
+            ferr = rerr = None
+            fr = rr = None
+            try:
+                fr, fc = fast.arrive(Arrival(env, data=b"\x00" * 4))
+            except ResourceExhausted as e:
+                ferr = e
+            try:
+                rr, rc = ref.arrive(Arrival(env, data=b"\x00" * 4))
+            except ResourceExhausted as e:
+                rerr = e
+            assert (ferr is None) == (rerr is None), "overflow behaviour diverges"
+            if ferr is None:
+                assert fc == rc, f"arrive comparisons diverge: {fc} != {rc}"
+                assert (fr is None) == (rr is None)
+                if fr is not None:
+                    # the matched posted requests must be the same twin
+                    twins = [p for p in posted_pairs if p[0] is fr]
+                    assert twins and twins[0][1] is rr, "different posted request matched"
+                    posted_pairs.remove(twins[0])
+        elif kind == "probe":
+            _, src, tag, ctx = op
+            fp = fast.probe(src, tag, ctx)
+            rp = ref.probe(src, tag, ctx)
+            assert (fp is None) == (rp is None)
+            if fp is not None:
+                assert fp.envelope == rp.envelope
+        elif kind == "cancel":
+            _, idx = op
+            if not posted_pairs:
+                continue
+            freq, rreq = posted_pairs[idx % len(posted_pairs)]
+            assert fast.cancel_post(freq) == ref.cancel_post(rreq)
+            posted_pairs = [p for p in posted_pairs if p[0] is not freq]
+
+        # queue views must agree in content and FIFO order at every step
+        assert [r.peer for r in fast.posted] == [r.peer for r in ref.posted]
+        assert [r.tag for r in fast.posted] == [r.tag for r in ref.posted]
+        assert [a.envelope for a in fast.unexpected] == [a.envelope for a in ref.unexpected]
+
+
+op_strategy = st.one_of(
+    st.tuples(st.just("post"), st.sampled_from(SOURCES), st.sampled_from(TAGS), st.sampled_from(CONTEXTS)),
+    st.tuples(
+        st.just("arrive"),
+        st.sampled_from([0, 1, 2]),
+        st.sampled_from([0, 5, 7, INTERNAL_TAG_BASE, INTERNAL_TAG_BASE + 3]),
+        st.sampled_from(CONTEXTS),
+    ),
+    st.tuples(st.just("probe"), st.sampled_from(SOURCES), st.sampled_from(TAGS), st.sampled_from(CONTEXTS)),
+    st.tuples(st.just("cancel"), st.integers(min_value=0, max_value=7)),
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(op_strategy, max_size=60))
+def test_bucketed_engine_matches_reference(ops):
+    _run_sequence(ops)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_long_random_sequences(seed):
+    """Longer adversarial runs than hypothesis explores by default."""
+    rng = random.Random(seed)
+    ops = []
+    for _ in range(600):
+        r = rng.random()
+        if r < 0.4:
+            ops.append(("post", rng.choice(SOURCES), rng.choice(TAGS), rng.choice(CONTEXTS)))
+        elif r < 0.8:
+            ops.append(
+                (
+                    "arrive",
+                    rng.choice([0, 1, 2]),
+                    rng.choice([0, 5, 7, INTERNAL_TAG_BASE, INTERNAL_TAG_BASE + 3]),
+                    rng.choice(CONTEXTS),
+                )
+            )
+        elif r < 0.9:
+            ops.append(("probe", rng.choice(SOURCES), rng.choice(TAGS), rng.choice(CONTEXTS)))
+        else:
+            ops.append(("cancel", rng.randrange(8)))
+    _run_sequence(ops)
+
+
+def test_nonovertaking_order_preserved():
+    """Two same-key arrivals must match posted receives in send order."""
+    fast = MatchQueues()
+    first = Arrival(Envelope(src=1, tag=5, context=0, nbytes=4, seq=0), data=b"a" * 4)
+    second = Arrival(Envelope(src=1, tag=5, context=0, nbytes=4, seq=1), data=b"b" * 4)
+    fast.arrive(first)
+    fast.arrive(second)
+    got1, _ = fast.post(Request("recv", _COMMS[0], None, 0, None, 1, 5))
+    got2, _ = fast.post(Request("recv", _COMMS[0], None, 0, None, ANY_SOURCE, ANY_TAG))
+    assert got1 is first
+    assert got2 is second
+
+
+def test_wildcard_fifo_across_buckets():
+    """ANY_SOURCE must take the OLDEST arrival across different buckets."""
+    fast = MatchQueues()
+    older = Arrival(Envelope(src=2, tag=5, context=0, nbytes=4, seq=0), data=b"x" * 4)
+    newer = Arrival(Envelope(src=0, tag=5, context=0, nbytes=4, seq=0), data=b"y" * 4)
+    fast.arrive(older)
+    fast.arrive(newer)
+    got, comps = fast.post(Request("recv", _COMMS[0], None, 0, None, ANY_SOURCE, 5))
+    assert got is older
+    assert comps == 1  # FIFO scan would find it first
+
+
+def test_concrete_post_min_stamp_across_candidate_buckets():
+    """A concrete arrival must match the oldest of the candidate posted
+    receives, even when they live in different buckets."""
+    fast = MatchQueues()
+    wild = Request("recv", _COMMS[0], None, 0, None, ANY_SOURCE, 5)
+    exact = Request("recv", _COMMS[0], None, 0, None, 1, 5)
+    fast.post(wild)
+    fast.post(exact)
+    got, _ = fast.arrive(Arrival(Envelope(src=1, tag=5, context=0, nbytes=4, seq=0), data=b"z" * 4))
+    assert got is wild  # posted first, so it wins

@@ -1,0 +1,145 @@
+"""ByteQueue: the zero-copy chunk deque behind the TCP/RUDP byte paths.
+
+The reference model is a plain bytearray: every operation on the queue
+must produce the same bytes in the same order, whatever the chunk
+boundaries look like internally.
+"""
+
+import random
+
+import pytest
+
+from repro.net.bytebuf import ByteQueue
+
+
+class TestBasics:
+    def test_empty(self):
+        q = ByteQueue()
+        assert len(q) == 0
+        assert not q
+        assert q.take(0) == b""
+        assert q.peek(0) == b""
+
+    def test_append_take_roundtrip(self):
+        q = ByteQueue()
+        q.append(b"hello ")
+        q.append(b"world")
+        assert len(q) == 11
+        assert bytes(q.take(11)) == b"hello world"
+        assert len(q) == 0
+
+    def test_take_within_chunk(self):
+        q = ByteQueue()
+        q.append(b"abcdef")
+        assert bytes(q.take(2)) == b"ab"
+        assert bytes(q.take(2)) == b"cd"
+        assert bytes(q.take(2)) == b"ef"
+        assert not q
+
+    def test_take_across_chunks(self):
+        q = ByteQueue()
+        q.append(b"abc")
+        q.append(b"def")
+        q.append(b"ghi")
+        assert bytes(q.take(5)) == b"abcde"
+        assert bytes(q.take(4)) == b"fghi"
+
+    def test_chunk_aligned_take_returns_whole_chunk(self):
+        q = ByteQueue()
+        chunk = b"exact"
+        q.append(chunk)
+        q.append(b"rest")
+        out = q.take(5)
+        assert bytes(out) == b"exact"
+        assert bytes(q.take(4)) == b"rest"
+
+    def test_peek_does_not_consume(self):
+        q = ByteQueue()
+        q.append(b"abc")
+        q.append(b"def")
+        assert bytes(q.peek(4)) == b"abcd"
+        assert bytes(q.peek(4)) == b"abcd"
+        assert len(q) == 6
+        assert bytes(q.take(6)) == b"abcdef"
+
+    def test_drop(self):
+        q = ByteQueue()
+        q.append(b"abc")
+        q.append(b"defgh")
+        q.drop(4)
+        assert len(q) == 4
+        assert bytes(q.take(4)) == b"efgh"
+
+    def test_clear(self):
+        q = ByteQueue()
+        q.append(b"abc")
+        q.clear()
+        assert len(q) == 0
+        assert not q
+
+    def test_memoryview_input(self):
+        q = ByteQueue()
+        data = bytes(range(64))
+        q.append(memoryview(data)[10:20])
+        assert bytes(q.take(10)) == data[10:20]
+
+    def test_empty_append_ignored(self):
+        q = ByteQueue()
+        q.append(b"")
+        assert len(q) == 0
+
+    def test_take_too_much_raises(self):
+        q = ByteQueue()
+        q.append(b"abc")
+        with pytest.raises(ValueError):
+            q.take(4)
+
+    def test_peek_too_much_raises(self):
+        q = ByteQueue()
+        with pytest.raises(ValueError):
+            q.peek(1)
+
+    def test_drop_too_much_raises(self):
+        q = ByteQueue()
+        q.append(b"abc")
+        with pytest.raises(ValueError):
+            q.drop(4)
+
+
+class TestRandomizedVsBytearray:
+    """Drive ByteQueue and a bytearray with the same random ops."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_equivalence(self, seed):
+        rng = random.Random(seed)
+        q = ByteQueue()
+        ref = bytearray()
+        blob = bytes(rng.randrange(256) for _ in range(4096))
+
+        for _ in range(400):
+            op = rng.random()
+            if op < 0.4:
+                # append a random slice, sometimes as a memoryview
+                a = rng.randrange(len(blob))
+                b = min(len(blob), a + rng.randrange(1, 128))
+                piece = blob[a:b]
+                q.append(memoryview(piece) if rng.random() < 0.5 else piece)
+                ref.extend(piece)
+            elif op < 0.7 and ref:
+                n = rng.randrange(1, len(ref) + 1)
+                got = bytes(q.take(n))
+                want = bytes(ref[:n])
+                del ref[:n]
+                assert got == want
+            elif op < 0.85 and ref:
+                n = rng.randrange(1, len(ref) + 1)
+                assert bytes(q.peek(n)) == bytes(ref[:n])
+            elif ref:
+                n = rng.randrange(1, len(ref) + 1)
+                q.drop(n)
+                del ref[:n]
+            assert len(q) == len(ref)
+            assert bool(q) == bool(ref)
+
+        if ref:
+            assert bytes(q.take(len(ref))) == bytes(ref)

@@ -1,0 +1,174 @@
+"""Cancellable timers: Timeout.cancel, call_later, lazy heap deletion.
+
+These are the kernel features the protocol stacks' retransmission and
+delayed-ACK timers are built on; the contract under test is that a
+cancelled timer NEVER fires (zero dead-event deliveries) and that the
+tombstone bookkeeping never loses live events.
+"""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestCancel:
+    def test_cancelled_timer_never_fires(self, sim):
+        fired = []
+        handle = sim.call_later(5.0, fired.append)
+        assert handle.cancel() is True
+        sim.run()
+        assert fired == []
+        assert sim.now == 0.0  # nothing left to advance the clock
+
+    def test_cancel_is_idempotent(self, sim):
+        handle = sim.call_later(5.0, lambda ev: None)
+        assert handle.cancel() is True
+        assert handle.cancel() is False
+
+    def test_cancel_after_fire_returns_false(self, sim):
+        fired = []
+        handle = sim.call_later(5.0, fired.append)
+        sim.run()
+        assert len(fired) == 1
+        assert handle.cancel() is False
+
+    def test_cancelled_timeout_not_processed(self, sim):
+        handle = sim.timeout(5.0)
+        handle.cancel()
+        assert not handle.processed  # cancelled != delivered
+
+    def test_cancel_does_not_disturb_other_timers(self, sim):
+        fired = []
+        keep = sim.call_later(10.0, lambda ev: fired.append("keep"))
+        kill = sim.call_later(5.0, lambda ev: fired.append("kill"))
+        kill.cancel()
+        sim.run()
+        assert fired == ["keep"]
+        assert sim.now == 10.0
+        assert keep.processed
+
+    def test_blocked_process_timeout_can_be_cancelled(self, sim):
+        """A process sleeping on a separate cancelled timer is unaffected."""
+        log = []
+
+        def proc(sim):
+            spare = sim.timeout(100.0)  # armed but never waited on
+            spare.cancel()
+            yield sim.timeout(3.0)
+            log.append(sim.now)
+
+        sim.process(proc(sim))
+        sim.run()
+        assert log == [3.0]
+
+    def test_step_skips_tombstones(self, sim):
+        fired = []
+        dead = [sim.call_later(d, fired.append) for d in (1.0, 2.0, 3.0)]
+        sim.call_later(4.0, fired.append)
+        for h in dead:
+            h.cancel()
+        sim.step()  # must skip all three tombstones and fire the live timer
+        assert len(fired) == 1
+        assert sim.now == 4.0
+
+    def test_step_on_all_tombstone_heap_raises(self, sim):
+        sim.call_later(1.0, lambda ev: None).cancel()
+        with pytest.raises(SimulationError):
+            sim.step()
+
+    def test_peek_prunes_tombstones(self, sim):
+        sim.call_later(1.0, lambda ev: None).cancel()
+        assert sim.peek() == float("inf")
+        assert not sim._heap  # pruned, not merely skipped
+
+    def test_peek_reports_next_live_event(self, sim):
+        sim.call_later(1.0, lambda ev: None).cancel()
+        sim.call_later(7.0, lambda ev: None)
+        assert sim.peek() == 7.0
+
+
+class TestCompaction:
+    def test_mass_cancellation_compacts_without_losing_events(self):
+        """Regression: compaction must edit the heap list in place.
+
+        run() holds a local reference to the heap; an early version
+        rebound ``sim._heap`` to a fresh list during compaction, so the
+        run loop kept draining the stale list and silently dropped every
+        event scheduled after the first compaction (>512 cancels).
+        """
+        sim = Simulator()
+        n = 2_000  # far past the 512-tombstone compaction threshold
+        completed = []
+
+        def op(sim):
+            for _ in range(n):
+                handle = sim.call_later(1_000.0, lambda ev: None)
+                yield sim.timeout(1.0)
+                handle.cancel()
+            completed.append(sim.now)
+
+        sim.process(op(sim))
+        sim.run()
+        assert completed == [float(n)]
+        assert sim._seq == 2 * n + 2  # every event was actually scheduled
+
+    def test_mass_cancellation_zero_fires(self):
+        sim = Simulator()
+
+        def boom(_event):
+            raise AssertionError("cancelled timer fired")
+
+        def op(sim):
+            for _ in range(1_500):
+                handle = sim.call_later(50.0, boom)
+                yield sim.timeout(1.0)
+                handle.cancel()
+
+        sim.process(op(sim))
+        sim.run()  # raises if any tombstone is delivered
+
+
+class TestCallLater:
+    def test_fires_at_the_right_time_with_event_arg(self, sim):
+        seen = []
+        sim.call_later(2.5, lambda ev: seen.append((sim.now, ev.processed)))
+        sim.run()
+        # processed is already set by the time the callback runs
+        assert seen == [(2.5, True)]
+
+    def test_zero_delay_fires_this_timestamp(self, sim):
+        order = []
+
+        def proc(sim):
+            sim.call_later(0.0, lambda ev: order.append("cb"))
+            order.append("before-yield")
+            yield sim.timeout(1.0)
+            order.append("after-sleep")
+
+        sim.process(proc(sim))
+        sim.run()
+        assert order == ["before-yield", "cb", "after-sleep"]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.call_later(-1.0, lambda ev: None)
+
+
+class TestRunUntilComplete:
+    def test_same_time_bookkeeping_drained(self, sim):
+        """run_until_complete must drain same-timestamp events so the
+        target's processed flag is consistent when it returns."""
+
+        def child(sim):
+            yield sim.timeout(3.0)
+            return 42
+
+        proc = sim.process(child(sim))
+        assert sim.run_until_complete(proc) == 42
+        assert proc.processed
+        assert proc.ok
