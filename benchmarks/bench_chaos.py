@@ -45,10 +45,22 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
                         help="small fast sweep (CI)")
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="export the sweep's event trace (Chrome JSON)")
     args = parser.parse_args(argv)
-    rows = chaos_sweep(**(SMOKE if args.smoke else FULL))
+    bus = None
+    if args.trace:
+        from repro.obs import EventBus
+
+        bus = EventBus()
+    rows = chaos_sweep(**(SMOKE if args.smoke else FULL), obs=bus)
     _check(rows)
     print(format_chaos(rows))
+    if bus is not None:
+        from repro.obs import write_trace
+
+        write_trace(bus, args.trace, "chrome")
+        print(f"trace: {len(bus)} events -> {args.trace}")
     return 0
 
 

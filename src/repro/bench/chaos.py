@@ -101,16 +101,25 @@ def chaos_cell(
     repeats: int = 20,
     seed: int = 1,
     kernel_overrides: Optional[dict] = None,
+    obs=None,
 ) -> Dict:
-    """Run one (platform, loss-rate) cell and classify the outcome."""
+    """Run one (platform, loss-rate) cell and classify the outcome.
+
+    Pass an :class:`~repro.obs.bus.EventBus` as *obs* to trace the cell;
+    its events are labelled ``platform/workload/loss=X`` so several
+    cells can share one bus (one exported trace per sweep).
+    """
     faults = FaultPlan.of(PacketLoss(probability=loss)) if loss > 0 else None
     main, nprocs = _workload(workload, nprocs, nbytes, repeats)
+    if obs is not None:
+        obs.set_run(f"{platform}/{workload}/loss={loss:g}")
     world = World(
         nprocs,
         platform=platform,
         faults=faults,
         kernel_params=_kernel_params(platform, kernel_overrides or FAST_FAIL),
         seed=seed,
+        obs=obs,
     )
     row: Dict = {
         "platform": platform,
@@ -143,6 +152,7 @@ def chaos_sweep(
     nbody_particles: int = 16,
     repeats: int = 20,
     seed: int = 1,
+    obs=None,
 ) -> List[Dict]:
     """Full sweep: every (platform, workload, loss) cell + slowdowns.
 
@@ -159,7 +169,7 @@ def chaos_sweep(
             for loss in losses:
                 row = chaos_cell(
                     platform, loss, workload=workload, nprocs=nprocs,
-                    nbytes=nbytes, repeats=repeats, seed=seed,
+                    nbytes=nbytes, repeats=repeats, seed=seed, obs=obs,
                 )
                 if loss == 0 and row["outcome"] == "ok":
                     baseline = row["time_us"]

@@ -61,14 +61,19 @@ def mpi_pingpong_rtt(
     repeats: int = 3,
     device_config=None,
     machine_params=None,
+    obs=None,
 ) -> float:
-    """Mean MPI round-trip time (µs) for *nbytes* messages."""
+    """Mean MPI round-trip time (µs) for *nbytes* messages.
+
+    Pass an :class:`~repro.obs.bus.EventBus` as *obs* to trace the run.
+    """
     world = World(
         2,
         platform=platform,
         device=device,
         device_config=device_config,
         machine_params=machine_params,
+        obs=obs,
     )
     return world.run(_pingpong_main(nbytes, repeats))[0]
 

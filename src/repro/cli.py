@@ -17,6 +17,14 @@ Commands
 ``chaos``
     Sweep seeded packet loss over MPI workloads on the cluster fabrics
     and report recovery slowdown or the failure diagnostic per cell.
+``phases``
+    Trace a 2-rank ping-pong per message size and print the Table-1
+    envelope/match/data phase breakdown from the event bus.
+
+``pingpong``, ``app``, ``chaos`` and ``phases`` accept
+``--trace FILE`` (+ ``--trace-format {chrome,jsonl}``) to export the
+run's structured event trace — ``chrome`` loads in ``chrome://tracing``
+or Perfetto.
 """
 
 from __future__ import annotations
@@ -50,6 +58,31 @@ PLATFORM_DEVICES = {
 }
 
 
+def _add_trace_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="write the run's structured event trace to FILE")
+    p.add_argument("--trace-format", default="chrome", choices=["chrome", "jsonl"],
+                   help="chrome (chrome://tracing / Perfetto JSON) or jsonl")
+
+
+def _make_bus(args):
+    """An EventBus if ``--trace`` was given, else None (tracing off)."""
+    if getattr(args, "trace", None) is None:
+        return None
+    from repro.obs import EventBus
+
+    return EventBus()
+
+
+def _write_trace(bus, args, out) -> None:
+    if bus is None:
+        return
+    from repro.obs import write_trace
+
+    write_trace(bus, args.trace, args.trace_format)
+    print(f"trace: {len(bus)} events -> {args.trace} ({args.trace_format})", file=out)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -64,6 +97,7 @@ def build_parser() -> argparse.ArgumentParser:
     pp.add_argument("--device", default=None)
     pp.add_argument("--sizes", default="1,64,256,1024",
                     help="comma-separated message sizes in bytes")
+    _add_trace_args(pp)
 
     bw = sub.add_parser("bandwidth", help="one-way streaming bandwidth")
     bw.add_argument("--platform", default="meiko", choices=sorted(PLATFORM_DEVICES))
@@ -81,6 +115,7 @@ def build_parser() -> argparse.ArgumentParser:
     app.add_argument("--nprocs", type=int, default=4)
     app.add_argument("--size", type=int, default=None,
                      help="problem size (N / particles / grid rows)")
+    _add_trace_args(app)
 
     ch = sub.add_parser("chaos", help="fault-injection sweep over MPI workloads")
     ch.add_argument("--platforms", default="ethernet,atm",
@@ -92,6 +127,16 @@ def build_parser() -> argparse.ArgumentParser:
     ch.add_argument("--repeats", type=int, default=20,
                     help="ping-pong round trips per cell")
     ch.add_argument("--seed", type=int, default=1)
+    _add_trace_args(ch)
+
+    ph = sub.add_parser(
+        "phases", help="Table-1 phase breakdown of a traced ping-pong"
+    )
+    ph.add_argument("--platform", default="ethernet", choices=sorted(PLATFORM_DEVICES))
+    ph.add_argument("--device", default=None)
+    ph.add_argument("--sizes", default="1,16384",
+                    help="comma-separated message sizes in bytes")
+    _add_trace_args(ph)
     return parser
 
 
@@ -115,13 +160,17 @@ def cmd_info(args, out) -> int:
 def cmd_pingpong(args, out) -> int:
     sizes = _parse_sizes(args.sizes)
     device = args.device or PLATFORM_DEVICES[args.platform][0]
-    rows = [
-        [n, harness.mpi_pingpong_rtt(args.platform, device, n)] for n in sizes
-    ]
+    bus = _make_bus(args)
+    rows = []
+    for n in sizes:
+        if bus is not None:
+            bus.set_run(f"pingpong/{args.platform}/{device}/{n}B")
+        rows.append([n, harness.mpi_pingpong_rtt(args.platform, device, n, obs=bus)])
     print(format_table(
         ["bytes", "RTT (us)"], rows,
         title=f"MPI ping-pong on {args.platform}/{device}",
     ), file=out)
+    _write_trace(bus, args, out)
     return 0
 
 
@@ -175,6 +224,9 @@ def cmd_app(args, out) -> int:
 
     device = args.device or PLATFORM_DEVICES[args.platform][0]
     flop_time = 0.1 if args.platform == "meiko" else 0.03
+    bus = _make_bus(args)
+    if bus is not None:
+        bus.set_run(f"app/{args.name}/{args.platform}/{device}")
 
     if args.name == "linsolve":
         n = args.size or 64
@@ -183,7 +235,7 @@ def cmd_app(args, out) -> int:
             x, elapsed = yield from apps.linsolve(comm, n=n, seed=1, flop_time=flop_time)
             return x, elapsed
 
-        results = World(args.nprocs, platform=args.platform, device=device).run(main)
+        results = World(args.nprocs, platform=args.platform, device=device, obs=bus).run(main)
         a, b = apps.generate_system(n, seed=1)
         ok = np.allclose(a @ results[0][0], b, atol=1e-8)
     elif args.name == "matmul":
@@ -193,7 +245,7 @@ def cmd_app(args, out) -> int:
             c, elapsed = yield from apps.matmul(comm, n=n, seed=1, flop_time=flop_time)
             return c, elapsed
 
-        results = World(args.nprocs, platform=args.platform, device=device).run(main)
+        results = World(args.nprocs, platform=args.platform, device=device, obs=bus).run(main)
         rng = np.random.default_rng(1)
         ok = np.allclose(results[0][0], rng.standard_normal((n, n)) @ rng.standard_normal((n, n)))
     elif args.name == "nbody":
@@ -205,7 +257,7 @@ def cmd_app(args, out) -> int:
             )
             return f, elapsed
 
-        results = World(args.nprocs, platform=args.platform, device=device).run(main)
+        results = World(args.nprocs, platform=args.platform, device=device, obs=bus).run(main)
         ok = np.allclose(
             results[0][0],
             apps.reference_forces(apps.generate_particles(n, seed=1)),
@@ -220,7 +272,7 @@ def cmd_app(args, out) -> int:
             )
             return g, elapsed
 
-        results = World(args.nprocs, platform=args.platform, device=device).run(main)
+        results = World(args.nprocs, platform=args.platform, device=device, obs=bus).run(main)
         ok = np.allclose(
             results[0][0], apps.reference_jacobi(apps.initial_grid(n, n), 10)
         )
@@ -231,20 +283,66 @@ def cmd_app(args, out) -> int:
         f"{elapsed:.1f} us simulated, verification {'OK' if ok else 'FAILED'}",
         file=out,
     )
+    _write_trace(bus, args, out)
     return 0 if ok else 1
 
 
 def cmd_chaos(args, out) -> int:
     from repro.bench.chaos import chaos_sweep, format_chaos
 
+    bus = _make_bus(args)
     rows = chaos_sweep(
         platforms=[p for p in args.platforms.split(",") if p],
         losses=[float(x) for x in args.losses.split(",") if x.strip()],
         workloads=[w for w in args.workloads.split(",") if w],
         repeats=args.repeats,
         seed=args.seed,
+        obs=bus,
     )
     print(format_chaos(rows), file=out)
+    _write_trace(bus, args, out)
+    return 0
+
+
+def cmd_phases(args, out) -> int:
+    from repro.mpi import World
+    from repro.obs import EventBus, PhaseLedger
+
+    device = args.device or PLATFORM_DEVICES[args.platform][0]
+    sizes = _parse_sizes(args.sizes)
+    # one shared bus so --trace exports the whole sweep; the per-size
+    # ledger scans only that run's slice
+    bus = _make_bus(args) or EventBus()
+
+    def exchange(nbytes):
+        def main(comm):
+            payload = bytes(nbytes)
+            if comm.rank == 0:
+                yield from comm.send(payload, dest=1, tag=1)
+                yield from comm.recv(source=1, tag=2)
+            else:
+                data, _ = yield from comm.recv(source=0, tag=1)
+                yield from comm.send(data, dest=0, tag=2)
+            return comm.wtime()
+
+        return main
+
+    for nbytes in sizes:
+        bus.set_run(f"phases/{args.platform}/{device}/{nbytes}B")
+        start = len(bus.events)
+        World(2, platform=args.platform, device=device, obs=bus).run(exchange(nbytes))
+        run_bus = EventBus()
+        run_bus.events = bus.events[start:]
+        ledger = PhaseLedger.from_bus(run_bus)
+        print(
+            f"{nbytes}-byte ping-pong on {args.platform}/{device} "
+            "(envelope/match/data us, paper Table 1):",
+            file=out,
+        )
+        print(ledger.table(), file=out)
+        print(file=out)
+    if getattr(args, "trace", None) is not None:
+        _write_trace(bus, args, out)
     return 0
 
 
@@ -258,6 +356,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "figure": cmd_figure,
         "app": cmd_app,
         "chaos": cmd_chaos,
+        "phases": cmd_phases,
     }[args.command]
     return handler(args, out)
 

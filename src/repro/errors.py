@@ -40,9 +40,13 @@ class DeadlockError(ConfigurationError):
 
     The watchdog diagnostic in ``args[0]`` lists, per stuck rank, its
     outstanding sends/receives and flow-control state;
-    :attr:`stuck_ranks` names the blocked ranks programmatically.
+    :attr:`stuck_ranks` names the blocked ranks programmatically and
+    :attr:`rank_states` maps each stuck rank to the machine-readable
+    device snapshot (``Endpoint.state_snapshot()``) the lines were
+    rendered from.
     """
 
-    def __init__(self, message: str, stuck_ranks=None):
+    def __init__(self, message: str, stuck_ranks=None, rank_states=None):
         super().__init__(message)
         self.stuck_ranks = list(stuck_ranks or [])
+        self.rank_states = dict(rank_states or {})

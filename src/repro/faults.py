@@ -331,19 +331,19 @@ class FaultInjector:
             if not rule.in_scope(self.fabric, src, dst, now):
                 continue
             if isinstance(rule, (LinkDown, NodeCrash)):
-                return self._fire(i, DROP)
+                return self._fire(i, DROP, src, dst, nbytes)
             # probabilistic rules share one deterministic stream
             if self.rng.random() >= rule.probability:
                 continue
             if isinstance(rule, PacketLoss):
-                return self._fire(i, DROP)
+                return self._fire(i, DROP, src, dst, nbytes)
             if isinstance(rule, PacketCorruption):
-                return self._fire(i, CORRUPT)
+                return self._fire(i, CORRUPT, src, dst, nbytes)
             if isinstance(rule, PacketDuplication):
-                return self._fire(i, DUPLICATE)
+                return self._fire(i, DUPLICATE, src, dst, nbytes)
         return DELIVER
 
-    def _fire(self, index: int, action: str) -> str:
+    def _fire(self, index: int, action: str, src: int, dst: int, nbytes: int) -> str:
         self.rule_events[index] += 1
         if action == DROP:
             self.drops += 1
@@ -351,6 +351,21 @@ class FaultInjector:
             self.duplicates += 1
         elif action == CORRUPT:
             self.corruptions += 1
+        obs = self.sim.obs
+        if obs is not None:
+            obs.emit(
+                self.sim.now,
+                "fault",
+                "inject." + action,
+                rank=dst,
+                detail={
+                    "fabric": self.fabric,
+                    "rule": type(self.rules[index]).__name__,
+                    "src": src,
+                    "dst": dst,
+                    "nbytes": nbytes,
+                },
+            )
         return action
 
     def summary(self) -> dict:
@@ -389,45 +404,58 @@ def apply_host_faults(sim, plan: Optional[FaultPlan], hosts: Iterable) -> None:
             )
         host = hosts[rule.node]
         if isinstance(rule, NodeCrash):
-            sim.process(_crash(sim, host, rule.at), name=f"fault-crash-{rule.node}")
+            sim.process(
+                _crash(sim, host, rule.at, rule.node), name=f"fault-crash-{rule.node}"
+            )
         elif isinstance(rule, NodePause):
             sim.process(
-                _pause(sim, host, rule.t_start, rule.t_end),
+                _pause(sim, host, rule.t_start, rule.t_end, rule.node),
                 name=f"fault-pause-{rule.node}",
             )
         elif isinstance(rule, NodeSlow):
             sim.process(
-                _slow(sim, host, rule.factor, rule.t_start, rule.t_end),
+                _slow(sim, host, rule.factor, rule.t_start, rule.t_end, rule.node),
                 name=f"fault-slow-{rule.node}",
             )
 
 
-def _crash(sim, host, at: float):
+def _emit_fault(sim, kind: str, node: int, detail: dict) -> None:
+    obs = sim.obs
+    if obs is not None:
+        obs.emit(sim.now, "fault", kind, rank=node, detail=detail)
+
+
+def _crash(sim, host, at: float, node: int = -1):
     """At time *at*, seize the node's CPU and never release it."""
     if at > sim.now:
         yield sim.timeout(at - sim.now)
     yield host.cpu.request()
     host.crashed_at = sim.now
+    _emit_fault(sim, "node.crash", node, {"at": sim.now})
     # hold the CPU forever: wait on an event that never fires
     yield sim.event()
 
 
-def _pause(sim, host, t_start: float, t_end: float):
+def _pause(sim, host, t_start: float, t_end: float, node: int = -1):
     if t_start > sim.now:
         yield sim.timeout(t_start - sim.now)
     req = host.cpu.request()
     yield req
+    _emit_fault(sim, "node.pause", node, {"until": t_end})
     # the grant may arrive late if the CPU was busy; pause until t_end
     if t_end > sim.now:
         yield sim.timeout(t_end - sim.now)
     host.cpu.release(req)
+    _emit_fault(sim, "node.resume", node, {})
 
 
-def _slow(sim, host, factor: float, t_start: float, t_end: float):
+def _slow(sim, host, factor: float, t_start: float, t_end: float, node: int = -1):
     if t_start > sim.now:
         yield sim.timeout(t_start - sim.now)
     original = host.cpu.speed
     host.cpu.speed = original / factor
+    _emit_fault(sim, "node.slow", node, {"factor": factor, "until": t_end})
     if t_end != float("inf"):
         yield sim.timeout(t_end - sim.now)
         host.cpu.speed = original
+        _emit_fault(sim, "node.resume", node, {"factor": factor})

@@ -151,6 +151,29 @@ class Communicator:
                 count = len(buf) // max(1, datatype.extent)
         return count, datatype
 
+    def _traced(self, name: str, gen, peer=None, tag=None):
+        """Generator: run *gen*, bracketing it with ``mpi``-layer
+        ``call.enter``/``call.exit`` events when tracing is on.
+
+        The exit event fires even when the call raises, so Chrome-trace
+        B/E pairs stay balanced across device failures.
+        """
+        obs = self.endpoint.sim.obs
+        if obs is None:
+            return (yield from gen)
+        sim = self.endpoint.sim
+        detail = {"call": name}
+        if peer is not None:
+            detail["peer"] = peer
+        if tag is not None:
+            detail["tag"] = tag
+        obs.emit(sim.now, "mpi", "call.enter", rank=self.rank, detail=detail)
+        try:
+            result = yield from gen
+        finally:
+            obs.emit(sim.now, "mpi", "call.exit", rank=self.rank, detail=detail)
+        return result
+
     # ------------------------------------------------------ point to point
     def isend(
         self,
@@ -162,6 +185,16 @@ class Communicator:
         mode: str = MODE_STANDARD,
     ):
         """Generator -> Request: nonblocking send (MPI_Isend family)."""
+        return (
+            yield from self._traced(
+                "isend",
+                self._isend_impl(buf, dest, tag, count, datatype, mode),
+                peer=dest,
+                tag=tag,
+            )
+        )
+
+    def _isend_impl(self, buf, dest, tag, count, datatype, mode):
         self._check_send_tag(tag)
         if dest == PROC_NULL:
             if datatype is None:
@@ -187,6 +220,16 @@ class Communicator:
         datatype: Optional[Datatype] = None,
     ):
         """Generator -> Request: nonblocking receive (MPI_Irecv)."""
+        return (
+            yield from self._traced(
+                "irecv",
+                self._irecv_impl(source, tag, buf, count, datatype),
+                peer=source,
+                tag=tag,
+            )
+        )
+
+    def _irecv_impl(self, source, tag, buf, count, datatype):
         if source == PROC_NULL:
             if datatype is None:
                 datatype = infer_datatype(buf) if buf is not None else _byte_type()
@@ -220,23 +263,31 @@ class Communicator:
         Returns SUCCESS; under ERRORS_RETURN a device failure returns an
         error code instead of raising.
         """
-        return (yield from self._blocking_send(buf, dest, tag, count, datatype,
-                                               MODE_STANDARD))
+        return (yield from self._traced(
+            "send",
+            self._blocking_send(buf, dest, tag, count, datatype, MODE_STANDARD),
+            peer=dest, tag=tag))
 
     def bsend(self, buf, dest, tag: int = 0, count=None, datatype=None):
         """Generator -> int: blocking buffered-mode send (MPI_Bsend)."""
-        return (yield from self._blocking_send(buf, dest, tag, count, datatype,
-                                               MODE_BUFFERED))
+        return (yield from self._traced(
+            "bsend",
+            self._blocking_send(buf, dest, tag, count, datatype, MODE_BUFFERED),
+            peer=dest, tag=tag))
 
     def ssend(self, buf, dest, tag: int = 0, count=None, datatype=None):
         """Generator -> int: blocking synchronous-mode send (MPI_Ssend)."""
-        return (yield from self._blocking_send(buf, dest, tag, count, datatype,
-                                               MODE_SYNCHRONOUS))
+        return (yield from self._traced(
+            "ssend",
+            self._blocking_send(buf, dest, tag, count, datatype, MODE_SYNCHRONOUS),
+            peer=dest, tag=tag))
 
     def rsend(self, buf, dest, tag: int = 0, count=None, datatype=None):
         """Generator -> int: blocking ready-mode send (MPI_Rsend)."""
-        return (yield from self._blocking_send(buf, dest, tag, count, datatype,
-                                               MODE_READY))
+        return (yield from self._traced(
+            "rsend",
+            self._blocking_send(buf, dest, tag, count, datatype, MODE_READY),
+            peer=dest, tag=tag))
 
     def issend(self, buf, dest, tag: int = 0, count=None, datatype=None):
         """Generator -> Request: nonblocking synchronous send (MPI_Issend)."""
@@ -265,6 +316,16 @@ class Communicator:
         a device failure returns ``(None, status)`` with ``status.error``
         set instead of raising.
         """
+        return (
+            yield from self._traced(
+                "recv",
+                self._recv_impl(source, tag, buf, count, datatype),
+                peer=source,
+                tag=tag,
+            )
+        )
+
+    def _recv_impl(self, source, tag, buf, count, datatype):
         try:
             req = yield from self.irecv(source, tag, buf, count, datatype)
         except NetworkError as exc:
@@ -289,6 +350,20 @@ class Communicator:
         datatype=None,
     ):
         """Generator -> (data, Status): MPI_Sendrecv (deadlock-free)."""
+        return (
+            yield from self._traced(
+                "sendrecv",
+                self._sendrecv_impl(
+                    sendbuf, dest, recvbuf, source, sendtag, recvtag, count, datatype
+                ),
+                peer=dest,
+                tag=sendtag,
+            )
+        )
+
+    def _sendrecv_impl(
+        self, sendbuf, dest, recvbuf, source, sendtag, recvtag, count, datatype
+    ):
         rreq = yield from self.irecv(source, recvtag, recvbuf)
         sreq = yield from self.isend(sendbuf, dest, sendtag, count, datatype)
         yield from self.waitall([sreq, rreq])
@@ -351,6 +426,9 @@ class Communicator:
         Status whose ``error`` field holds the code.  MPI semantic
         errors (truncation etc.) raise regardless of the handler.
         """
+        return (yield from self._traced("wait", self._wait_impl(request)))
+
+    def _wait_impl(self, request):
         inner = self._inner(request)
         try:
             yield from self.endpoint.wait([inner], mode="all")
@@ -380,6 +458,9 @@ class Communicator:
         consequently incomplete) request's Status carries the error
         code; the others report their normal completion.
         """
+        return (yield from self._traced("waitall", self._waitall_impl(requests)))
+
+    def _waitall_impl(self, requests: Sequence):
         inners = [self._inner(r) for r in requests]
         try:
             yield from self.endpoint.wait(inners, mode="all")
@@ -403,6 +484,9 @@ class Communicator:
 
     def waitany(self, requests: Sequence):
         """Generator -> (index, Status): MPI_Waitany."""
+        return (yield from self._traced("waitany", self._waitany_impl(requests)))
+
+    def _waitany_impl(self, requests: Sequence):
         requests = list(requests)
         if not requests:
             raise MPIError("waitany of no requests")
@@ -419,6 +503,9 @@ class Communicator:
     def waitsome(self, requests: Sequence):
         """Generator -> (indices, statuses): MPI_Waitsome — at least one
         completion, returning every request done at that moment."""
+        return (yield from self._traced("waitsome", self._waitsome_impl(requests)))
+
+    def _waitsome_impl(self, requests: Sequence):
         requests = list(requests)
         if not requests:
             raise MPIError("waitsome of no requests")
@@ -524,7 +611,11 @@ class Communicator:
         """Generator -> Status: blocking MPI_Probe."""
         if source != ANY_SOURCE and source != PROC_NULL:
             self._check_rank(source, "source")
-        return (yield from self.endpoint.probe(source, tag, self))
+        return (
+            yield from self._traced(
+                "probe", self.endpoint.probe(source, tag, self), peer=source, tag=tag
+            )
+        )
 
     def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
         """Generator -> (bool, Optional[Status]): MPI_Iprobe."""
@@ -554,20 +645,34 @@ class Communicator:
         """
         self._check_rank(root, "root")
         count, datatype = self._resolve(buf, count, datatype)
-        return (yield from _coll.bcast(self, buf, root, count, datatype, style=style))
+        return (
+            yield from self._traced(
+                "bcast",
+                _coll.bcast(self, buf, root, count, datatype, style=style),
+                peer=root,
+            )
+        )
 
     def barrier(self):
         """Generator: MPI_Barrier (dissemination algorithm)."""
-        yield from _coll.barrier(self)
+        yield from self._traced("barrier", _coll.barrier(self))
 
     def reduce(self, sendbuf, root: int = 0, op=None):
         """Generator -> result at root (None elsewhere): MPI_Reduce."""
         self._check_rank(root, "root")
-        return (yield from _coll.reduce(self, sendbuf, root, op or _coll.SUM))
+        return (
+            yield from self._traced(
+                "reduce", _coll.reduce(self, sendbuf, root, op or _coll.SUM), peer=root
+            )
+        )
 
     def allreduce(self, sendbuf, op=None):
         """Generator -> result everywhere: MPI_Allreduce."""
-        return (yield from _coll.allreduce(self, sendbuf, op or _coll.SUM))
+        return (
+            yield from self._traced(
+                "allreduce", _coll.allreduce(self, sendbuf, op or _coll.SUM)
+            )
+        )
 
     def gather(self, sendbuf, root: int = 0):
         """Generator -> list of per-rank buffers at root: MPI_Gather."""

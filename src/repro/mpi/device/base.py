@@ -89,23 +89,51 @@ class Endpoint:
     def wtime(self) -> float:
         return self.sim.now
 
+    def state_snapshot(self) -> dict:
+        """Machine-readable dump of this endpoint's outstanding operations.
+
+        This is the *primary* state dump — the deadlock watchdog attaches
+        it to :class:`~repro.errors.DeadlockError` as ``rank_states`` —
+        and :meth:`describe_state` is merely its string rendering.  The
+        common keys are ``rank``, ``posted`` and ``unexpected``; devices
+        merge their flow-control state via :meth:`_flow_snapshot`.
+        """
+        q = self.queues
+        snap = {
+            "rank": self.world_rank,
+            "posted": [{"source": r.peer, "tag": r.tag} for r in q.posted],
+            "unexpected": [
+                {"source": a.envelope.src, "tag": a.envelope.tag} for a in q.unexpected
+            ],
+        }
+        flow = self._flow_snapshot()
+        if flow:
+            snap["flow"] = flow
+        return snap
+
+    def _flow_snapshot(self) -> dict:
+        """Device-specific flow-control state for :meth:`state_snapshot`."""
+        return {}
+
     def describe_state(self) -> str:
         """One-line diagnostic of this endpoint's outstanding operations,
-        used by the World's deadlock watchdog."""
-        q = self.queues
-        posted = ", ".join(f"(src={r.peer}, tag={r.tag})" for r in q.posted) or "none"
-        unexpected = (
-            ", ".join(f"(src={a.envelope.src}, tag={a.envelope.tag})" for a in q.unexpected)
-            or "none"
-        )
+        rendered from :meth:`state_snapshot` (the structured form the
+        World's deadlock watchdog reports)."""
+        snap = self.state_snapshot()
+        posted = ", ".join(
+            f"(src={d['source']}, tag={d['tag']})" for d in snap["posted"]
+        ) or "none"
+        unexpected = ", ".join(
+            f"(src={d['source']}, tag={d['tag']})" for d in snap["unexpected"]
+        ) or "none"
         parts = [f"posted-recvs=[{posted}]", f"unexpected=[{unexpected}]"]
-        flow = self._describe_flow()
+        flow = self._describe_flow(snap.get("flow", {}))
         if flow:
             parts.append(flow)
         return "; ".join(parts)
 
-    def _describe_flow(self) -> str:
-        """Device-specific flow-control state for :meth:`describe_state`."""
+    def _describe_flow(self, flow: dict) -> str:
+        """Render the device's :meth:`_flow_snapshot` for :meth:`describe_state`."""
         return ""
 
     def wait(self, reqs: Sequence[Request], mode: str = "all"):

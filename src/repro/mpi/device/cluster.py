@@ -148,6 +148,14 @@ class StreamEndpoint(Endpoint):
         self._cookie = 0
         self._seq: Dict[Tuple[int, int], int] = defaultdict(int)
         self.ready_violations = 0
+        # Observability only (the wire header carries no sequence
+        # number — adding one would change Table 1's byte accounting):
+        # streams are FIFO and each send emits exactly one envelope, so
+        # counting envelope arrivals per (peer, context) reconstructs
+        # the sender's sequence numbers exactly.
+        self._obs_arrive_seq: Dict[Tuple[int, int], int] = defaultdict(int)
+        #: observability only: sender cookie -> message id
+        self._obs_cookie: Dict[int, Tuple[int, int, int, int]] = {}
 
     # ------------------------------------------------------------- plumbing
     def attach_conn(self, peer_world: int, conn) -> None:
@@ -188,6 +196,8 @@ class StreamEndpoint(Endpoint):
     # ------------------------------------------------------------------ send
     def start_send(self, req: Request):
         cfg = self.config
+        obs = self.sim.obs
+        t0 = self.sim.now
         yield from self.host.cpu.execute(cfg.send_overhead)
         wire = req.datatype.pack(req.buf, req.count)
         dest_world = req.comm.world_rank(req.peer)
@@ -203,11 +213,18 @@ class StreamEndpoint(Endpoint):
         )
         self._seq[key] += 1
         msg_type = MSG_EAGER if len(wire) <= cfg.eager_threshold else MSG_RDV_ENV
+        if obs is not None:
+            obs.emit(t0, "dev", "msg.send", rank=self.world_rank,
+                     msg=(self.world_rank, dest_world, env.context, env.seq),
+                     detail={"tag": env.tag, "nbytes": env.nbytes,
+                             "proto": "eager" if msg_type == MSG_EAGER else "rdv",
+                             "mode": env.mode})
         self.sendq[dest_world].append(_QueuedSend(req, env, wire, msg_type))
         yield from self._issue_sends()
 
     def _issue_sends(self):
         issued = False
+        obs = self.sim.obs
         for dest in list(self.sendq):
             if dest not in self.conns:
                 continue  # connection still being established; stay queued
@@ -216,6 +233,12 @@ class StreamEndpoint(Endpoint):
                 op = q[0]
                 need = HEADER_BYTES + (len(op.wire) if op.msg_type == MSG_EAGER else 0)
                 if self.credits[dest] < need:
+                    if obs is not None:
+                        obs.emit(self.sim.now, "dev", "stall.credit",
+                                 rank=self.world_rank,
+                                 detail={"dest": dest, "need": need,
+                                         "credits": self.credits[dest],
+                                         "queued": len(q)})
                     break  # optimistic sending stops when the reservation is full
                 q.popleft()
                 self.credits[dest] -= need
@@ -228,17 +251,31 @@ class StreamEndpoint(Endpoint):
     def _issue_one(self, dest: int, op: _QueuedSend):
         env, req = op.env, op.req
         conn = self.conns[dest]
+        obs = self.sim.obs
+        mid = (self.world_rank, dest, env.context, env.seq) if obs is not None else None
         if op.msg_type == MSG_EAGER:
             if env.mode == MODE_SYNCHRONOUS:
                 env.cookie = self._next_cookie()
                 self.awaiting_ack[env.cookie] = req
+                if obs is not None:
+                    self._obs_cookie[env.cookie] = mid
+            if obs is not None:
+                obs.emit(self.sim.now, "dev", "env.sent", rank=self.world_rank,
+                         msg=mid, detail={"nbytes": env.nbytes, "proto": "eager"})
             header = self._pack_header(MSG_EAGER, dest, env)
             yield from conn.send(header + op.wire)
             if env.mode != MODE_SYNCHRONOUS:
                 req._complete(Status(tag=env.tag, count_bytes=env.nbytes))
+                if obs is not None:
+                    obs.emit(self.sim.now, "dev", "send.complete",
+                             rank=self.world_rank, msg=mid)
         else:
             env.cookie = self._next_cookie()
             self.pending_rdv[env.cookie] = (op.wire, req)
+            if obs is not None:
+                self._obs_cookie[env.cookie] = mid
+                obs.emit(self.sim.now, "dev", "env.sent", rank=self.world_rank,
+                         msg=mid, detail={"nbytes": env.nbytes, "proto": "rdv"})
             header = self._pack_header(MSG_RDV_ENV, dest, env)
             yield from conn.send(header)
 
@@ -252,6 +289,11 @@ class StreamEndpoint(Endpoint):
                 cfg.match_cost + cfg.match_per_comparison * max(0, comparisons - 1)
             )
         if arrival is not None:
+            obs = self.sim.obs
+            if obs is not None:
+                obs.emit(self.sim.now, "dev", "match.hit", rank=self.world_rank,
+                         msg=self._obs_msgid(arrival.envelope),
+                         detail={"unexpected": True, "comparisons": comparisons})
             yield from self._fulfill(req, arrival)
 
     # --------------------------------------------------------------- progress
@@ -311,19 +353,31 @@ class StreamEndpoint(Endpoint):
 
     def _dispatch(self, peer: int, msg_type: int, env: Envelope, data: bytes):
         cfg = self.config
+        obs = self.sim.obs
         if msg_type == MSG_CREDIT:
             return
         if msg_type == MSG_SYNC_ACK:
             req = self.awaiting_ack.pop(env.cookie)
             req._complete(Status(tag=req.tag, count_bytes=req.datatype.size * req.count))
+            if obs is not None:
+                obs.emit(self.sim.now, "dev", "send.complete", rank=self.world_rank,
+                         msg=self._obs_cookie.pop(env.cookie, None),
+                         detail={"sync": True})
             return
         if msg_type == MSG_RDV_REQ:
             # the receiver asks for our rendezvous payload
             wire, sreq = self.pending_rdv.pop(env.cookie)
             conn = self.conns[peer]
+            mid = self._obs_cookie.pop(env.cookie, None) if obs is not None else None
+            if obs is not None:
+                obs.emit(self.sim.now, "dev", "rdv.data", rank=self.world_rank,
+                         msg=mid, detail={"nbytes": len(wire)})
             header = self._pack_header(MSG_RDV_DATA, peer, env)
             yield from conn.send(header + wire)
             sreq._complete(Status(tag=sreq.tag, count_bytes=len(wire)))
+            if obs is not None:
+                obs.emit(self.sim.now, "dev", "send.complete",
+                         rank=self.world_rank, msg=mid)
             return
         if msg_type == MSG_RDV_DATA:
             req, orig_env, truncated = self.rdv_recv.pop((peer, env.cookie))
@@ -337,13 +391,30 @@ class StreamEndpoint(Endpoint):
                 )
             else:
                 self._store(req, data, status)
+                if obs is not None:
+                    obs.emit(self.sim.now, "dev", "msg.complete", rank=self.world_rank,
+                             msg=self._obs_msgid(orig_env),
+                             detail={"nbytes": orig_env.nbytes})
             return
         # EAGER or RDV_ENV: run the matching engine
+        if obs is not None:
+            # reconstruct the sender's sequence number (FIFO stream, one
+            # envelope per send => arrival order == sequence order)
+            akey = (peer, env.context)
+            env.seq = self._obs_arrive_seq[akey]
+            self._obs_arrive_seq[akey] = env.seq + 1
+            obs.emit(self.sim.now, "dev", "env.arrived", rank=self.world_rank,
+                     msg=self._obs_msgid(env), detail={"nbytes": env.nbytes})
         arrival = Arrival(env, data=data if msg_type == MSG_EAGER else None)
         req, comparisons = self.queues.arrive(arrival)
         yield from self.host.cpu.execute(
             cfg.match_cost + cfg.match_per_comparison * max(0, comparisons - 1)
         )
+        if obs is not None:
+            obs.emit(self.sim.now, "dev",
+                     "match.hit" if req is not None else "match.miss",
+                     rank=self.world_rank, msg=self._obs_msgid(env),
+                     detail={"unexpected": False, "comparisons": comparisons})
         # the reserved space is drained as soon as we've read the message
         self.owed[peer] += HEADER_BYTES + (len(data) if msg_type == MSG_EAGER else 0)
         if req is not None:
@@ -362,11 +433,15 @@ class StreamEndpoint(Endpoint):
         truncated = env.nbytes > capacity
         status = Status(source=env.src, tag=env.tag, count_bytes=env.nbytes)
         peer = env.extra
+        obs = self.sim.obs
         if arrival.data is not None:
             if truncated:
                 req._fail(TruncationError(f"{env.nbytes} bytes into a {capacity}-byte receive"))
             else:
                 self._store(req, arrival.data, status)
+                if obs is not None:
+                    obs.emit(self.sim.now, "dev", "msg.complete", rank=self.world_rank,
+                             msg=self._obs_msgid(env), detail={"nbytes": env.nbytes})
             if env.mode == MODE_SYNCHRONOUS:
                 conn = self.conns[peer]
                 header = self._pack_header(MSG_SYNC_ACK, peer, env)
@@ -375,6 +450,9 @@ class StreamEndpoint(Endpoint):
             # rendezvous: ask the sender for the data
             self.rdv_recv[(peer, env.cookie)] = (req, env, truncated)
             conn = self.conns[peer]
+            if obs is not None:
+                obs.emit(self.sim.now, "dev", "rdv.rts", rank=self.world_rank,
+                         msg=self._obs_msgid(env), detail={"nbytes": env.nbytes})
             header = self._pack_header(MSG_RDV_REQ, peer, env)
             yield from conn.send(header)
 
@@ -382,25 +460,46 @@ class StreamEndpoint(Endpoint):
         """Explicit credit messages when a lot is owed and we are idle."""
         for peer, owed in list(self.owed.items()):
             if owed >= self.config.credit_refresh:
+                obs = self.sim.obs
+                if obs is not None:
+                    obs.emit(self.sim.now, "dev", "credit.grant", rank=self.world_rank,
+                             detail={"peer": peer, "bytes": owed})
                 env = Envelope(src=0, tag=0, context=0, nbytes=0, extra=self.world_rank)
                 header = self._pack_header(MSG_CREDIT, peer, env)
                 yield from self.conns[peer].send(header)
 
     # ----------------------------------------------------------------- helpers
-    def _describe_flow(self) -> str:
-        queued = {
-            dest: [f"tag={op.env.tag}" for op in q] for dest, q in self.sendq.items() if q
+    def _obs_msgid(self, env: Envelope):
+        """Correlation id for a received envelope (seq reconstructed at
+        arrival — see ``_obs_arrive_seq``)."""
+        if env.extra is None:
+            return None
+        return (env.extra, self.world_rank, env.context, env.seq)
+
+    def _flow_snapshot(self) -> dict:
+        return {
+            "sends_waiting_for_credit": {
+                dest: {"tags": [op.env.tag for op in q], "credits": self.credits[dest]}
+                for dest, q in self.sendq.items() if q
+            },
+            "credits_owed": {p: o for p, o in self.owed.items() if o},
+            "rendezvous_awaiting_request": len(self.pending_rdv),
+            "rendezvous_awaiting_data": len(self.rdv_recv),
+            "ssends_awaiting_ack": len(self.awaiting_ack),
         }
+
+    def _describe_flow(self, flow: dict) -> str:
         waiting = ", ".join(
-            f"dest={dest}:[{', '.join(tags)}] credits={self.credits[dest]}"
-            for dest, tags in queued.items()
+            f"dest={dest}:[{', '.join(f'tag={t}' for t in d['tags'])}] "
+            f"credits={d['credits']}"
+            for dest, d in flow["sends_waiting_for_credit"].items()
         ) or "none"
-        owed = {p: o for p, o in self.owed.items() if o} or "none"
+        owed = flow["credits_owed"] or "none"
         return (
             f"sends-waiting-for-credit=[{waiting}]; credits-owed={owed}; "
-            f"rendezvous-awaiting-request={len(self.pending_rdv)}; "
-            f"rendezvous-awaiting-data={len(self.rdv_recv)}; "
-            f"ssends-awaiting-ack={len(self.awaiting_ack)}"
+            f"rendezvous-awaiting-request={flow['rendezvous_awaiting_request']}; "
+            f"rendezvous-awaiting-data={flow['rendezvous_awaiting_data']}; "
+            f"ssends-awaiting-ack={flow['ssends_awaiting_ack']}"
         )
 
     @staticmethod

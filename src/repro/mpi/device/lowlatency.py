@@ -135,11 +135,15 @@ class LowLatencyEndpoint(Endpoint):
         self._seq: Dict[Tuple[int, int], int] = defaultdict(int)
         #: count of ready-mode sends that found no posted receive
         self.ready_violations = 0
+        #: observability only: rendezvous cookie -> message id
+        self._obs_rdv: Dict[int, Tuple[int, int, int, int]] = {}
 
     # ------------------------------------------------------------------ sends
     def start_send(self, req: Request):
         p = self.node.params
         cfg = self.config
+        obs = self.sim.obs
+        t0 = self.sim.now
         yield from self.node.cpu.execute(cfg.send_overhead)
         wire = req.datatype.pack(req.buf, req.count)
         if not req.datatype.contiguous:
@@ -157,12 +161,19 @@ class LowLatencyEndpoint(Endpoint):
             extra=self.world_rank,
         )
         self._seq[key] += 1
+        if obs is not None:
+            proto = "eager" if env.nbytes <= cfg.eager_threshold else "rdv"
+            obs.emit(t0, "dev", "msg.send", rank=self.world_rank,
+                     msg=(self.world_rank, dest_world, env.context, env.seq),
+                     detail={"tag": env.tag, "nbytes": env.nbytes,
+                             "proto": proto, "mode": env.mode})
         self.sendq[dest_world].append(_QueuedSend(req, env, wire))
         yield from self._issue_sends()
 
     def _issue_sends(self):
         """Issue queued sends whose destination slot is free."""
         issued = False
+        obs = self.sim.obs
         for dest in list(self.sendq):
             q = self.sendq[dest]
             while q and self.tokens[dest] > 0:
@@ -172,13 +183,21 @@ class LowLatencyEndpoint(Endpoint):
                 issued = True
             if not q:
                 del self.sendq[dest]
+            elif obs is not None:
+                obs.emit(self.sim.now, "dev", "stall.slot", rank=self.world_rank,
+                         detail={"dest": dest, "queued": len(q)})
         return issued
 
     def _issue_one(self, dest_world: int, op: _QueuedSend):
         receiver = self.peers[dest_world]
         env, wire, req = op.env, op.wire, op.req
+        obs = self.sim.obs
+        mid = (self.world_rank, dest_world, env.context, env.seq) if obs is not None else None
         if env.nbytes <= self.config.eager_threshold:
             # Eager: data rides with the envelope into the remote slot.
+            if obs is not None:
+                obs.emit(self.sim.now, "dev", "env.sent", rank=self.world_rank,
+                         msg=mid, detail={"nbytes": env.nbytes, "proto": "eager"})
             arrival = Arrival(env, data=wire)
             yield from self.node.issue_txn(
                 dest_world,
@@ -193,11 +212,18 @@ class LowLatencyEndpoint(Endpoint):
             else:
                 # complete once the payload has left the user buffer
                 req._complete(Status(tag=env.tag, count_bytes=env.nbytes))
+                if obs is not None:
+                    obs.emit(self.sim.now, "dev", "send.complete",
+                             rank=self.world_rank, msg=mid)
         else:
             # Rendezvous: envelope only; data will be DMAed on request.
             cookie = self._next_cookie()
             env.cookie = cookie
             self.pending_rdv[cookie] = (wire, req)
+            if obs is not None:
+                self._obs_rdv[cookie] = mid
+                obs.emit(self.sim.now, "dev", "env.sent", rank=self.world_rank,
+                         msg=mid, detail={"nbytes": env.nbytes, "proto": "rdv"})
             arrival = Arrival(env, data=None, claim=(self.world_rank, cookie))
             yield from self.node.issue_txn(
                 dest_world,
@@ -218,12 +244,22 @@ class LowLatencyEndpoint(Endpoint):
         arrival, comparisons = self.queues.post(req)
         if comparisons:
             yield from self.node.cpu.execute(comparisons * p.sparc_match)
+        obs = self.sim.obs
+        if obs is not None and arrival is not None:
+            obs.emit(self.sim.now, "dev", "match.hit", rank=self.world_rank,
+                     msg=self._obs_msgid(arrival.envelope),
+                     detail={"unexpected": True, "comparisons": comparisons})
         if arrival is not None:
             yield from self._fulfill(req, arrival)
 
     # ------------------------------------------------------------- progress
     def _deliver(self, arrival: Arrival) -> None:
         """Runs in this node's Elan receive context: queue for the SPARC."""
+        obs = self.sim.obs
+        if obs is not None:
+            env = arrival.envelope
+            obs.emit(self.sim.now, "dev", "env.arrived", rank=self.world_rank,
+                     msg=self._obs_msgid(env), detail={"nbytes": env.nbytes})
         self.arrivals.append(arrival)
         self.kick.set()
 
@@ -246,6 +282,12 @@ class LowLatencyEndpoint(Endpoint):
         env = arrival.envelope
         req, comparisons = self.queues.arrive(arrival)
         yield from self.node.cpu.execute(max(1, comparisons) * p.sparc_match)
+        obs = self.sim.obs
+        if obs is not None:
+            kind = "match.hit" if req is not None else "match.miss"
+            obs.emit(self.sim.now, "dev", kind, rank=self.world_rank,
+                     msg=self._obs_msgid(env),
+                     detail={"unexpected": False, "comparisons": comparisons})
         if env.extra is not None:
             # Free the sender's envelope slot: the SPARC has drained it.
             sender = self.peers[env.extra]
@@ -266,6 +308,9 @@ class LowLatencyEndpoint(Endpoint):
             if arrival.data is not None:
                 # copy out of the slot into the unexpected heap
                 yield from self.node.cpu.execute(len(arrival.data) * p.sparc_copy_per_byte)
+                if obs is not None:
+                    obs.emit(self.sim.now, "dev", "copy.unexpected", rank=self.world_rank,
+                             msg=self._obs_msgid(env), detail={"nbytes": len(arrival.data)})
 
     def _on_slot_ack(self, dest_world: int) -> None:
         """Runs in Elan context at the *sender*: slot is free again."""
@@ -279,12 +324,17 @@ class LowLatencyEndpoint(Endpoint):
         capacity = self._capacity_bytes(req)
         status = Status(source=env.src, tag=env.tag, count_bytes=env.nbytes)
         truncated = env.nbytes > capacity
+        obs = self.sim.obs
+        mid = self._obs_msgid(env) if obs is not None else None
         if arrival.data is not None:
             yield from self.node.cpu.execute(env.nbytes * p.sparc_copy_per_byte)
             if truncated:
                 req._fail(TruncationError(f"{env.nbytes} bytes into a {capacity}-byte receive"))
             else:
                 self._store(req, arrival.data, status)
+                if obs is not None:
+                    obs.emit(self.sim.now, "dev", "msg.complete", rank=self.world_rank,
+                             msg=mid, detail={"nbytes": env.nbytes})
             if env.mode == MODE_SYNCHRONOUS:
                 sender = self.peers[env.extra]
                 cookie = env.cookie
@@ -304,8 +354,16 @@ class LowLatencyEndpoint(Endpoint):
                     )
                 else:
                     endpoint._store(req, data, status)
+                    dobs = endpoint.sim.obs
+                    if dobs is not None:
+                        dobs.emit(endpoint.sim.now, "dev", "msg.complete",
+                                  rank=endpoint.world_rank, msg=mid,
+                                  detail={"nbytes": len(data)})
                 endpoint.kick.set()
 
+            if obs is not None:
+                obs.emit(self.sim.now, "dev", "rdv.rts", rank=self.world_rank,
+                         msg=mid, detail={"nbytes": env.nbytes})
             yield from self.node.issue_txn(
                 sender_world,
                 RTS_BYTES,
@@ -318,9 +376,18 @@ class LowLatencyEndpoint(Endpoint):
         start the DMA with no SPARC involvement."""
         wire, sreq = self.pending_rdv.pop(cookie)
         endpoint = self
+        obs = self.sim.obs
+        mid = self._obs_rdv.pop(cookie, None) if obs is not None else None
+        if obs is not None:
+            obs.emit(self.sim.now, "dev", "rdv.data", rank=self.world_rank,
+                     msg=mid, detail={"nbytes": len(wire)})
 
         def local_done() -> None:
             sreq._complete(Status(tag=sreq.tag, count_bytes=len(wire)))
+            dobs = endpoint.sim.obs
+            if dobs is not None:
+                dobs.emit(endpoint.sim.now, "dev", "send.complete",
+                          rank=endpoint.world_rank, msg=mid)
             endpoint.kick.set()
 
         from repro.hw.meiko.node import DmaCommand
@@ -333,20 +400,37 @@ class LowLatencyEndpoint(Endpoint):
         """Runs in Elan context at the sender: synchronous send matched."""
         req = self.awaiting_ack.pop(cookie)
         req._complete(Status(tag=req.tag, count_bytes=req.datatype.size * req.count))
+        obs = self.sim.obs
+        if obs is not None:
+            obs.emit(self.sim.now, "dev", "ack.sync", rank=self.world_rank,
+                     detail={"cookie": cookie})
         self.kick.set()
 
     # ----------------------------------------------------------------- helpers
-    def _describe_flow(self) -> str:
-        queued = {
-            dest: [f"tag={op.env.tag}" for op in q] for dest, q in self.sendq.items() if q
+    def _obs_msgid(self, env: Envelope):
+        """Correlation id for an envelope (None for slot-less broadcast)."""
+        if env.extra is None:
+            return None
+        return (env.extra, self.world_rank, env.context, env.seq)
+
+    def _flow_snapshot(self) -> dict:
+        return {
+            "sends_waiting_for_slot": {
+                dest: [op.env.tag for op in q] for dest, q in self.sendq.items() if q
+            },
+            "rendezvous_awaiting_request": len(self.pending_rdv),
+            "ssends_awaiting_ack": len(self.awaiting_ack),
         }
+
+    def _describe_flow(self, flow: dict) -> str:
         waiting_slot = ", ".join(
-            f"dest={dest}:[{', '.join(tags)}]" for dest, tags in queued.items()
+            f"dest={dest}:[{', '.join(f'tag={t}' for t in tags)}]"
+            for dest, tags in flow["sends_waiting_for_slot"].items()
         ) or "none"
         return (
             f"sends-waiting-for-slot=[{waiting_slot}]; "
-            f"rendezvous-awaiting-request={len(self.pending_rdv)}; "
-            f"ssends-awaiting-ack={len(self.awaiting_ack)}"
+            f"rendezvous-awaiting-request={flow['rendezvous_awaiting_request']}; "
+            f"ssends-awaiting-ack={flow['ssends_awaiting_ack']}"
         )
 
     @staticmethod

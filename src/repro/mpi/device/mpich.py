@@ -104,16 +104,34 @@ class MpichEndpoint(Endpoint):
         #: set by the platform builder: world rank -> MpichEndpoint
         self.peers = []
         self._cookie = 0
+        #: observability only: per-(dest, context) send sequence numbers
+        self._obs_seq = {}
 
     # ------------------------------------------------------------------ sends
     def start_send(self, req: Request):
         p = self.node.params
         cfg = self.config
+        obs = self.sim.obs
+        t0 = self.sim.now
         yield from self.node.cpu.execute(cfg.send_overhead)
         wire = req.datatype.pack(req.buf, req.count)
         if not req.datatype.contiguous:
             yield from self.node.cpu.execute(len(wire) * p.sparc_copy_per_byte)
         dest_world = req.comm.world_rank(req.peer)
+        mid = None
+        if obs is not None:
+            key = (dest_world, req.comm.context_id)
+            seq = self._obs_seq.get(key, 0)
+            self._obs_seq[key] = seq + 1
+            mid = (self.world_rank, dest_world, req.comm.context_id, seq)
+            obs.emit(
+                t0,
+                "dev",
+                "msg.send",
+                rank=self.world_rank,
+                msg=mid,
+                detail={"tag": req.tag, "nbytes": len(wire), "proto": "tport", "mode": req.mode},
+            )
         flags = 0
         ack_handle = None
         if req.mode == MODE_SYNCHRONOUS:
@@ -128,6 +146,15 @@ class MpichEndpoint(Endpoint):
         word = encode_tag(req.comm.context_id, req.tag, chan=chan, flags=flags)
         yield from self.node.cpu.execute(p.txn_issue)
         handle = self.tport.isend(dest_world, word, wire)
+        if obs is not None:
+            obs.emit(
+                self.sim.now,
+                "dev",
+                "env.sent",
+                rank=self.world_rank,
+                msg=mid,
+                detail={"tag": req.tag, "nbytes": len(wire), "proto": "tport"},
+            )
         req._device_state = (handle, ack_handle)
         if req.on_complete is not None:
             # a bsend shadow: nobody will wait on it, so watch the handle
@@ -153,6 +180,15 @@ class MpichEndpoint(Endpoint):
             mask = MASK_EXACT
         yield from self.node.cpu.execute(self.node.params.txn_issue)
         handle = self.tport.irecv(word, sender=sender, mask=mask)
+        obs = self.sim.obs
+        if obs is not None:
+            obs.emit(
+                self.sim.now,
+                "dev",
+                "match.post",
+                rank=self.world_rank,
+                detail={"source": req.peer, "tag": req.tag, "matching": "elan"},
+            )
         req._device_state = (handle, None)
 
     # ------------------------------------------------------------------- wait
@@ -237,6 +273,52 @@ class MpichEndpoint(Endpoint):
             count = len(data) // req.datatype.size if req.datatype.size else 0
             req.datatype.unpack(data, req.buf, count)
         req._complete(status)
+        obs = self.sim.obs
+        if obs is not None:
+            # Matching happened on the Elan, invisible to the SPARC, so
+            # mpich carries no sender message id: Table-1 phase accounting
+            # targets the envelope devices, not this comparison port.
+            obs.emit(
+                self.sim.now,
+                "dev",
+                "msg.complete",
+                rank=self.world_rank,
+                detail={"source": src_comm_rank, "tag": field, "nbytes": len(data)},
+            )
+
+    def state_snapshot(self) -> dict:
+        """Structured dump decoded from the Elan's queues.
+
+        The endpoint's own MatchQueues are unused here — matching runs
+        on the tport — so the base snapshot would always report empty
+        queues.  Decode the posted descriptors and unexpected arrivals
+        the Elan actually holds instead.
+        """
+        posted = []
+        for h in self.tport.posted:
+            _ctx, _chan, field, _flags = decode_tag(h.tag)
+            posted.append({
+                "source": ANY_SOURCE if h.sender_filter == ANY_SENDER else h.sender_filter,
+                "tag": ANY_TAG if h.mask == MASK_CHAN else field,
+            })
+        unexpected = []
+        for a in self.tport.unexpected:
+            _ctx, _chan, field, _flags = decode_tag(a.tag)
+            unexpected.append({"source": a.src, "tag": field})
+        snap = {"rank": self.world_rank, "posted": posted, "unexpected": unexpected}
+        flow = self._flow_snapshot()
+        if flow:
+            snap["flow"] = flow
+        return snap
+
+    def _flow_snapshot(self) -> dict:
+        return {
+            "matching": "elan",
+            "unexpected_elan": len(self.tport.unexpected),
+        }
+
+    def _describe_flow(self, flow: dict) -> str:
+        return f"elan-unexpected={flow['unexpected_elan']}"
 
     # ------------------------------------------------------------------ probe
     def iprobe(self, source: int, tag: int, comm):

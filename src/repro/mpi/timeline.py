@@ -16,6 +16,12 @@ communication phases::
 
     rank 0 |####....####....####|
     rank 1 |..####....####....##|
+
+A Timeline is a view over an :class:`~repro.obs.bus.EventBus`:
+:meth:`record` emits an ``mpi``-layer ``call.span`` event and
+:attr:`spans` derives the Span list back from the bus.  Pass ``bus=``
+to share a world's event bus so the spans land in the same exported
+trace as everything else.
 """
 
 from __future__ import annotations
@@ -23,7 +29,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.obs.bus import EventBus
+
 __all__ = ["Span", "Timeline"]
+
+#: the bus event kind Timeline spans are stored as
+SPAN_KIND = "call.span"
 
 
 @dataclass(frozen=True)
@@ -43,13 +54,24 @@ class Span:
 class Timeline:
     """Collects spans and renders a per-rank occupancy chart."""
 
-    def __init__(self):
-        self.spans: List[Span] = []
+    def __init__(self, bus: Optional[EventBus] = None):
+        self.bus = bus if bus is not None else EventBus()
+
+    @property
+    def spans(self) -> List[Span]:
+        """The ``call.span`` events of the bus, as classic Spans."""
+        return [
+            Span(e.rank, e.detail["call"], e.detail["start"], e.t)
+            for e in self.bus.events
+            if e.layer == "mpi" and e.kind == SPAN_KIND
+        ]
 
     def record(self, rank: int, call: str, start: float, end: float) -> None:
         if end < start:
             raise ValueError(f"span ends before it starts: {start}..{end}")
-        self.spans.append(Span(rank, call, start, end))
+        self.bus.emit(
+            end, "mpi", SPAN_KIND, rank=rank, detail={"call": call, "start": start}
+        )
 
     # -- analysis ------------------------------------------------------------
     def ranks(self) -> List[int]:
@@ -74,15 +96,16 @@ class Timeline:
     def render(self, width: int = 72, t0: Optional[float] = None,
                t1: Optional[float] = None) -> str:
         """ASCII Gantt: ``#`` inside MPI, ``.`` outside."""
-        if not self.spans:
+        spans = self.spans
+        if not spans:
             return "(no spans recorded)"
-        lo = min(s.start for s in self.spans) if t0 is None else t0
-        hi = max(s.end for s in self.spans) if t1 is None else t1
+        lo = min(s.start for s in spans) if t0 is None else t0
+        hi = max(s.end for s in spans) if t1 is None else t1
         span = (hi - lo) or 1.0
         lines = []
         for rank in self.ranks():
             row = ["."] * width
-            for s in self.spans:
+            for s in spans:
                 if s.rank != rank:
                     continue
                 a = int((max(s.start, lo) - lo) / span * (width - 1))

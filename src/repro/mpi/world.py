@@ -58,6 +58,11 @@ class World:
         A :class:`repro.faults.FaultPlan`: packet loss / duplication /
         corruption, link-down windows, node crash / pause / slow-down.
         Valid on all platforms.  See ``docs/FAULTS.md``.
+    obs:
+        A :class:`repro.obs.EventBus` collecting structured events from
+        every layer (kernel, transports, devices, MPI calls, faults).
+        ``None`` (the default) disables emission entirely.  See
+        ``docs/OBSERVABILITY.md``.
     """
 
     def __init__(
@@ -72,8 +77,12 @@ class World:
         kernel_params: Any = None,
         drop_fn: Any = None,
         faults: Any = None,
+        obs: Any = None,
     ):
         self.sim = Simulator()
+        # attach before build_platform so construction-time emissions land
+        self.sim.obs = obs
+        self.obs = obs
         self.nprocs = nprocs
         self.faults = faults
         self.platform = build_platform(
@@ -137,6 +146,10 @@ class World:
             self.sim.process(main(self.comms[r], *args), name=f"rank{r}") for r in ranks
         ]
         sim = self.sim
+        obs = sim.obs
+        if obs is not None:
+            obs.emit(sim.now, "mpi", "world.start",
+                     detail={"nprocs": len(procs), "ranks": list(ranks)})
         # Completion/failure tracking is callback-based: the per-event
         # check is two counter reads instead of two O(nprocs) scans.
         state = {"done": 0, "died": False}
@@ -168,6 +181,8 @@ class World:
         failures = [p for p in procs if p.triggered and not p.ok]
         if failures:
             self._abort(procs, ranks, failures)
+        if obs is not None:
+            obs.emit(sim.now, "mpi", "world.stop", detail={"nprocs": len(procs)})
         return [p.value for p in procs]
 
     # -------------------------------------------------------- failure paths
@@ -178,6 +193,10 @@ class World:
         first = failures[0]
         failed_rank = ranks[procs.index(first)]
         failed_at = sim.now
+        obs = sim.obs
+        if obs is not None:
+            obs.emit(failed_at, "mpi", "world.abort", rank=failed_rank,
+                     detail={"error": type(first.value).__name__})
         # we are handling every rank's outcome; nothing may crash the sim
         for p in procs:
             p.defuse()
@@ -207,20 +226,33 @@ class World:
 
     def _watchdog(self, procs, ranks) -> DeadlockError:
         """Build the deadlock diagnostic: one line per stuck rank with its
-        outstanding operations and flow-control state."""
+        outstanding operations and flow-control state.
+
+        The machine-readable per-rank snapshots ride along on the
+        exception as ``rank_states`` (rank -> dict); the rendered lines
+        in the message come from the same snapshots.
+        """
         lines = []
+        rank_states = {}
         for p, r in zip(procs, ranks):
             if p.triggered:
                 continue
+            endpoint = self.endpoints[r]
             try:
-                state = self.endpoints[r].describe_state()
+                rank_states[r] = endpoint.state_snapshot()
+                state = endpoint.describe_state()
             except Exception as exc:  # pragma: no cover - diagnostics must not mask
-                state = f"<describe_state failed: {exc!r}>"
+                state = f"<state_snapshot failed: {exc!r}>"
             lines.append(f"  rank {r}: {state}")
         detail = "\n".join(lines)
         stuck = [ranks[procs.index(p)] for p in procs if not p.triggered]
+        obs = self.sim.obs
+        if obs is not None:
+            obs.emit(self.sim.now, "mpi", "world.deadlock",
+                     detail={"stuck_ranks": stuck, "rank_states": rank_states})
         return DeadlockError(
             f"deadlock at t={self.sim.now:.3f} µs: ranks {stuck} are blocked "
             f"and no events are pending\n{detail}",
             stuck_ranks=stuck,
+            rank_states=rank_states,
         )

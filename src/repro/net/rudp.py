@@ -123,6 +123,15 @@ class RudpConnection:
                 raise self.error
             used = len(self._unsent) + len(self._unacked)
             if used >= sndbuf:
+                obs = self.sim.obs
+                if obs is not None:
+                    obs.emit(
+                        self.sim.now,
+                        "net",
+                        "stall.sndbuf",
+                        rank=self.kernel.host.hostid,
+                        detail={"port": self.sock.port, "used": used, "pending": total - offset},
+                    )
                 yield self._space.wait()
                 continue
             take = min(sndbuf - used, total - offset)
@@ -170,12 +179,34 @@ class RudpConnection:
                 inflight = self.snd_nxt - self.snd_una
                 room = self.window - inflight
                 if room <= 0:
+                    obs = self.sim.obs
+                    if obs is not None:
+                        obs.emit(
+                            self.sim.now,
+                            "net",
+                            "stall.window",
+                            rank=self.kernel.host.hostid,
+                            detail={
+                                "dst": self.remote_host,
+                                "inflight": inflight,
+                                "window": self.window,
+                            },
+                        )
                     break
                 n = min(self.mss, len(self._unsent), room)
                 chunk = self._unsent.take(n)
                 self._unacked.append(chunk)
                 self.packets_sent += 1
                 self._ack_rides_out()  # this packet carries the ack
+                obs = self.sim.obs
+                if obs is not None:
+                    obs.emit(
+                        self.sim.now,
+                        "net",
+                        "pkt.send",
+                        rank=self.kernel.host.hostid,
+                        detail={"dst": self.remote_host, "seq": self.snd_nxt, "nbytes": n},
+                    )
                 yield from self.kernel.charge(self.proc_cost)
                 yield from self.sock.sendto(
                     self.remote_host, self.remote_port, self._packet(self.snd_nxt, chunk)
@@ -249,6 +280,20 @@ class RudpConnection:
         n = min(self.mss, len(self._unacked))
         chunk = self._unacked.peek(n)
         self.retransmissions += 1
+        obs = self.sim.obs
+        if obs is not None:
+            obs.emit(
+                self.sim.now,
+                "net",
+                "pkt.retx",
+                rank=self.kernel.host.hostid,
+                detail={
+                    "dst": self.remote_host,
+                    "seq": self.snd_una,
+                    "nbytes": n,
+                    "attempt": self._retx_attempts,
+                },
+            )
         yield from self.sock.sendto(
             self.remote_host, self.remote_port, self._packet(self.snd_una, chunk)
         )
@@ -278,6 +323,15 @@ class RudpConnection:
             # zero-copy view of the stream bytes after the header
             data = memoryview(payload)[RUDP_HEADER:]
             self.packets_received += 1
+            obs = self.sim.obs
+            if obs is not None:
+                obs.emit(
+                    self.sim.now,
+                    "net",
+                    "pkt.recv",
+                    rank=self.kernel.host.hostid,
+                    detail={"src": _src, "seq": seq, "ack": ack, "nbytes": len(data)},
+                )
             if ack > self.snd_una:
                 self._unacked.drop(ack - self.snd_una)
                 self.snd_una = ack
@@ -328,6 +382,15 @@ class RudpConnection:
 
     def _send_ack(self):
         self._ack_rides_out()
+        obs = self.sim.obs
+        if obs is not None:
+            obs.emit(
+                self.sim.now,
+                "net",
+                "ack.send",
+                rank=self.kernel.host.hostid,
+                detail={"dst": self.remote_host, "ack": self.rcv_nxt},
+            )
         yield from self.sock.sendto(
             self.remote_host, self.remote_port, self._packet(self.snd_nxt, b"")
         )

@@ -138,6 +138,15 @@ class TcpConnection:
                 raise self.error
             used = len(self._unsent) + len(self._unacked)
             if used >= p.sndbuf:
+                obs = self.sim.obs
+                if obs is not None:
+                    obs.emit(
+                        self.sim.now,
+                        "net",
+                        "stall.sndbuf",
+                        rank=self.kernel.host.hostid,
+                        detail={"port": self.local_port, "used": used, "pending": total - offset},
+                    )
                 yield self._space.wait()
                 continue
             take = min(p.sndbuf - used, total - offset)
@@ -182,6 +191,20 @@ class TcpConnection:
     # ------------------------------------------------------------ internals
     def _transmit(self, seg: TcpSegment) -> None:
         self.segments_sent += 1
+        obs = self.sim.obs
+        if obs is not None:
+            obs.emit(
+                self.sim.now,
+                "net",
+                "seg.send",
+                rank=self.kernel.host.hostid,
+                detail={
+                    "dst": self.remote_host,
+                    "seq": seg.seq,
+                    "ack": seg.ack,
+                    "nbytes": len(seg.data),
+                },
+            )
         self.kernel.ip.send(self.remote_host, "tcp", seg, seg.nbytes)
 
     def _sender(self):
@@ -196,6 +219,19 @@ class TcpConnection:
                 inflight = self.snd_nxt - self.snd_una
                 room = self.peer_window - inflight
                 if room <= 0:
+                    obs = self.sim.obs
+                    if obs is not None:
+                        obs.emit(
+                            self.sim.now,
+                            "net",
+                            "stall.window",
+                            rank=self.kernel.host.hostid,
+                            detail={
+                                "dst": self.remote_host,
+                                "inflight": inflight,
+                                "window": self.peer_window,
+                            },
+                        )
                     break  # zero window: the next ACK kicks us again
                 if p.nagle and inflight > 0 and len(self._unsent) < mss:
                     # Nagle: a sub-MSS segment waits for outstanding data
@@ -285,6 +321,20 @@ class TcpConnection:
         n = min(self.kernel.mss, len(self._unacked))
         chunk = self._unacked.peek(n)
         self.retransmissions += 1
+        obs = self.sim.obs
+        if obs is not None:
+            obs.emit(
+                self.sim.now,
+                "net",
+                "seg.retx",
+                rank=self.kernel.host.hostid,
+                detail={
+                    "dst": self.remote_host,
+                    "seq": self.snd_una,
+                    "nbytes": n,
+                    "attempt": self._retx_attempts,
+                },
+            )
         yield from self.kernel.charge(p.tcp_out + n * p.checksum_per_byte)
         self._transmit(TcpSegment(
             self.local_port, self.remote_port, self.snd_una, self.rcv_nxt,
@@ -317,6 +367,20 @@ class TcpConnection:
         """Generator (kernel worker context)."""
         p = self.kernel.params
         self.segments_received += 1
+        obs = self.sim.obs
+        if obs is not None:
+            obs.emit(
+                self.sim.now,
+                "net",
+                "seg.recv",
+                rank=self.kernel.host.hostid,
+                detail={
+                    "src": self.remote_host,
+                    "seq": seg.seq,
+                    "ack": seg.ack,
+                    "nbytes": len(seg.data),
+                },
+            )
         yield from self.kernel.charge(p.tcp_in + len(seg.data) * p.checksum_per_byte)
         if seg.rst:
             # peer aborted: fail local waiters without answering
@@ -379,6 +443,15 @@ class TcpConnection:
         chunk = self._unacked.peek(n)
         self.retransmissions += 1
         self.fast_retransmissions += 1
+        obs = self.sim.obs
+        if obs is not None:
+            obs.emit(
+                self.sim.now,
+                "net",
+                "seg.retx",
+                rank=self.kernel.host.hostid,
+                detail={"dst": self.remote_host, "seq": self.snd_una, "nbytes": n, "fast": True},
+            )
         self._ack_version += 1  # restart the RTO clock
         yield from self.kernel.charge(p.tcp_out + n * p.checksum_per_byte)
         self._transmit(TcpSegment(
@@ -389,6 +462,15 @@ class TcpConnection:
     def _send_ack(self):
         p = self.kernel.params
         self._ack_rides_out()
+        obs = self.sim.obs
+        if obs is not None:
+            obs.emit(
+                self.sim.now,
+                "net",
+                "ack.send",
+                rank=self.kernel.host.hostid,
+                detail={"dst": self.remote_host, "ack": self.rcv_nxt},
+            )
         yield from self.kernel.charge(p.ack_cost)
         self._transmit(TcpSegment(
             self.local_port, self.remote_port, self.snd_nxt, self.rcv_nxt, window=p.window

@@ -1,0 +1,53 @@
+"""Metrics counter registry.
+
+Every :meth:`EventBus.emit` bumps the counter named ``"{layer}.{kind}"``
+automatically, so a traced run always comes with an event census for
+free.  Code can also register and bump its own named counters (the
+fault injector and the chaos harness do).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+__all__ = ["CounterRegistry"]
+
+
+class CounterRegistry:
+    """Named monotonically-increasing counters."""
+
+    def __init__(self):
+        self._counts: Dict[str, int] = {}
+
+    def inc(self, name: str, n: int = 1) -> int:
+        value = self._counts.get(name, 0) + n
+        self._counts[name] = value
+        return value
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def __getitem__(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counts
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __iter__(self) -> Iterator[Tuple[str, int]]:
+        return iter(sorted(self._counts.items()))
+
+    def snapshot(self) -> Dict[str, int]:
+        """A sorted, independent copy — safe to serialise."""
+        return dict(sorted(self._counts.items()))
+
+    def clear(self) -> None:
+        self._counts.clear()
+
+    def render(self) -> str:
+        if not self._counts:
+            return "(no counters)"
+        width = max(len(k) for k in self._counts)
+        return "\n".join(f"{k:<{width}}  {v}" for k, v in sorted(self._counts.items()))

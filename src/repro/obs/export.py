@@ -1,0 +1,114 @@
+"""Trace exporters: Chrome-trace (Perfetto-loadable) JSON and JSONL.
+
+``chrome`` format emits the Trace Event Format understood by
+``chrome://tracing`` and https://ui.perfetto.dev: MPI call enter/exit
+pairs become ``B``/``E`` duration events (one track per rank), every
+other event becomes an ``i`` instant.  Simulated time is already in
+microseconds, which is exactly the ``ts`` unit the format expects.
+
+``jsonl`` emits one JSON object per line per event — trivially greppable
+and streamable into pandas/jq.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterator, List
+
+__all__ = ["to_chrome", "to_jsonl_lines", "write_trace"]
+
+#: chrome trace ``cat`` per bus layer
+_LAYER_CAT = {
+    "sim": "sim",
+    "net": "net",
+    "dev": "device",
+    "mpi": "mpi",
+    "prof": "mpi",
+    "fault": "fault",
+    "trace": "trace",
+}
+
+
+def _pid_registry(bus):
+    """Map run labels to stable integer pids (Chrome wants numbers)."""
+    pids: Dict[object, int] = {}
+    for ev in bus.events:
+        if ev.run not in pids:
+            pids[ev.run] = len(pids)
+    if not pids:
+        pids[None] = 0
+    return pids
+
+
+def to_chrome(bus) -> Dict:
+    """Convert a bus into a Chrome-trace JSON object."""
+    pids = _pid_registry(bus)
+    out: List[Dict] = []
+    ranks_seen = set()
+    for run, pid in pids.items():
+        out.append({
+            "ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+            "args": {"name": str(run) if run is not None else "repro"},
+        })
+    for ev in bus.events:
+        pid = pids[ev.run]
+        tid = ev.rank if ev.rank is not None else -1
+        if (pid, tid) not in ranks_seen and tid >= 0:
+            ranks_seen.add((pid, tid))
+            out.append({
+                "ph": "M", "pid": pid, "tid": tid, "name": "thread_name",
+                "args": {"name": f"rank {tid}"},
+            })
+        cat = _LAYER_CAT.get(ev.layer, ev.layer)
+        detail = ev.detail or {}
+        if ev.layer == "mpi" and ev.kind in ("call.enter", "call.exit"):
+            ph = "B" if ev.kind == "call.enter" else "E"
+            rec = {
+                "ph": ph, "ts": ev.t, "pid": pid, "tid": tid,
+                "name": detail.get("call", "mpi"), "cat": cat,
+            }
+            if ph == "B" and detail:
+                rec["args"] = {k: v for k, v in detail.items() if v is not None}
+        else:
+            rec = {
+                "ph": "i", "ts": ev.t, "pid": pid, "tid": tid,
+                "name": ev.kind, "cat": cat, "s": "t",
+            }
+            args = {k: v for k, v in detail.items() if v is not None}
+            if ev.msg is not None:
+                args["msg"] = list(ev.msg)
+            if args:
+                rec["args"] = args
+        out.append(rec)
+    return {"traceEvents": out, "displayTimeUnit": "ns"}
+
+
+def to_jsonl_lines(bus) -> Iterator[str]:
+    """One compact JSON object per event."""
+    for ev in bus.events:
+        rec = {"t": ev.t, "layer": ev.layer, "kind": ev.kind}
+        if ev.rank is not None:
+            rec["rank"] = ev.rank
+        if ev.msg is not None:
+            rec["msg"] = list(ev.msg)
+        if ev.detail:
+            rec["detail"] = ev.detail
+        if ev.run is not None:
+            rec["run"] = ev.run
+        yield json.dumps(rec, default=str)
+
+
+def write_trace(bus, path: str, fmt: str = "chrome") -> str:
+    """Serialise *bus* to *path* in ``chrome`` or ``jsonl`` format."""
+    if fmt == "chrome":
+        with open(path, "w") as fh:
+            json.dump(to_chrome(bus), fh, default=str)
+            fh.write("\n")
+    elif fmt == "jsonl":
+        with open(path, "w") as fh:
+            for line in to_jsonl_lines(bus):
+                fh.write(line)
+                fh.write("\n")
+    else:
+        raise ValueError(f"unknown trace format {fmt!r} (expected 'chrome' or 'jsonl')")
+    return path

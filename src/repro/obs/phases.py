@@ -1,0 +1,194 @@
+"""Per-message phase accounting: the paper's Table 1 as a query.
+
+The paper decomposes MPI point-to-point latency into three protocol
+phases — *envelope* transfer, receive-side *matching* (including any
+time the message sat buffered as unexpected), and *data* transfer.
+:class:`PhaseLedger` rebuilds that decomposition for every message in a
+traced run by scanning the device-layer events on an
+:class:`~repro.obs.bus.EventBus`:
+
+========== ======================= =========================================
+phase      from → to               meaning
+========== ======================= =========================================
+envelope   ``msg.send`` →          send call entered the device until the
+           ``env.arrived``         envelope (for eager sends, with payload)
+                                   reached the receiver
+match      ``env.arrived`` →       receiver-side matching, including the
+           ``match.hit``           buffered wait when the receive was not
+                                   yet posted (``unexpected``)
+data       ``match.hit`` →         payload landed in the user buffer; for
+           ``msg.complete``        rendezvous this covers RTS + data
+                                   transfer, for eager it is the local copy
+========== ======================= =========================================
+
+The three phases telescope — each starts where the previous ended — so
+``envelope + match + data`` equals the end-to-end simulated latency of
+the message *exactly* (tested in ``tests/obs/test_phases.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["MessagePhases", "PhaseLedger"]
+
+
+@dataclass
+class MessagePhases:
+    """One message's life, decomposed into Table-1 phases (all times µs)."""
+
+    msg: Tuple[int, int, int, int]  # (src, dst, context, seq)
+    tag: Optional[int] = None
+    nbytes: Optional[int] = None
+    proto: Optional[str] = None  # "eager" | "rdv"
+    t_send: Optional[float] = None
+    t_arrived: Optional[float] = None
+    t_matched: Optional[float] = None
+    t_complete: Optional[float] = None
+    unexpected: bool = False
+
+    @property
+    def src(self) -> int:
+        return self.msg[0]
+
+    @property
+    def dst(self) -> int:
+        return self.msg[1]
+
+    @property
+    def envelope(self) -> Optional[float]:
+        if self.t_send is None or self.t_arrived is None:
+            return None
+        return self.t_arrived - self.t_send
+
+    @property
+    def match(self) -> Optional[float]:
+        if self.t_arrived is None or self.t_matched is None:
+            return None
+        return self.t_matched - self.t_arrived
+
+    @property
+    def data(self) -> Optional[float]:
+        if self.t_matched is None or self.t_complete is None:
+            return None
+        return self.t_complete - self.t_matched
+
+    @property
+    def total(self) -> Optional[float]:
+        """End-to-end latency; the telescoping sum of the three phases."""
+        if None in (self.envelope, self.match, self.data):
+            return None
+        return self.envelope + self.match + self.data
+
+    def complete(self) -> bool:
+        return self.total is not None
+
+
+class PhaseLedger:
+    """All messages of a traced run with their phase decomposition."""
+
+    def __init__(self, messages: List[MessagePhases]):
+        self.messages = messages
+        self._by_id: Dict[Tuple, MessagePhases] = {m.msg: m for m in messages}
+
+    @classmethod
+    def from_bus(cls, bus) -> "PhaseLedger":
+        """Scan a bus's device-layer events into a ledger."""
+        table: Dict[Tuple, MessagePhases] = {}
+
+        def rec(ev) -> Optional[MessagePhases]:
+            if ev.msg is None:
+                return None
+            m = table.get(ev.msg)
+            if m is None:
+                m = table[ev.msg] = MessagePhases(msg=ev.msg)
+            return m
+
+        for ev in bus.events:
+            if ev.layer != "dev":
+                continue
+            kind = ev.kind
+            if kind == "msg.send":
+                m = rec(ev)
+                if m is None:
+                    continue
+                m.t_send = ev.t
+                d = ev.detail or {}
+                m.tag = d.get("tag")
+                m.nbytes = d.get("nbytes")
+                m.proto = d.get("proto")
+            elif kind == "env.arrived":
+                m = rec(ev)
+                if m is not None and m.t_arrived is None:
+                    m.t_arrived = ev.t
+            elif kind == "match.hit":
+                m = rec(ev)
+                if m is not None and m.t_matched is None:
+                    m.t_matched = ev.t
+                    m.unexpected = bool((ev.detail or {}).get("unexpected"))
+            elif kind == "msg.complete":
+                m = rec(ev)
+                if m is not None and m.t_complete is None:
+                    m.t_complete = ev.t
+        return cls(list(table.values()))
+
+    # -- queries -------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.messages)
+
+    def __iter__(self):
+        return iter(self.messages)
+
+    def get(self, msg) -> Optional[MessagePhases]:
+        return self._by_id.get(msg)
+
+    def lookup(self, src=None, dst=None, tag=None, complete=None) -> List[MessagePhases]:
+        out = []
+        for m in self.messages:
+            if src is not None and m.src != src:
+                continue
+            if dst is not None and m.dst != dst:
+                continue
+            if tag is not None and m.tag != tag:
+                continue
+            if complete is not None and m.complete() != complete:
+                continue
+            out.append(m)
+        return out
+
+    # -- rendering -----------------------------------------------------------
+    def table(self, messages: Optional[List[MessagePhases]] = None) -> str:
+        """Table-1-style fixed-width breakdown (µs per phase)."""
+        rows = messages if messages is not None else self.messages
+        header = (
+            f"{'src->dst':>9} {'tag':>5} {'bytes':>8} {'proto':>6} "
+            f"{'envelope':>10} {'match':>10} {'data':>10} {'total':>10}  flags"
+        )
+        lines = [header, "-" * len(header)]
+        for m in rows:
+            def fmt(v):
+                return f"{v:10.2f}" if v is not None else f"{'?':>10}"
+            flags = "unexpected" if m.unexpected else ""
+            lines.append(
+                f"{m.src:>4}->{m.dst:<4} {m.tag if m.tag is not None else '?':>5} "
+                f"{m.nbytes if m.nbytes is not None else '?':>8} "
+                f"{m.proto or '?':>6} "
+                f"{fmt(m.envelope)} {fmt(m.match)} {fmt(m.data)} {fmt(m.total)}  {flags}"
+            )
+        return "\n".join(lines)
+
+    def summary(self) -> Dict[str, float]:
+        """Mean phase times over complete messages."""
+        done = [m for m in self.messages if m.complete()]
+        if not done:
+            return {"messages": 0}
+        n = len(done)
+        return {
+            "messages": n,
+            "envelope_us": sum(m.envelope for m in done) / n,
+            "match_us": sum(m.match for m in done) / n,
+            "data_us": sum(m.data for m in done) / n,
+            "total_us": sum(m.total for m in done) / n,
+            "unexpected": sum(1 for m in done if m.unexpected),
+        }

@@ -207,7 +207,11 @@ class Timeout(Event):
             return False
         self._cancelled = True
         self.callbacks = []  # drop references; never runs, `processed` stays False
-        self.sim._note_cancel()
+        sim = self.sim
+        sim._note_cancel()
+        obs = sim.obs
+        if obs is not None:
+            obs.emit(sim._now, "sim", "timer.cancel", detail={"delay": self.delay})
         return True
 
 
@@ -300,12 +304,20 @@ class Process(Event):
                 self._ok = True
                 self._value = exc.value
                 sim._schedule(self, 0.0, NORMAL)
+                obs = sim.obs
+                if obs is not None:
+                    obs.emit(sim._now, "sim", "process.exit",
+                             detail={"name": self.name, "ok": True})
                 return
             except BaseException as exc:
                 sim._active_process = None
                 self._ok = False
                 self._value = exc
                 sim._schedule(self, 0.0, NORMAL)
+                obs = sim.obs
+                if obs is not None:
+                    obs.emit(sim._now, "sim", "process.exit",
+                             detail={"name": self.name, "ok": False})
                 return
 
             if not isinstance(target, Event):
@@ -408,6 +420,9 @@ class Simulator:
         self._active_process: Optional[Process] = None
         #: tombstoned (cancelled) entries still sitting in the heap
         self._dead = 0
+        #: optional :class:`repro.obs.EventBus`; None keeps every
+        #: emission site to a single attribute load + None check
+        self.obs = None
 
     @property
     def now(self) -> float:
@@ -439,11 +454,18 @@ class Simulator:
         """
         t = Timeout(self, delay)
         t.callbacks.append(fn)
+        obs = self.obs
+        if obs is not None:
+            obs.emit(self._now, "sim", "timer.arm", detail={"delay": delay})
         return t
 
     def process(self, generator: Generator, name: str = "") -> Process:
         """Start a new process from *generator*."""
-        return Process(self, generator, name)
+        p = Process(self, generator, name)
+        obs = self.obs
+        if obs is not None:
+            obs.emit(self._now, "sim", "process.spawn", detail={"name": p.name})
+        return p
 
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         return AnyOf(self, events)
@@ -487,6 +509,9 @@ class Simulator:
             if t < self._now:  # pragma: no cover - defensive
                 raise SimulationError("time went backwards")
             self._now = t
+            obs = self.obs
+            if obs is not None and type(event) is Timeout:
+                obs.emit(t, "sim", "timer.fire", detail={"delay": event.delay})
             event._fire()
             return
         raise SimulationError("step() on an empty event queue")
@@ -517,6 +542,7 @@ class Simulator:
             raise ValueError(f"until={until!r} is in the past (now={self._now!r})")
         heap = self._heap
         pop = heappop
+        obs = self.obs
         while heap:
             entry = heap[0]
             if entry[3]._cancelled:
@@ -535,6 +561,8 @@ class Simulator:
                 if event._cancelled:
                     self._dead -= 1
                 else:
+                    if obs is not None and type(event) is Timeout:
+                        obs.emit(t, "sim", "timer.fire", detail={"delay": event.delay})
                     event._fire()
         if until is not None:
             self._now = until

@@ -3,14 +3,26 @@
 A :class:`Tracer` collects timestamped records by category.  It is used
 by the protocol stacks for debugging and by the benchmark harness to
 break down latencies (Table 1 of the paper).
+
+Since the unified instrumentation spine landed, a Tracer is a thin view
+over an :class:`~repro.obs.bus.EventBus`: every :meth:`log` call emits a
+``trace``-layer event, and :attr:`records` derives the classic
+:class:`TraceRecord` list from the bus.  Pass ``bus=`` to share a
+world's event bus, so ad-hoc trace records interleave with the
+sim/net/dev/mpi events in one exported timeline.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional
 
+from repro.obs.bus import EventBus
+
 __all__ = ["TraceRecord", "Tracer"]
+
+#: the bus layer Tracer records live on
+TRACE_LAYER = "trace"
 
 
 @dataclass(frozen=True)
@@ -22,7 +34,6 @@ class TraceRecord:
     detail: Any = None
 
 
-@dataclass
 class Tracer:
     """Collects :class:`TraceRecord` entries, optionally filtered.
 
@@ -30,8 +41,18 @@ class Tracer:
     (``"*"`` enables everything).
     """
 
-    records: List[TraceRecord] = field(default_factory=list)
-    _enabled: set = field(default_factory=set)
+    def __init__(self, bus: Optional[EventBus] = None):
+        self.bus = bus if bus is not None else EventBus()
+        self._enabled: set = set()
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        """The trace-layer events of the bus, as classic records."""
+        return [
+            TraceRecord(e.t, e.kind, e.detail)
+            for e in self.bus.events
+            if e.layer == TRACE_LAYER
+        ]
 
     def enable(self, *categories: str) -> None:
         self._enabled.update(categories)
@@ -44,13 +65,15 @@ class Tracer:
 
     def log(self, time: float, category: str, detail: Any = None) -> None:
         if self.enabled(category):
-            self.records.append(TraceRecord(time, category, detail))
+            self.bus.emit(time, TRACE_LAYER, category, detail=detail)
 
     def by_category(self, category: str) -> Iterator[TraceRecord]:
         return (r for r in self.records if r.category == category)
 
     def clear(self) -> None:
-        self.records.clear()
+        """Drop the trace-layer records (other layers on a shared bus
+        are left alone)."""
+        self.bus.events[:] = [e for e in self.bus.events if e.layer != TRACE_LAYER]
 
     def spans(self, start_cat: str, end_cat: str) -> List[float]:
         """Pair up start/end records in order and return durations."""

@@ -1,0 +1,78 @@
+"""EventBus unit tests: emission, counters, filtering, subscribers,
+run labelling, and message correlation."""
+
+from repro.obs import Event, EventBus, msgid
+
+
+def test_emit_records_typed_event():
+    bus = EventBus()
+    mid = msgid(0, 1, 0, 3)
+    bus.emit(12.5, "dev", "env.arrived", rank=1, msg=mid, detail={"tag": 7})
+    assert len(bus) == 1
+    ev = bus.events[0]
+    assert isinstance(ev, Event)
+    assert (ev.t, ev.layer, ev.kind, ev.rank) == (12.5, "dev", "env.arrived", 1)
+    assert ev.msg == (0, 1, 0, 3)
+    assert ev.detail == {"tag": 7}
+    assert ev.run is None
+
+
+def test_counters_auto_increment_per_layer_kind():
+    bus = EventBus()
+    bus.emit(0.0, "dev", "msg.send")
+    bus.emit(1.0, "dev", "msg.send")
+    bus.emit(2.0, "net", "seg.retx")
+    assert bus.counters.get("dev.msg.send") == 2
+    assert bus.counters.get("net.seg.retx") == 1
+
+
+def test_layer_filter_drops_at_the_door():
+    bus = EventBus(layers={"dev"})
+    bus.emit(0.0, "dev", "msg.send")
+    bus.emit(0.0, "sim", "timer.arm")
+    bus.emit(0.0, "net", "seg.send")
+    assert [e.layer for e in bus] == ["dev"]
+    # dropped events don't count either
+    assert bus.counters.get("sim.timer.arm") == 0
+
+
+def test_subscribe_and_unsubscribe():
+    bus = EventBus()
+    seen = []
+    fn = bus.subscribe(seen.append)
+    bus.emit(0.0, "mpi", "call.enter")
+    bus.unsubscribe(fn)
+    bus.emit(1.0, "mpi", "call.exit")
+    assert [e.kind for e in seen] == ["call.enter"]
+    # unsubscribing twice is harmless
+    bus.unsubscribe(fn)
+
+
+def test_set_run_labels_subsequent_events():
+    bus = EventBus()
+    bus.emit(0.0, "dev", "msg.send")
+    bus.set_run("sweep/loss=0.05")
+    bus.emit(1.0, "dev", "msg.send")
+    assert bus.events[0].run is None
+    assert bus.events[1].run == "sweep/loss=0.05"
+
+
+def test_for_message_collects_one_messages_life():
+    bus = EventBus()
+    mid = msgid(0, 1, 0, 0)
+    other = msgid(1, 0, 0, 0)
+    bus.emit(0.0, "dev", "msg.send", rank=0, msg=mid)
+    bus.emit(1.0, "dev", "env.arrived", rank=1, msg=other)
+    bus.emit(2.0, "dev", "env.arrived", rank=1, msg=mid)
+    assert [e.kind for e in bus.for_message(mid)] == ["msg.send", "env.arrived"]
+
+
+def test_queries_and_clear():
+    bus = EventBus()
+    bus.emit(0.0, "dev", "msg.send")
+    bus.emit(1.0, "net", "seg.send")
+    assert [e.kind for e in bus.by_layer("net")] == ["seg.send"]
+    assert [e.layer for e in bus.by_kind("msg.send")] == ["dev"]
+    bus.clear()
+    assert len(bus) == 0
+    assert bus.counters.get("dev.msg.send") == 0

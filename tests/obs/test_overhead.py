@@ -1,0 +1,34 @@
+"""The disabled bus must cost nothing measurable.
+
+``Simulator.obs`` is ``None`` unless a bus is attached, every emission
+site guards with one attribute load plus a ``None`` check, and the
+kernel perf floors in ``benchmarks/bench_kernel_perf.py`` — captured
+before the instrumentation landed — still hold with the bus disabled.
+The wall-clock check here reruns the cheapest workload against its
+(quick-mode, halved) floor; the full-floor enforcement lives in the CI
+bench job.
+"""
+
+from repro.bench.kernel_perf import FLOORS, run_workload
+from repro.mpi import World
+from repro.sim import Simulator
+
+
+def test_bus_is_absent_by_default():
+    assert Simulator().obs is None
+    world = World(2, platform="meiko")
+    assert world.sim.obs is None
+
+    def main(comm):
+        assert comm.endpoint.sim.obs is None
+        yield from comm.barrier()
+
+    world.run(main)
+
+
+def test_disabled_path_meets_kernel_floor():
+    """timer_churn is the purest kernel hot loop — the workload with the
+    highest event rate and therefore the most sensitive to per-event
+    overhead.  It must still clear its quick-mode floor."""
+    rec = run_workload("timer_churn", quick=True, repeats=1)
+    assert rec["events_per_sec"] >= FLOORS["timer_churn"] * 0.5, rec

@@ -1,0 +1,71 @@
+"""Tracing must be a pure observer: enabling the bus cannot move a
+single simulated microsecond.
+
+These tests rerun the determinism goldens from ``tests/test_determinism``
+with a full (unfiltered) EventBus attached — the pinned outputs must
+stay byte-identical while the bus fills with events.
+"""
+
+import pytest
+
+from repro.bench.harness import mpi_pingpong_rtt
+from repro.mpi import World
+from repro.obs import EventBus
+
+from tests.test_determinism import GOLDEN_FIG02, GOLDEN_RING_TRACE
+
+
+def _ring_trace(platform, obs):
+    world = World(4, platform=platform, seed=3, obs=obs)
+    trace = []
+
+    def main(comm):
+        rank = comm.rank
+        nxt, prv = (rank + 1) % 4, (rank - 1) % 4
+        for i in range(5):
+            if rank % 2 == 0:
+                yield from comm.send(bytes([i] * 64), dest=nxt, tag=i)
+                yield from comm.recv(source=prv, tag=i)
+            else:
+                yield from comm.recv(source=prv, tag=i)
+                yield from comm.send(bytes([i] * 64), dest=nxt, tag=i)
+            trace.append((round(comm.wtime(), 3), rank, i))
+        return None
+
+    world.run(main)
+    return sorted(trace)
+
+
+@pytest.mark.parametrize("platform", sorted(GOLDEN_RING_TRACE))
+def test_traced_ring_matches_golden(platform):
+    """The golden ring trace survives full tracing, and the bus actually
+    observed every layer of the run."""
+    bus = EventBus()
+    assert _ring_trace(platform, bus) == GOLDEN_RING_TRACE[platform]
+    assert len(bus) > 0
+    layers = {e.layer for e in bus}
+    assert "mpi" in layers and "sim" in layers
+    if platform == "meiko":
+        assert "dev" in layers
+    else:
+        assert "net" in layers  # cluster fabrics run the TCP stack
+    # every MPI send got its enter/exit pair
+    assert (bus.counters.get("mpi.call.enter")
+            == bus.counters.get("mpi.call.exit"))
+
+
+def test_traced_pingpong_matches_golden_fig02_point():
+    """The Figure-2 1-byte low-latency point is pinned; tracing the very
+    same measurement must reproduce it exactly."""
+    bus = EventBus()
+    rtt = mpi_pingpong_rtt("meiko", "lowlatency", 1, obs=bus)
+    assert rtt == pytest.approx(GOLDEN_FIG02["MPI(low latency)"][1], abs=1e-9)
+    assert bus.counters.get("dev.msg.send") > 0
+
+
+def test_traced_equals_untraced_on_the_tcp_stack():
+    """Ethernet runs timers and a shared RNG — the sharpest place for an
+    observer effect to show up.  Traced and untraced runs must agree."""
+    untraced = mpi_pingpong_rtt("ethernet", "tcp", 1024)
+    traced = mpi_pingpong_rtt("ethernet", "tcp", 1024, obs=EventBus())
+    assert traced == untraced
