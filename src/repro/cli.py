@@ -20,6 +20,11 @@ Commands
 ``phases``
     Trace a 2-rank ping-pong per message size and print the Table-1
     envelope/match/data phase breakdown from the event bus.
+``fuzz``
+    Differential MPI conformance fuzzer: generate a random program
+    from a seed, run it on every device in the matrix, and assert all
+    produce the identical semantic trace.  ``--corpus ci`` runs the
+    pinned seed corpus; failures are shrunk to minimal repro scripts.
 
 ``pingpong``, ``app``, ``chaos`` and ``phases`` accept
 ``--trace FILE`` (+ ``--trace-format {chrome,jsonl}``) to export the
@@ -36,6 +41,7 @@ from typing import List, Optional
 from repro.bench import figures, harness
 from repro.bench.ascii_chart import ascii_chart
 from repro.bench.tables import format_series, format_table
+from repro.platforms import PLATFORM_DEVICES
 
 __all__ = ["main", "build_parser"]
 
@@ -49,12 +55,6 @@ FIGURES = {
     "fig07": (figures.fig07_linsolve, "procs", False),
     "fig08": (figures.fig08_meiko_nbody, "procs", False),
     "fig09": (figures.fig09_tcp_nbody, "procs", False),
-}
-
-PLATFORM_DEVICES = {
-    "meiko": ("lowlatency", "mpich"),
-    "ethernet": ("tcp", "udp"),
-    "atm": ("tcp", "udp"),
 }
 
 
@@ -137,7 +137,40 @@ def build_parser() -> argparse.ArgumentParser:
     ph.add_argument("--sizes", default="1,16384",
                     help="comma-separated message sizes in bytes")
     _add_trace_args(ph)
+
+    fz = sub.add_parser("fuzz", help="differential MPI conformance fuzzer")
+    fz.add_argument("--seed", type=int, default=None,
+                    help="generate and check one program from this seed")
+    fz.add_argument("--seeds", default=None,
+                    help="comma-separated list of seeds to check")
+    fz.add_argument("--profile", default="mixed",
+                    choices=["mixed", "pt2pt", "collective", "fault"],
+                    help="generator op-mix profile (default: mixed)")
+    fz.add_argument("--nprocs", type=int, default=None,
+                    help="force the rank count (default: seed-derived)")
+    fz.add_argument("--corpus", default=None, choices=["ci"],
+                    help="run the pinned seed corpus instead of --seed(s)")
+    fz.add_argument("--budget", default=None, metavar="DURATION",
+                    help="wall-clock budget, e.g. 60s or 5m (corpus mode)")
+    fz.add_argument("--artifacts", default=None, metavar="DIR",
+                    help="write shrunk repro scripts for failures to DIR")
+    fz.add_argument("--dump-trace", action="store_true",
+                    help="print the canonical reference trace per seed")
     return parser
+
+
+def _parse_budget(text: Optional[str]) -> Optional[float]:
+    if text is None:
+        return None
+    text = text.strip().lower()
+    scale = 1.0
+    if text.endswith("ms"):
+        scale, text = 1e-3, text[:-2]
+    elif text.endswith("s"):
+        scale, text = 1.0, text[:-1]
+    elif text.endswith("m"):
+        scale, text = 60.0, text[:-1]
+    return float(text) * scale
 
 
 def _parse_sizes(text: str) -> List[int]:
@@ -346,6 +379,50 @@ def cmd_phases(args, out) -> int:
     return 0
 
 
+def cmd_fuzz(args, out) -> int:
+    from repro.conformance.corpus import run_corpus
+    from repro.conformance.executor import check_faulty, differential
+    from repro.conformance.grammar import generate
+    from repro.conformance.shrink import shrink, write_artifacts
+
+    if args.corpus is not None:
+        summary = run_corpus(
+            budget_s=_parse_budget(args.budget),
+            artifacts_dir=args.artifacts,
+            out=out,
+        )
+        return 1 if summary["failures"] else 0
+
+    if args.seed is None and args.seeds is None:
+        print("fuzz: one of --seed, --seeds or --corpus is required", file=out)
+        return 2
+    seeds = [args.seed] if args.seed is not None else []
+    if args.seeds:
+        seeds += [int(s) for s in args.seeds.split(",") if s.strip()]
+
+    failed = 0
+    for seed in seeds:
+        program = generate(seed, nprocs=args.nprocs, profile=args.profile)
+        result = differential(program)
+        print(result.summary(), file=out)
+        ok = result.ok
+        if ok and program.fault is not None:
+            fault_result = check_faulty(program)
+            print(fault_result.summary() + " [fault-composed]", file=out)
+            ok = fault_result.ok
+        if args.dump_trace and result.reference is not None:
+            print(result.canons[result.reference], file=out)
+        if ok:
+            continue
+        failed += 1
+        if args.artifacts is not None:
+            small = shrink(program, lambda p: not differential(p).ok)
+            for path in write_artifacts(small, args.artifacts,
+                                        label=f"repro_seed{seed}"):
+                print(f"shrunk repro: {path}", file=out)
+    return 1 if failed else 0
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
@@ -357,6 +434,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "app": cmd_app,
         "chaos": cmd_chaos,
         "phases": cmd_phases,
+        "fuzz": cmd_fuzz,
     }[args.command]
     return handler(args, out)
 

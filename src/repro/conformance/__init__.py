@@ -1,0 +1,41 @@
+"""Differential MPI conformance fuzzing.
+
+One seeded random MPI program, executed on every device the paper
+implements; the semantics (delivered payloads, statuses, matching
+order, collective results) must be byte-identical everywhere — only
+the latencies may differ.  See ``docs/TESTING.md``.
+
+* :mod:`repro.conformance.grammar` — program IR + seeded generator;
+* :mod:`repro.conformance.executor` — interpreter, semantic traces,
+  differential and fault-composed checks;
+* :mod:`repro.conformance.shrink` — delta-debugging minimizer;
+* :mod:`repro.conformance.corpus` — the pinned CI seed corpus;
+* :mod:`repro.conformance.mutations` — deliberately broken devices
+  (test doubles) that the fuzzer must catch.
+"""
+
+from repro.conformance.corpus import CI_CORPUS, run_corpus
+from repro.conformance.executor import (
+    DifferentialResult,
+    canonical_trace,
+    check_faulty,
+    differential,
+    run_program,
+)
+from repro.conformance.grammar import Program, generate
+from repro.conformance.shrink import repro_script, shrink, write_artifacts
+
+__all__ = [
+    "Program",
+    "generate",
+    "run_program",
+    "canonical_trace",
+    "differential",
+    "check_faulty",
+    "DifferentialResult",
+    "shrink",
+    "repro_script",
+    "write_artifacts",
+    "CI_CORPUS",
+    "run_corpus",
+]

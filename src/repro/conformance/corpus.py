@@ -1,0 +1,100 @@
+"""The pinned seed corpus run in CI (``repro fuzz --corpus ci``).
+
+Every entry is a ``(seed, profile)`` pair; the corpus mixes pure
+point-to-point, collective-heavy, mixed, and fault-composed programs.
+The seeds are pinned so a CI run is fully reproducible — when a seed
+fails, the shrunk repro artifacts say exactly why.  Policy: seeds are
+append-only; a failing seed is a bug to fix, never a seed to delete
+(see ``docs/TESTING.md``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence, Tuple
+
+from repro.conformance.executor import check_faulty, differential
+from repro.conformance.grammar import generate
+from repro.conformance.shrink import shrink, write_artifacts
+
+__all__ = ["CI_CORPUS", "run_corpus"]
+
+#: the pinned CI corpus: (seed, profile) — 28 programs mixing
+#: point-to-point, collectives, and fault-composed runs
+CI_CORPUS: List[Tuple[int, str]] = [
+    (1, "mixed"), (2, "mixed"), (3, "mixed"), (4, "mixed"), (5, "mixed"),
+    (6, "mixed"), (7, "mixed"), (8, "mixed"),
+    (11, "pt2pt"), (12, "pt2pt"), (13, "pt2pt"), (14, "pt2pt"),
+    (15, "pt2pt"), (16, "pt2pt"), (17, "pt2pt"), (18, "pt2pt"),
+    (21, "collective"), (22, "collective"), (23, "collective"),
+    (24, "collective"), (25, "collective"), (26, "collective"),
+    (27, "collective"), (28, "collective"),
+    (31, "fault"), (32, "fault"), (33, "fault"), (34, "fault"),
+]
+
+
+def run_corpus(
+    entries: Optional[Sequence[Tuple[int, str]]] = None,
+    budget_s: Optional[float] = None,
+    artifacts_dir: Optional[str] = None,
+    out=None,
+    matrix=None,
+    shrink_budget: int = 120,
+) -> dict:
+    """Run the corpus; return a summary dict.
+
+    Stops early (and says so) when ``budget_s`` wall-clock seconds run
+    out — a budgeted run that found no failure reports how much of the
+    corpus it actually covered rather than claiming full coverage.
+    Failures are shrunk and written to ``artifacts_dir`` when given.
+    """
+    entries = CI_CORPUS if entries is None else list(entries)
+    started = time.monotonic()
+    ran, failures, artifacts = 0, [], []
+    for seed, profile in entries:
+        if budget_s is not None and time.monotonic() - started > budget_s:
+            break
+        program = generate(seed, profile=profile)
+        result = differential(program, matrix=matrix)
+        fault_result = None
+        if result.ok and program.fault is not None:
+            fault_result = check_faulty(program)
+        ran += 1
+        failed = not result.ok or (fault_result is not None and not fault_result.ok)
+        line = result.summary() if not (fault_result and not fault_result.ok) \
+            else fault_result.summary() + " [fault-composed]"
+        if out is not None:
+            print(f"[{ran}/{len(entries)}] {profile}: {line}", file=out)
+        if not failed:
+            continue
+        failures.append((seed, profile, line))
+        if artifacts_dir is not None:
+            failing = result if not result.ok else fault_result
+
+            def still_fails(candidate, _fault=(failing is fault_result)):
+                if _fault:
+                    return candidate.fault is not None and not check_faulty(candidate).ok
+                return not differential(candidate, matrix=matrix).ok
+
+            small = shrink(program, still_fails, max_evals=shrink_budget)
+            artifacts += write_artifacts(
+                small, artifacts_dir, label=f"repro_{profile}_seed{seed}"
+            )
+    summary = {
+        "total": len(entries),
+        "ran": ran,
+        "passed": ran - len(failures),
+        "failures": failures,
+        "artifacts": artifacts,
+        "elapsed_s": round(time.monotonic() - started, 2),
+        "truncated": ran < len(entries),
+    }
+    if out is not None:
+        status = "FAIL" if failures else "OK"
+        note = " (budget exhausted before full corpus)" if summary["truncated"] else ""
+        print(
+            f"corpus {status}: {summary['passed']}/{ran} passed "
+            f"in {summary['elapsed_s']}s{note}",
+            file=out,
+        )
+    return summary

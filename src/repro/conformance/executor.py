@@ -1,0 +1,459 @@
+"""Differential execution: run a generated program on every device and
+extract a device-independent *semantic trace*.
+
+The trace records, per rank and in **program order** (never completion
+order — waitany/waitsome completion indices are timing artifacts):
+
+* every receive: resolved ``Status`` source/tag/byte-count plus a
+  sha256 digest of the delivered payload;
+* every probe: the probed source/tag/count;
+* every collective: a digest of this rank's result.
+
+Two runs agree iff their canonical JSON traces are byte-identical.
+Latency differences between devices never enter the trace.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.conformance.grammar import (
+    CollectiveRound,
+    ExchangeRound,
+    PingPongRound,
+    Program,
+    payload_array,
+    payload_bytes,
+)
+from repro.errors import ConfigurationError
+from repro.mpi import World
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG
+
+__all__ = [
+    "run_program",
+    "canonical_trace",
+    "differential",
+    "check_faulty",
+    "DifferentialResult",
+    "FAULT_PLATFORMS",
+]
+
+#: platforms where lossy runs recover (RUDP/TCP retransmission); the
+#: Meiko has no retransmit path, so fault-composed runs are cluster-only
+FAULT_PLATFORMS = ("atm", "ethernet")
+
+_NP_DTYPES = {"int": np.int32, "double": np.float64, "long": np.int64}
+
+
+def _digest(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()[:16]
+
+
+def _buf_digest(buf) -> str:
+    if isinstance(buf, np.ndarray):
+        return _digest(buf.tobytes())
+    return _digest(bytes(buf))
+
+
+# ------------------------------------------------------------ rank programs
+def _recv_buffer(t):
+    if t.dtype == "byte":
+        return bytearray(t.nelems)
+    return np.zeros(t.nelems, dtype=_NP_DTYPES[t.dtype])
+
+
+def _complete(comm, strategy: str, reqs: List[Any]):
+    """Complete *reqs* with the round's strategy; statuses align with
+    the request list regardless of completion order."""
+    if not reqs:
+        return []
+    statuses: List[Any] = [None] * len(reqs)
+    if strategy == "ordered":
+        for i, r in enumerate(reqs):
+            statuses[i] = yield from comm.wait(r)
+    elif strategy == "waitany":
+        remaining = list(range(len(reqs)))
+        while remaining:
+            idx, st = yield from comm.waitany([reqs[i] for i in remaining])
+            statuses[remaining[idx]] = st
+            del remaining[idx]
+    elif strategy == "waitsome":
+        remaining = list(range(len(reqs)))
+        while remaining:
+            idxs, sts = yield from comm.waitsome([reqs[i] for i in remaining])
+            done = set(idxs)
+            for j, st in zip(idxs, sts):
+                statuses[remaining[j]] = st
+            remaining = [r for i, r in enumerate(remaining) if i not in done]
+    elif strategy == "test_then_waitall":
+        pending = []
+        for i, r in enumerate(reqs):
+            done, st = yield from comm.test(r)
+            if done:
+                statuses[i] = st
+            else:
+                pending.append(i)
+        if pending:
+            sts = yield from comm.waitall([reqs[i] for i in pending])
+            for i, st in zip(pending, sts):
+                statuses[i] = st
+    else:  # waitall (the default)
+        statuses = yield from comm.waitall(reqs)
+    return statuses
+
+
+def _exec_exchange(comm, rnd: ExchangeRound, program: Program, rec: List[dict]):
+    me = comm.rank
+    incoming = [t for t in rnd.transfers if t.dst == me]
+    outgoing = [t for t in rnd.transfers if t.src == me]
+    results: Dict[Tuple[int, int], dict] = {}
+
+    # phase 1: post every receive without blocking
+    recv_items: List[Tuple[Any, int, Any, Any]] = []  # (transfer, rep, req, buf)
+    persistent: List[Tuple[Any, Any, Any]] = []       # (transfer, handle, buf)
+    for t in incoming:
+        source = ANY_SOURCE if t.any_source else t.src
+        tag = ANY_TAG if t.any_tag else t.tag
+        if t.persistent_recv:
+            buf = _recv_buffer(t)
+            handle = comm.recv_init(buf, source=source, tag=tag)
+            yield from comm.start(handle)
+            recv_items.append((t, 0, handle, buf))
+            persistent.append((t, handle, buf))
+        else:
+            for rep in range(t.reps):
+                if t.alloc_recv:
+                    req = yield from comm.irecv(source=source, tag=tag)
+                    recv_items.append((t, rep, req, None))
+                else:
+                    buf = _recv_buffer(t)
+                    req = yield from comm.irecv(source=source, tag=tag, buf=buf)
+                    recv_items.append((t, rep, req, buf))
+
+    # phase 2: sends (blocking ones are safe — all receivers reach
+    # their phase 1 without blocking)
+    send_reqs: List[Any] = []
+    for t in outgoing:
+        if t.send_kind in ("isend", "issend"):
+            for rep in range(t.reps):
+                data = _send_payload(program, t, rep)
+                if t.send_kind == "isend":
+                    req = yield from comm.isend(data, t.dst, t.tag)
+                else:
+                    req = yield from comm.issend(data, t.dst, t.tag)
+                send_reqs.append(req)
+        elif t.send_kind == "persistent":
+            arr = _send_payload(program, t, 0)
+            handle = comm.send_init(arr, t.dst, t.tag)
+            for rep in range(t.reps):
+                if rep:
+                    arr[:] = _send_payload(program, t, rep)
+                yield from comm.start(handle)
+                yield from comm.wait(handle)
+        else:  # send / ssend / bsend
+            fn = getattr(comm, t.send_kind)
+            for rep in range(t.reps):
+                yield from fn(_send_payload(program, t, rep), t.dst, t.tag)
+
+    # phase 3: complete everything with this rank's strategy
+    reqs = [item[2] for item in recv_items] + send_reqs
+    strategy = rnd.strategies.get(me, "waitall")
+    statuses = yield from _complete(comm, strategy, reqs)
+    for (t, rep, req, buf), st in zip(recv_items, statuses):
+        data = req.data if buf is None else buf
+        results[(t.tid, rep)] = {
+            "e": "recv", "tid": t.tid, "rep": rep, "src": st.source,
+            "tag": st.tag, "n": st.count_bytes, "d": _buf_digest(data),
+        }
+    # remaining repetitions of persistent receives: restart/wait chains
+    # (each sender's matching rep is already in flight or blocked in a
+    # blocking send, so the chain always progresses)
+    for t, handle, buf in persistent:
+        for rep in range(1, t.reps):
+            yield from comm.start(handle)
+            st = yield from comm.wait(handle)
+            results[(t.tid, rep)] = {
+                "e": "recv", "tid": t.tid, "rep": rep, "src": st.source,
+                "tag": st.tag, "n": st.count_bytes, "d": _buf_digest(buf),
+            }
+    for key in sorted(results):
+        rec.append(results[key])
+
+
+def _send_payload(program: Program, t, rep: int):
+    if t.dtype == "byte":
+        return payload_bytes(program.seed, t.tid, rep, t.nelems)
+    return payload_array(program.seed, t.tid, rep, t.dtype, t.nelems)
+
+
+def _exec_pingpong(comm, rnd: PingPongRound, program: Program, rec: List[dict]):
+    if comm.rank == rnd.src:
+        send = getattr(comm, rnd.send_kind)
+        yield from send(
+            payload_bytes(program.seed, rnd.tid, 0, rnd.nbytes), rnd.dst, rnd.tag
+        )
+        data, st = yield from comm.recv(source=rnd.dst, tag=rnd.reply_tag)
+        rec.append({
+            "e": "recv", "tid": rnd.tid, "rep": 1, "src": st.source,
+            "tag": st.tag, "n": st.count_bytes, "d": _buf_digest(data),
+        })
+    elif comm.rank == rnd.dst:
+        if rnd.use_probe:
+            tag = ANY_TAG if rnd.probe_any_tag else rnd.tag
+            st = yield from comm.probe(source=rnd.src, tag=tag)
+            rec.append({
+                "e": "probe", "tid": rnd.tid, "src": st.source,
+                "tag": st.tag, "n": st.count_bytes,
+            })
+        data, st = yield from comm.recv(source=rnd.src, tag=rnd.tag)
+        rec.append({
+            "e": "recv", "tid": rnd.tid, "rep": 0, "src": st.source,
+            "tag": st.tag, "n": st.count_bytes, "d": _buf_digest(data),
+        })
+        yield from getattr(comm, rnd.send_kind)(
+            payload_bytes(program.seed, rnd.tid, 1, rnd.reply_nbytes),
+            rnd.src, rnd.reply_tag,
+        )
+
+
+def _exec_collective(comm, rnd: CollectiveRound, program: Program, rec: List[dict]):
+    from repro.mpi.collectives import MAX, MIN, PROD, SUM
+
+    ops = {"sum": SUM, "max": MAX, "min": MIN, "prod": PROD}
+    seed, cid, rank, size = program.seed, rnd.cid, comm.rank, comm.size
+    ev = {"e": "coll", "cid": cid, "op": rnd.op}
+    if rnd.op == "barrier":
+        yield from comm.barrier()
+    elif rnd.op == "bcast":
+        if rank == rnd.root:
+            buf = payload_array(seed, cid, 0, rnd.dtype, rnd.nelems)
+        else:
+            buf = np.zeros(rnd.nelems, dtype=_NP_DTYPES[rnd.dtype])
+        yield from comm.bcast(buf, root=rnd.root)
+        ev["d"] = _digest(buf.tobytes())
+    elif rnd.op in ("reduce", "allreduce", "scan", "exscan", "reduce_scatter"):
+        send = payload_array(seed, cid, rank, rnd.dtype, rnd.nelems)
+        if rnd.op == "reduce":
+            result = yield from comm.reduce(send, root=rnd.root, op=ops[rnd.redop])
+        elif rnd.op == "allreduce":
+            result = yield from comm.allreduce(send, op=ops[rnd.redop])
+        elif rnd.op == "scan":
+            result = yield from comm.scan(send, op=ops[rnd.redop])
+        elif rnd.op == "exscan":
+            result = yield from comm.exscan(send, op=ops[rnd.redop])
+        else:
+            result = yield from comm.reduce_scatter(send, op=ops[rnd.redop])
+        ev["d"] = "-" if result is None else _digest(np.asarray(result).tobytes())
+    elif rnd.op in ("gather", "allgather"):
+        obj = payload_bytes(seed, cid, rank, rnd.nelems)
+        if rnd.op == "gather":
+            out = yield from comm.gather(obj, root=rnd.root)
+        else:
+            out = yield from comm.allgather(obj)
+        ev["d"] = "-" if out is None else _digest(b"|".join(out))
+    elif rnd.op == "scatter":
+        chunks = None
+        if rank == rnd.root:
+            chunks = [
+                payload_bytes(seed, cid, 1000 + r, rnd.nelems) for r in range(size)
+            ]
+        mine = yield from comm.scatter(chunks, root=rnd.root)
+        ev["d"] = _digest(mine)
+    elif rnd.op == "alltoall":
+        objs = [
+            payload_bytes(seed, cid, rank * size + dst, rnd.nelems)
+            for dst in range(size)
+        ]
+        out = yield from comm.alltoall(objs)
+        ev["d"] = _digest(b"|".join(out))
+    else:  # pragma: no cover - validate() rejects unknown ops
+        raise ConfigurationError(f"unknown collective op {rnd.op!r}")
+    rec.append(ev)
+
+
+def _rank_main(comm, program: Program, rec: List[dict]):
+    bsend_bytes = sum(
+        t.nbytes() * t.reps
+        for rnd in program.rounds if rnd.kind == "exchange"
+        for t in rnd.transfers
+        if t.src == comm.rank and t.send_kind == "bsend"
+    )
+    if bsend_bytes or any(
+        t.send_kind == "bsend" and t.src == comm.rank
+        for rnd in program.rounds if rnd.kind == "exchange"
+        for t in rnd.transfers
+    ):
+        comm.buffer_attach(bsend_bytes + 8192)
+    for rnd in program.rounds:
+        if rnd.kind == "exchange":
+            yield from _exec_exchange(comm, rnd, program, rec)
+        elif rnd.kind == "pingpong":
+            yield from _exec_pingpong(comm, rnd, program, rec)
+        else:
+            yield from _exec_collective(comm, rnd, program, rec)
+
+
+# ------------------------------------------------------------------ running
+def run_program(
+    program: Program,
+    platform: str,
+    device: str,
+    fault: bool = False,
+    world_mutator: Optional[Callable[[World], None]] = None,
+    limit: float = 2e9,
+) -> dict:
+    """Execute *program* on (platform, device); return its semantic trace.
+
+    With ``fault=True`` the program's fault spec is applied (cluster
+    platforms only — the Meiko has no retransmission path) with a
+    retransmit-friendly kernel timer, exactly like the chaos harness.
+    """
+    faults = None
+    kw: Dict[str, Any] = {}
+    seed = 0
+    if fault:
+        if program.fault is None:
+            raise ConfigurationError("program has no fault spec")
+        if platform not in FAULT_PLATFORMS:
+            raise ConfigurationError(
+                f"fault-composed runs need a cluster platform, not {platform!r}"
+            )
+        from repro.faults import FaultPlan, PacketDuplication, PacketLoss
+        from repro.net.kernel import KernelParams
+
+        spec = program.fault
+        rules = [PacketLoss(probability=spec["loss"])]
+        if spec.get("dup"):
+            rules.append(PacketDuplication(probability=spec["dup"]))
+        faults = FaultPlan.of(*rules)
+        kw["kernel_params"] = KernelParams().with_overrides(rto=8_000.0)
+        seed = spec.get("seed", 0)
+    world = World(
+        program.nprocs, platform=platform, device=device, seed=seed,
+        faults=faults, **kw,
+    )
+    if world_mutator is not None:
+        world_mutator(world)
+    recs: List[List[dict]] = [[] for _ in range(program.nprocs)]
+
+    def main(comm):
+        yield from _rank_main(comm, program, recs[comm.rank])
+
+    world.run(main, limit=limit)
+    return {"nprocs": program.nprocs, "seed": program.seed, "ranks": recs}
+
+
+def canonical_trace(trace: dict) -> str:
+    """Canonical JSON — byte-identical iff the semantics agree."""
+    return json.dumps(trace, sort_keys=True, separators=(",", ":"))
+
+
+# ------------------------------------------------------------- differential
+@dataclass
+class DifferentialResult:
+    """Outcome of one program across the device matrix."""
+
+    program: Program
+    ok: bool
+    reference: Optional[str] = None            #: "platform-device" key
+    canons: Dict[str, str] = field(default_factory=dict)
+    errors: Dict[str, str] = field(default_factory=dict)
+    mismatched: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"seed {self.program.seed}: OK ({len(self.canons)} devices agree)"
+        parts = []
+        if self.mismatched:
+            parts.append(f"mismatch on {', '.join(self.mismatched)}")
+        for key, err in self.errors.items():
+            parts.append(f"{key}: {err}")
+        return f"seed {self.program.seed}: FAIL ({'; '.join(parts)})"
+
+
+def differential(
+    program: Program,
+    matrix: Optional[Sequence[Tuple[str, str]]] = None,
+    mutators: Optional[Dict[str, Callable[[World], None]]] = None,
+) -> DifferentialResult:
+    """Run *program* on every (platform, device) of *matrix* and demand
+    byte-identical semantic traces.
+
+    ``mutators`` maps "platform-device" keys to world mutation hooks —
+    used by the mutation tests to verify a deliberately broken device
+    is caught.
+    """
+    if matrix is None:
+        from repro.platforms import DEVICE_MATRIX
+
+        matrix = DEVICE_MATRIX
+    canons: Dict[str, str] = {}
+    errors: Dict[str, str] = {}
+    for platform, device in matrix:
+        key = f"{platform}-{device}"
+        mut = (mutators or {}).get(key)
+        try:
+            trace = run_program(program, platform, device, world_mutator=mut)
+            canons[key] = canonical_trace(trace)
+        except Exception as exc:  # noqa: BLE001 - any failure is a finding
+            errors[key] = f"{type(exc).__name__}: {exc}"
+    reference = next(iter(canons), None)
+    mismatched = [
+        key for key, canon in canons.items()
+        if reference is not None and canon != canons[reference]
+    ]
+    ok = not errors and not mismatched and bool(canons)
+    return DifferentialResult(
+        program=program, ok=ok, reference=reference, canons=canons,
+        errors=errors, mismatched=mismatched,
+    )
+
+
+def check_faulty(
+    program: Program,
+    matrix: Optional[Sequence[Tuple[str, str]]] = None,
+) -> DifferentialResult:
+    """Fault-composed mode: a lossy run must converge to the fault-free
+    semantic trace or raise the documented ``CommError`` /
+    ``RetransmitExhausted``.  Restricted to the cluster fabrics, where
+    RUDP/TCP recovery is deterministic."""
+    from repro.errors import RetransmitExhausted
+    from repro.mpi.exceptions import CommError
+
+    if matrix is None:
+        from repro.platforms import PLATFORM_DEVICES
+
+        matrix = [
+            (p, d) for p in FAULT_PLATFORMS for d in PLATFORM_DEVICES[p]
+        ]
+    canons: Dict[str, str] = {}
+    errors: Dict[str, str] = {}
+    mismatched: List[str] = []
+    reference = None
+    for platform, device in matrix:
+        key = f"{platform}-{device}"
+        clean = canonical_trace(run_program(program, platform, device))
+        if reference is None:
+            reference = key
+        canons[key] = clean
+        try:
+            lossy = canonical_trace(
+                run_program(program, platform, device, fault=True)
+            )
+        except (CommError, RetransmitExhausted):
+            continue  # the documented failure mode — acceptable
+        except Exception as exc:  # noqa: BLE001 - undocumented escape
+            errors[key] = f"{type(exc).__name__}: {exc}"
+            continue
+        if lossy != clean:
+            mismatched.append(key)
+    ok = not errors and not mismatched and bool(canons)
+    return DifferentialResult(
+        program=program, ok=ok, reference=reference, canons=canons,
+        errors=errors, mismatched=mismatched,
+    )

@@ -1,0 +1,59 @@
+"""Deliberately broken devices — mutation test doubles.
+
+The fuzzer's value proposition is that it *catches* semantic bugs, so
+these mutants implement real MPI violations for the tests to verify
+against: a differential run with one mutated device must fail, and the
+shrinker must reduce the failure to a tiny repro.
+
+The mutants subvert :class:`repro.mpi.matching.MatchQueues`, the
+matching engine shared by the low-latency and cluster devices (the
+MPICH device matches Elan-side and is not mutable this way).
+"""
+
+from __future__ import annotations
+
+from repro.mpi.constants import ANY_TAG, INTERNAL_TAG_BASE
+from repro.mpi.matching import MatchQueues
+
+__all__ = ["OvertakingMatchQueues", "mutate_overtaking"]
+
+
+class OvertakingMatchQueues(MatchQueues):
+    """Violates non-overtaking: an arriving envelope matches the
+    *newest* compatible posted receive instead of the oldest, so two
+    same-(source, tag) messages land in swapped receives."""
+
+    def arrive(self, arrival):
+        env = arrival.envelope
+        newest = None
+        for e in self._posted_fifo:
+            if not e.alive:
+                continue
+            req = e.item
+            if env.tag >= INTERNAL_TAG_BASE and req.tag == ANY_TAG:
+                continue  # keep collective traffic correctly matched
+            if self._request_accepts(req, env):
+                newest = e
+        if newest is None:
+            return super().arrive(arrival)
+        self.total_arrivals += 1
+        req = newest.item
+        newest.alive = False
+        self._posted_live -= 1
+        del self._posted_by_req[id(req)]
+        return req, 1
+
+
+def mutate_overtaking(world) -> None:
+    """World mutator: swap every endpoint's match queues for the
+    overtaking mutant (endpoints without a main-processor queue — the
+    MPICH device — are left alone)."""
+    for ep in world.endpoints:
+        queues = getattr(ep, "queues", None)
+        if isinstance(queues, MatchQueues):
+            queues.__class__ = OvertakingMatchQueues
+
+
+MUTATORS: dict = {
+    "overtaking": mutate_overtaking,
+}

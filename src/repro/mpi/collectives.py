@@ -61,6 +61,30 @@ TAG_OBJ = INTERNAL_TAG_BASE + 8
 TAG_SCAN = INTERNAL_TAG_BASE + 9
 TAG_RSCAT = INTERNAL_TAG_BASE + 10
 
+# Every collective invocation gets its own tag *generation*: the
+# per-communicator sequence number (Communicator._coll_seq) selects a
+# block of _SEQ_SLOTS tags above _SEQ_BASE, so two collectives on the
+# same communicator — even back-to-back ones whose traffic overlaps in
+# flight — can never cross-match each other's messages.  The window
+# wraps after _SEQ_WINDOW generations; two collectives that many calls
+# apart can never be concurrently in flight.  The resulting tags stay
+# inside [INTERNAL_TAG_BASE, 2**31) so they fit the devices' signed
+# 32-bit wire fields, stay invisible to user ANY_TAG receives, and
+# clear the device-internal tags (e.g. the Meiko hardware-broadcast tag
+# at INTERNAL_TAG_BASE + 101) parked below _SEQ_BASE.
+_SEQ_BASE = 1024
+_SEQ_SLOTS = 16
+_SEQ_WINDOW = 2 ** 20
+
+
+def _coll_tag(comm, base: int) -> int:
+    """Draw this communicator's next collective sequence number and
+    scope *base* (one of the TAG_* constants) to that generation."""
+    seq = comm._coll_seq
+    comm._coll_seq = seq + 1
+    slot = base - INTERNAL_TAG_BASE
+    return INTERNAL_TAG_BASE + _SEQ_BASE + slot + _SEQ_SLOTS * (seq % _SEQ_WINDOW)
+
 
 class Op:
     """A reduction operator over NumPy arrays (elementwise, associative)."""
@@ -98,6 +122,9 @@ def bcast(comm, buf, root: int, count: int, datatype, style=None):
     * ``linear`` (TCP/UDP cluster): root sends to each rank in turn
       ("a succession of point-to-point messages").
     """
+    # drawn unconditionally (even for the hardware path and size 1) so
+    # every member's _coll_seq advances identically per collective call
+    tag = _coll_tag(comm, TAG_BCAST)
     if comm.size == 1:
         return buf
     if style is None:
@@ -112,9 +139,9 @@ def bcast(comm, buf, root: int, count: int, datatype, style=None):
         if comm.rank == root:
             for r in range(comm.size):
                 if r != root:
-                    yield from comm.send(buf, r, TAG_BCAST, count, datatype)
+                    yield from comm.send(buf, r, tag, count, datatype)
         else:
-            yield from comm.recv(source=root, tag=TAG_BCAST, buf=buf, count=count,
+            yield from comm.recv(source=root, tag=tag, buf=buf, count=count,
                                  datatype=datatype)
         return buf
     # binomial tree (the classic MPICH algorithm)
@@ -124,7 +151,7 @@ def bcast(comm, buf, root: int, count: int, datatype, style=None):
     while mask < size:
         if vrank & mask:
             src = (vrank - mask + root) % size
-            yield from comm.recv(source=src, tag=TAG_BCAST, buf=buf, count=count,
+            yield from comm.recv(source=src, tag=tag, buf=buf, count=count,
                                  datatype=datatype)
             break
         mask <<= 1
@@ -132,7 +159,7 @@ def bcast(comm, buf, root: int, count: int, datatype, style=None):
     while mask > 0:
         if vrank + mask < size:
             dst = (vrank + mask + root) % size
-            yield from comm.send(buf, dst, TAG_BCAST, count, datatype)
+            yield from comm.send(buf, dst, tag, count, datatype)
         mask >>= 1
     return buf
 
@@ -140,6 +167,7 @@ def bcast(comm, buf, root: int, count: int, datatype, style=None):
 # -------------------------------------------------------------------- barrier
 def barrier(comm):
     """Dissemination barrier: ⌈log₂P⌉ rounds of pairwise messages."""
+    tag = _coll_tag(comm, TAG_BARRIER)
     size, rank = comm.size, comm.rank
     if size == 1:
         return
@@ -147,8 +175,8 @@ def barrier(comm):
     while offset < size:
         dst = (rank + offset) % size
         src = (rank - offset) % size
-        req = yield from comm.isend(b"", dst, TAG_BARRIER)
-        yield from comm.recv(source=src, tag=TAG_BARRIER)
+        req = yield from comm.isend(b"", dst, tag)
+        yield from comm.recv(source=src, tag=tag)
         yield from comm.wait(req)
         offset <<= 1
 
@@ -158,6 +186,7 @@ def reduce(comm, sendbuf, root: int, op: Op):
     """Binomial-tree reduction to *root*; returns the result there."""
     if not isinstance(sendbuf, np.ndarray):
         raise MPIError("reduce requires a NumPy array buffer")
+    tag = _coll_tag(comm, TAG_REDUCE)
     size, rank = comm.size, comm.rank
     result = np.array(sendbuf, copy=True)
     if size == 1:
@@ -167,13 +196,13 @@ def reduce(comm, sendbuf, root: int, op: Op):
     while mask < size:
         if vrank & mask:
             parent = (vrank - mask + root) % size
-            yield from comm.send(result, parent, TAG_REDUCE)
+            yield from comm.send(result, parent, tag)
             return None
         peer = vrank + mask
         if peer < size:
             partial = np.empty_like(result)
             src = (peer + root) % size
-            yield from comm.recv(source=src, tag=TAG_REDUCE, buf=partial)
+            yield from comm.recv(source=src, tag=tag, buf=partial)
             result = op(result, partial)
         mask <<= 1
     return result if rank == root else None
@@ -196,13 +225,14 @@ def scan(comm, sendbuf, op: Op):
     op(sendbuf_0, ..., sendbuf_r).  Linear chain algorithm."""
     if not isinstance(sendbuf, np.ndarray):
         raise MPIError("scan requires a NumPy array buffer")
+    tag = _coll_tag(comm, TAG_SCAN)
     result = np.array(sendbuf, copy=True)
     if comm.rank > 0:
         partial = np.empty_like(result)
-        yield from comm.recv(source=comm.rank - 1, tag=TAG_SCAN, buf=partial)
+        yield from comm.recv(source=comm.rank - 1, tag=tag, buf=partial)
         result = op(partial, result)
     if comm.rank < comm.size - 1:
-        yield from comm.send(result, comm.rank + 1, TAG_SCAN)
+        yield from comm.send(result, comm.rank + 1, tag)
     return result
 
 
@@ -211,15 +241,16 @@ def exscan(comm, sendbuf, op: Op):
     op(sendbuf_0, ..., sendbuf_{r-1}); rank 0 gets None."""
     if not isinstance(sendbuf, np.ndarray):
         raise MPIError("exscan requires a NumPy array buffer")
+    tag = _coll_tag(comm, TAG_SCAN)
     prefix = None
     if comm.rank > 0:
         prefix = np.empty_like(np.asarray(sendbuf))
-        yield from comm.recv(source=comm.rank - 1, tag=TAG_SCAN, buf=prefix)
+        yield from comm.recv(source=comm.rank - 1, tag=tag, buf=prefix)
     if comm.rank < comm.size - 1:
         outgoing = (
             np.array(sendbuf, copy=True) if prefix is None else op(prefix, sendbuf)
         )
-        yield from comm.send(outgoing, comm.rank + 1, TAG_SCAN)
+        yield from comm.send(outgoing, comm.rank + 1, tag)
     return prefix
 
 
@@ -265,27 +296,29 @@ def _recv_obj(comm, source: int, tag: int):
 
 def gather(comm, obj: Any, root: int) -> Optional[List[Any]]:
     """Gather one object per rank to *root* (rank order)."""
+    tag = _coll_tag(comm, TAG_GATHER)
     if comm.rank == root:
         out: List[Any] = [None] * comm.size
         out[root] = obj
         for r in range(comm.size):
             if r != root:
-                out[r], _ = yield from _recv_obj(comm, r, TAG_GATHER)
+                out[r], _ = yield from _recv_obj(comm, r, tag)
         return out
-    yield from _send_obj(comm, obj, root, TAG_GATHER)
+    yield from _send_obj(comm, obj, root, tag)
     return None
 
 
 def scatter(comm, objs: Optional[List[Any]], root: int) -> Any:
     """Scatter a list of per-rank objects from *root*."""
+    tag = _coll_tag(comm, TAG_SCATTER)
     if comm.rank == root:
         if objs is None or len(objs) != comm.size:
             raise MPIError(f"scatter needs one object per rank ({comm.size})")
         for r in range(comm.size):
             if r != root:
-                yield from _send_obj(comm, objs[r], r, TAG_SCATTER)
+                yield from _send_obj(comm, objs[r], r, tag)
         return objs[root]
-    obj, _ = yield from _recv_obj(comm, root, TAG_SCATTER)
+    obj, _ = yield from _recv_obj(comm, root, tag)
     return obj
 
 
@@ -295,6 +328,7 @@ def allgather(comm, obj: Any) -> List[Any]:
 
 
 def allgather_obj(comm, obj: Any, tag: int = TAG_OBJ) -> List[Any]:
+    tag = _coll_tag(comm, tag)
     size, rank = comm.size, comm.rank
     out: List[Any] = [None] * size
     out[rank] = obj
@@ -313,6 +347,7 @@ def allgather_obj(comm, obj: Any, tag: int = TAG_OBJ) -> List[Any]:
 
 def alltoall(comm, objs: List[Any]) -> List[Any]:
     """Pairwise-exchange alltoall: objs[r] goes to rank r."""
+    tag = _coll_tag(comm, TAG_ALLTOALL)
     size, rank = comm.size, comm.rank
     if len(objs) != size:
         raise MPIError(f"alltoall needs one object per rank ({size})")
@@ -321,7 +356,7 @@ def alltoall(comm, objs: List[Any]) -> List[Any]:
     for offset in range(1, size):
         dst = (rank + offset) % size
         src = (rank - offset) % size
-        req = yield from _isend_obj(comm, objs[dst], dst, TAG_ALLTOALL)
-        out[src], _ = yield from _recv_obj(comm, src, TAG_ALLTOALL)
+        req = yield from _isend_obj(comm, objs[dst], dst, tag)
+        out[src], _ = yield from _recv_obj(comm, src, tag)
         yield from comm.wait(req)
     return out

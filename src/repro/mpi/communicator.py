@@ -71,6 +71,13 @@ class Communicator:
             )
         self.size = group.size
         self._creation_counter = 0
+        #: per-communicator collective sequence number — every collective
+        #: call draws one, giving each invocation its own internal tag
+        #: generation so back-to-back collectives can never cross-match
+        #: (see collectives._coll_tag).  All members of a communicator
+        #: execute the same collectives in the same order, so the
+        #: per-rank counters stay in lock-step without any traffic.
+        self._coll_seq = 0
         #: ERRORS_ARE_FATAL (default) or ERRORS_RETURN
         self.errhandler = ERRORS_ARE_FATAL
 

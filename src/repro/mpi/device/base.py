@@ -155,6 +155,18 @@ class Endpoint:
             if r.complete:
                 r.raise_if_failed()
 
+    def finalize(self):
+        """Generator: drain transfers this rank still owes the network.
+
+        MPI_Finalize semantics — a buffered send completes locally while
+        its wire transfer may still be parked on flow control (envelope
+        slots, connection credits).  A rank that makes no further MPI
+        calls would strand those queued transfers, deadlocking the
+        receiver; drive progress until the local send queue is empty.
+        """
+        while any(q for q in getattr(self, "sendq", {}).values()):
+            yield from self._progress(block=True)
+
     @staticmethod
     def _satisfied(reqs: Sequence[Request], mode: str) -> bool:
         if mode == "all":

@@ -203,10 +203,12 @@ class MpichEndpoint(Endpoint):
         # waitany: race the primary events, then finalize the winner
         if any(r.complete for r in reqs):
             return
+        # a handle may have completed between posting and this call (its
+        # done event fired with no waiter) — only block when none is ready
         waits = {}
-        for req in reqs:
-            handle, _ack = req._device_state
-            if not handle.complete:
+        if not any(req._device_state[0].complete for req in reqs):
+            for req in reqs:
+                handle, _ack = req._device_state
                 waits[req] = handle.done.wait()
         if waits:
             yield self.sim.any_of(list(waits.values()))

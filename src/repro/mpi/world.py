@@ -142,8 +142,16 @@ class World:
         * exceeding *limit* raises :class:`ConfigurationError`.
         """
         ranks = list(range(self.nprocs)) if ranks is None else ranks
+
+        def rank_body(comm):
+            # run the user program, then drain transfers the rank still
+            # owes the network (buffered sends parked on flow control)
+            result = yield from main(comm, *args)
+            yield from comm.endpoint.finalize()
+            return result
+
         procs = [
-            self.sim.process(main(self.comms[r], *args), name=f"rank{r}") for r in ranks
+            self.sim.process(rank_body(self.comms[r]), name=f"rank{r}") for r in ranks
         ]
         sim = self.sim
         obs = sim.obs

@@ -17,9 +17,31 @@ from typing import Any, List, Optional
 from repro.errors import ConfigurationError
 from repro.sim import Simulator
 
-__all__ = ["Platform", "build_platform", "DEFAULT_DEVICES"]
+__all__ = [
+    "Platform",
+    "build_platform",
+    "DEFAULT_DEVICES",
+    "PLATFORM_DEVICES",
+    "DEVICE_MATRIX",
+]
 
 DEFAULT_DEVICES = {"meiko": "lowlatency", "atm": "tcp", "ethernet": "tcp"}
+
+#: every device available on each platform (the default listed first)
+PLATFORM_DEVICES = {
+    "meiko": ("lowlatency", "mpich"),
+    "atm": ("tcp", "udp"),
+    "ethernet": ("tcp", "udp"),
+}
+
+#: the full (platform, device) matrix — the five device implementations
+#: of the paper (lowlatency, mpich, and the cluster tcp/udp endpoints on
+#: both fabrics).  Test fixtures and the conformance fuzzer iterate this.
+DEVICE_MATRIX = tuple(
+    (platform, device)
+    for platform in ("meiko", "atm", "ethernet")
+    for device in PLATFORM_DEVICES[platform]
+)
 
 
 @dataclass

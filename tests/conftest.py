@@ -1,12 +1,26 @@
-"""Repo-wide test fixtures: device parametrizations and world runner."""
+"""Repo-wide test fixtures: device parametrizations and world runner.
+
+The device lists are derived from :data:`repro.platforms.DEVICE_MATRIX`
+— the single source of truth for the paper's implementation matrix —
+so a platform or device added there is automatically covered by every
+parametrized test and by the conformance fuzzer.
+"""
 
 import pytest
 
 from repro.mpi import World
+from repro.platforms import DEVICE_MATRIX, PLATFORM_DEVICES
 
-MEIKO_DEVICES = [("meiko", "lowlatency"), ("meiko", "mpich")]
-CLUSTER_DEVICES = [("ethernet", "tcp"), ("atm", "tcp"), ("ethernet", "udp"), ("atm", "udp")]
+MEIKO_DEVICES = [
+    (platform, device) for platform, device in DEVICE_MATRIX if platform == "meiko"
+]
+CLUSTER_DEVICES = [
+    (platform, device) for platform, device in DEVICE_MATRIX if platform != "meiko"
+]
 ALL_DEVICES = MEIKO_DEVICES + CLUSTER_DEVICES
+
+assert set(ALL_DEVICES) == set(DEVICE_MATRIX)
+assert set(p for p, _ in ALL_DEVICES) == set(PLATFORM_DEVICES)
 
 
 def run_world(nprocs, main, platform="meiko", device="lowlatency", *args, **world_kw):
@@ -19,6 +33,18 @@ def meiko_device(request):
     return request.param
 
 
+@pytest.fixture(params=CLUSTER_DEVICES, ids=lambda p: f"{p[0]}-{p[1]}")
+def cluster_device(request):
+    return request.param
+
+
+@pytest.fixture(params=ALL_DEVICES, ids=lambda p: f"{p[0]}-{p[1]}")
+def all_devices(request):
+    """One (platform, device) cell of the full implementation matrix."""
+    return request.param
+
+
 @pytest.fixture(params=ALL_DEVICES, ids=lambda p: f"{p[0]}-{p[1]}")
 def any_device(request):
+    # historical alias for all_devices, kept for existing tests
     return request.param

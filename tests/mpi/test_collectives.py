@@ -331,3 +331,83 @@ def test_wildcard_recv_does_not_steal_collective_traffic(any_device):
     assert res[1][0] == b"direct"
     assert res[1][1] == 3
     assert res[1][2] == [0.0, 0.0, 0.0, 0.0]
+
+
+# ---------------------------------------------------------------------------
+# scan / exscan / reduce_scatter — non-power-of-two and 1-rank edges
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("nprocs", [1, 2, 3, 5, 6])
+def test_scan_prefix_sums(all_devices, nprocs):
+    platform, device = all_devices
+
+    def main(comm):
+        local = np.full(4, float(comm.rank + 1))
+        out = yield from comm.scan(local)
+        return out.copy()
+
+    res = run_world(nprocs, main, platform, device)
+    for rank, out in enumerate(res):
+        expect = sum(range(1, rank + 2))  # inclusive prefix of 1..rank+1
+        assert np.array_equal(out, np.full(4, float(expect)))
+
+
+@pytest.mark.parametrize("nprocs", [1, 3, 5])
+def test_exscan_exclusive_prefix(all_devices, nprocs):
+    platform, device = all_devices
+
+    def main(comm):
+        local = np.full(2, float(comm.rank + 1))
+        out = yield from comm.exscan(local)
+        return None if out is None else out.copy()
+
+    res = run_world(nprocs, main, platform, device)
+    assert res[0] is None  # MPI_Exscan is undefined at rank 0
+    for rank in range(1, nprocs):
+        expect = sum(range(1, rank + 1))  # exclusive prefix of 1..rank
+        assert np.array_equal(res[rank], np.full(2, float(expect)))
+
+
+def test_scan_max_operator(all_devices):
+    platform, device = all_devices
+
+    def main(comm):
+        local = np.array([float((comm.rank * 3) % 5)])
+        out = yield from comm.scan(local, op=coll.MAX)
+        return float(out[0])
+
+    res = run_world(5, main, platform, device)
+    values = [(r * 3) % 5 for r in range(5)]
+    assert res == [float(max(values[: i + 1])) for i in range(5)]
+
+
+@pytest.mark.parametrize("nprocs", [1, 3, 5, 6])
+def test_reduce_scatter_blocks(all_devices, nprocs):
+    platform, device = all_devices
+    block = 3
+
+    def main(comm):
+        send = np.arange(block * comm.size, dtype=np.float64) + comm.rank
+        out = yield from comm.reduce_scatter(send)
+        return out.copy()
+
+    res = run_world(nprocs, main, platform, device)
+    rank_sum = sum(range(nprocs))
+    for rank, out in enumerate(res):
+        base = np.arange(block * nprocs, dtype=np.float64) * nprocs + rank_sum
+        assert np.array_equal(out, base[rank * block : (rank + 1) * block])
+
+
+def test_reduce_scatter_single_element_blocks(all_devices):
+    """nelems == nprocs: each rank's block is exactly one element."""
+    platform, device = all_devices
+
+    def main(comm):
+        send = np.full(comm.size, float(comm.rank))
+        out = yield from comm.reduce_scatter(send)
+        return out.copy()
+
+    res = run_world(3, main, platform, device)
+    for out in res:
+        assert np.array_equal(out, np.array([3.0]))  # 0+1+2
