@@ -2,20 +2,29 @@
 
 Two entry points:
 
-* ``python benchmarks/bench_kernel_perf.py [--quick] [--out PATH]`` —
-  run the four kernel workloads (see ``repro.bench.kernel_perf``),
-  print a table, write the JSON report, and exit non-zero if any
-  workload falls below its events-per-second floor.  ``--quick`` runs
-  reduced problem sizes (CI smoke) and halves the floors.
+* ``python benchmarks/bench_kernel_perf.py [--quick] [--workers N]
+  [--out PATH]`` — run the four kernel workloads (see
+  ``repro.bench.kernel_perf``), print a table, write the JSON report,
+  and exit non-zero if any workload falls below its events-per-second
+  floor.  ``--quick`` runs reduced problem sizes (CI smoke) and halves
+  the floors; ``--workers N`` overlaps the workloads on the parallel
+  experiment engine (per-shard timing lands in the report).  Floors
+  scale by the ``REPRO_BENCH_FLOOR_SLACK`` env var (relative tolerance
+  for slow or contended runners).
 * ``pytest benchmarks/bench_simulator_throughput.py`` — the same
   workloads and floors as pytest-benchmark cases.
+
+The report is stamped with git SHA, host info, worker count, and an ISO
+timestamp (``repro.bench.meta``) so the trajectory stays comparable
+across commits and machines.
 """
 
 import argparse
 import json
 import sys
 
-from repro.bench.kernel_perf import FLOORS, run_suite
+from repro.bench.kernel_perf import effective_floor, run_suite
+from repro.bench.meta import bench_metadata
 
 
 def main(argv=None) -> int:
@@ -23,15 +32,20 @@ def main(argv=None) -> int:
     ap.add_argument("--quick", action="store_true", help="reduced sizes, halved floors")
     ap.add_argument("--out", default="BENCH_kernel.json", help="JSON report path")
     ap.add_argument("--repeats", type=int, default=3, help="best-of repetitions")
+    ap.add_argument("--workers", type=int, default=None,
+                    help="overlap workloads over N worker processes")
     ap.add_argument("--no-floor", action="store_true", help="report only, never fail")
     args = ap.parse_args(argv)
 
-    suite = run_suite(quick=args.quick, repeats=args.repeats)
-    scale = 0.5 if args.quick else 1.0
+    suite = run_suite(quick=args.quick, repeats=args.repeats, workers=args.workers)
+    suite["meta"] = bench_metadata(workers=args.workers)
     failed = []
-    print(f"kernel perf suite ({suite['mode']} mode, best of {args.repeats})")
+    print(
+        f"kernel perf suite ({suite['mode']} mode, best of {args.repeats}, "
+        f"{suite['workers']} worker{'s' if suite['workers'] != 1 else ''})"
+    )
     for name, rec in suite["workloads"].items():
-        floor = int(FLOORS[name] * scale)
+        floor = effective_floor(name, quick=args.quick)
         ok = rec["events_per_sec"] >= floor
         if not ok:
             failed.append(name)
@@ -39,10 +53,13 @@ def main(argv=None) -> int:
             f"  {name:<12} {rec['events']:>8} events  {rec['wall_s']:>9.4f} s  "
             f"{rec['events_per_sec']:>9} ev/s  (floor {floor}{'' if ok else '  ** UNDER **'})"
         )
+    for shard in suite.get("shards", ()):
+        print(f"  shard {shard['shard']}: {shard['cells']} workloads "
+              f"in {shard['wall_s']:.3f} s")
     with open(args.out, "w") as fh:
         json.dump(suite, fh, indent=2)
         fh.write("\n")
-    print(f"wrote {args.out}")
+    print(f"wrote {args.out} ({suite['meta']['git_sha']} @ {suite['meta']['timestamp']})")
     if failed and not args.no_floor:
         print(f"FAIL: under floor: {', '.join(failed)}", file=sys.stderr)
         return 1

@@ -153,29 +153,72 @@ def chaos_sweep(
     repeats: int = 20,
     seed: int = 1,
     obs=None,
+    workers: Optional[int] = None,
+    use_cache: bool = False,
+    cache_root=None,
 ) -> List[Dict]:
     """Full sweep: every (platform, workload, loss) cell + slowdowns.
 
     The loss=0 cell of each (platform, workload) pair is the baseline;
     completed lossy cells get ``slowdown = time / baseline_time`` (the
     goodput degradation from retransmission and backoff).
+
+    ``workers`` (any integer, including 1) routes the cells through the
+    parallel experiment engine (``repro.parallel``): every cell is an
+    independent deterministic world, results merge in canonical sweep
+    order, and with *obs* attached the per-shard event streams are
+    threaded back through the merge — the merged bus (and any trace
+    exported from it) is byte-identical to the serial sweep's.  Traced
+    cells bypass the result cache; untraced cells use it when
+    ``use_cache`` is set.
     """
-    rows: List[Dict] = []
+    specs: List[Dict] = []
     for platform in platforms:
         for workload in workloads:
             nbytes = nbody_particles if workload == "nbody" else 256
             nprocs = 4 if workload == "nbody" else 2
-            baseline = None
             for loss in losses:
-                row = chaos_cell(
-                    platform, loss, workload=workload, nprocs=nprocs,
-                    nbytes=nbytes, repeats=repeats, seed=seed, obs=obs,
-                )
-                if loss == 0 and row["outcome"] == "ok":
-                    baseline = row["time_us"]
-                if baseline and row["outcome"] == "ok":
-                    row["slowdown"] = row["time_us"] / baseline
-                rows.append(row)
+                specs.append({
+                    "platform": platform, "workload": workload, "loss": loss,
+                    "nprocs": nprocs, "nbytes": nbytes, "repeats": repeats,
+                    "seed": seed,
+                })
+
+    if workers is None:
+        rows = [
+            chaos_cell(
+                s["platform"], s["loss"], workload=s["workload"],
+                nprocs=s["nprocs"], nbytes=s["nbytes"], repeats=s["repeats"],
+                seed=s["seed"], obs=obs,
+            )
+            for s in specs
+        ]
+    else:
+        from repro.parallel import ResultCache, run_cells
+
+        traced = obs is not None
+        cells = [
+            dict(s, kind="chaos_cell", _trace=traced, _nocache=traced)
+            for s in specs
+        ]
+        cache = ResultCache(cache_root) if use_cache else False
+        report = run_cells(cells, workers=workers, cache=cache)
+        rows = []
+        for res in report.results:
+            rows.append(res["row"])
+            if traced:
+                obs.extend(res["events"])
+
+    # baselines + slowdowns: a pure function of the merged rows, so the
+    # serial and parallel paths agree byte for byte
+    baselines: Dict = {}
+    for row in rows:
+        group = (row["platform"], row["workload"])
+        if row["loss"] == 0 and row["outcome"] == "ok":
+            baselines[group] = row["time_us"]
+        baseline = baselines.get(group)
+        if baseline and row["outcome"] == "ok":
+            row["slowdown"] = row["time_us"] / baseline
     return rows
 
 

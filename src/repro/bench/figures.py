@@ -10,11 +10,18 @@ table of the paper's evaluation and returns a dict with:
 
 Values are simulated microseconds (latency) or MB/s (bandwidth);
 Figures 7-9 report application times.
+
+Every sweep point is expressed as an independent *cell* (a plain dict
+dispatched through :mod:`repro.parallel.tasks`), so a figure can be
+evaluated serially (the default — identical to calling the harness
+directly) or fanned out over the parallel experiment engine by passing
+``runner=`` a callable that maps a cell list to a result list in the
+same order (``repro sweep --workers N`` does exactly that).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.bench import harness
 from repro.mpi import World
@@ -37,34 +44,55 @@ __all__ = [
 LATENCY_SIZES = (1, 16, 64, 128, 180, 256, 512, 1024)
 BANDWIDTH_SIZES = (1024, 4096, 16384, 65536, 262144, 1048576)
 
+#: a runner maps an ordered cell list to an ordered result list
+Runner = Callable[[List[dict]], List]
+
+
+def _eval(cells: List[dict], runner: Optional[Runner]) -> List:
+    if runner is None:
+        from repro.parallel.tasks import run_cell
+
+        return [run_cell(cell) for cell in cells]
+    return runner(cells)
+
+
+def _series(cells: List[dict], xs_per_series: Dict[str, Sequence],
+            runner: Optional[Runner]) -> Dict[str, List]:
+    """Evaluate the flat cell list and slice it back into named series
+    (cells are ordered series-by-series, matching ``xs_per_series``)."""
+    values = _eval(cells, runner)
+    out: Dict[str, List] = {}
+    pos = 0
+    for name, xs in xs_per_series.items():
+        out[name] = list(zip(xs, values[pos:pos + len(xs)]))
+        pos += len(xs)
+    return out
+
 
 # ---------------------------------------------------------------------------
 # Figure 1: Meiko transfer mechanisms (buffered vs no buffering)
 # ---------------------------------------------------------------------------
 
 
-def fig01_transfer_mechanisms(sizes: Sequence[int] = (1, 32, 64, 96, 128, 160, 180, 220, 256, 320, 400, 512)):
+def fig01_transfer_mechanisms(
+    sizes: Sequence[int] = (1, 32, 64, 96, 128, 160, 180, 220, 256, 320, 400, 512),
+    runner: Optional[Runner] = None,
+):
     """RTT of the two low-latency transfer mechanisms, forced on for all
     sizes, plus the measured crossover (paper: 180 bytes)."""
-    from repro.mpi.device.lowlatency import LowLatencyConfig
-
-    eager = harness.sweep(
-        lambda n: harness.mpi_pingpong_rtt(
-            "meiko", "lowlatency", n,
-            device_config=LowLatencyConfig(eager_threshold=10**9),
-        ),
-        sizes,
-    )
-    rendezvous = harness.sweep(
-        lambda n: harness.mpi_pingpong_rtt(
-            "meiko", "lowlatency", n,
-            device_config=LowLatencyConfig(eager_threshold=-1),
-        ),
-        sizes,
-    )
-    cross = harness.crossover(eager, rendezvous)
+    cells = [
+        {"kind": "pingpong_rtt", "platform": "meiko", "device": "lowlatency",
+         "nbytes": n, "config": {"eager_threshold": 10**9}}
+        for n in sizes
+    ] + [
+        {"kind": "pingpong_rtt", "platform": "meiko", "device": "lowlatency",
+         "nbytes": n, "config": {"eager_threshold": -1}}
+        for n in sizes
+    ]
+    series = _series(cells, {"Buffering": sizes, "No buffering": sizes}, runner)
+    cross = harness.crossover(series["Buffering"], series["No buffering"])
     return {
-        "series": {"Buffering": eager, "No buffering": rendezvous},
+        "series": series,
         "crossover": cross,
         "paper": {"crossover": 180},
     }
@@ -75,32 +103,36 @@ def fig01_transfer_mechanisms(sizes: Sequence[int] = (1, 32, 64, 96, 128, 160, 1
 # ---------------------------------------------------------------------------
 
 
-def fig02_meiko_latency(sizes: Sequence[int] = LATENCY_SIZES):
+def fig02_meiko_latency(sizes: Sequence[int] = LATENCY_SIZES,
+                        runner: Optional[Runner] = None):
+    cells = (
+        [{"kind": "pingpong_rtt", "platform": "meiko", "device": "mpich",
+          "nbytes": n} for n in sizes]
+        + [{"kind": "pingpong_rtt", "platform": "meiko", "device": "lowlatency",
+            "nbytes": n} for n in sizes]
+        + [{"kind": "tport_rtt", "nbytes": n} for n in sizes]
+    )
     return {
-        "series": {
-            "MPI(mpich)": harness.sweep(
-                lambda n: harness.mpi_pingpong_rtt("meiko", "mpich", n), sizes
-            ),
-            "MPI(low latency)": harness.sweep(
-                lambda n: harness.mpi_pingpong_rtt("meiko", "lowlatency", n), sizes
-            ),
-            "Meiko tport": harness.sweep(harness.tport_rtt, sizes),
-        },
+        "series": _series(cells, {
+            "MPI(mpich)": sizes, "MPI(low latency)": sizes, "Meiko tport": sizes,
+        }, runner),
         "paper": {"tport_1B": 52.0, "lowlatency_1B": 104.0, "mpich_1B": 210.0},
     }
 
 
-def fig03_meiko_bandwidth(sizes: Sequence[int] = BANDWIDTH_SIZES):
+def fig03_meiko_bandwidth(sizes: Sequence[int] = BANDWIDTH_SIZES,
+                          runner: Optional[Runner] = None):
+    cells = (
+        [{"kind": "bandwidth", "platform": "meiko", "device": "mpich",
+          "nbytes": n} for n in sizes]
+        + [{"kind": "bandwidth", "platform": "meiko", "device": "lowlatency",
+            "nbytes": n} for n in sizes]
+        + [{"kind": "tport_bandwidth", "nbytes": n} for n in sizes]
+    )
     return {
-        "series": {
-            "MPI(mpich)": harness.sweep(
-                lambda n: harness.mpi_bandwidth("meiko", "mpich", n), sizes
-            ),
-            "MPI(low latency)": harness.sweep(
-                lambda n: harness.mpi_bandwidth("meiko", "lowlatency", n), sizes
-            ),
-            "Meiko tport": harness.sweep(harness.tport_bandwidth, sizes),
-        },
+        "series": _series(cells, {
+            "MPI(mpich)": sizes, "MPI(low latency)": sizes, "Meiko tport": sizes,
+        }, runner),
         "paper": {"dma_peak_MBps": 39.0, "note": "peak nearly reached; low latency >= mpich"},
     }
 
@@ -110,13 +142,18 @@ def fig03_meiko_bandwidth(sizes: Sequence[int] = BANDWIDTH_SIZES):
 # ---------------------------------------------------------------------------
 
 
-def fig04_atm_latency(sizes: Sequence[int] = LATENCY_SIZES):
+def fig04_atm_latency(sizes: Sequence[int] = LATENCY_SIZES,
+                      runner: Optional[Runner] = None):
+    cells = (
+        [{"kind": "raw_rtt", "network": "atm", "transport": "tcp", "nbytes": n}
+         for n in sizes]
+        + [{"kind": "raw_rtt", "network": "atm", "transport": "udp", "nbytes": n}
+           for n in sizes]
+        + [{"kind": "fore_rtt", "nbytes": n} for n in sizes]
+    )
     return {
-        "series": {
-            "TCP": harness.sweep(lambda n: harness.raw_stream_rtt("atm", "tcp", n), sizes),
-            "UDP": harness.sweep(lambda n: harness.raw_stream_rtt("atm", "udp", n), sizes),
-            "Fore aal4": harness.sweep(harness.fore_rtt, sizes),
-        },
+        "series": _series(cells, {"TCP": sizes, "UDP": sizes, "Fore aal4": sizes},
+                          runner),
         "paper": {
             "tcp_1B": 1065.0,
             "note": "indistinguishable except at small sizes (STREAMS overhead)",
@@ -129,40 +166,44 @@ def fig04_atm_latency(sizes: Sequence[int] = LATENCY_SIZES):
 # ---------------------------------------------------------------------------
 
 
-def fig05_tcp_latency(sizes: Sequence[int] = LATENCY_SIZES):
+def fig05_tcp_latency(sizes: Sequence[int] = LATENCY_SIZES,
+                      runner: Optional[Runner] = None):
+    cells = (
+        [{"kind": "pingpong_rtt", "platform": "atm", "device": "tcp",
+          "nbytes": n} for n in sizes]
+        + [{"kind": "pingpong_rtt", "platform": "ethernet", "device": "tcp",
+            "nbytes": n} for n in sizes]
+        + [{"kind": "raw_rtt", "network": "atm", "transport": "tcp", "nbytes": n}
+           for n in sizes]
+        + [{"kind": "raw_rtt", "network": "ethernet", "transport": "tcp",
+            "nbytes": n} for n in sizes]
+    )
     return {
-        "series": {
-            "mpi/tcp/atm": harness.sweep(
-                lambda n: harness.mpi_pingpong_rtt("atm", "tcp", n), sizes
-            ),
-            "mpi/tcp/eth": harness.sweep(
-                lambda n: harness.mpi_pingpong_rtt("ethernet", "tcp", n), sizes
-            ),
-            "tcp/atm": harness.sweep(lambda n: harness.raw_stream_rtt("atm", "tcp", n), sizes),
-            "tcp/eth": harness.sweep(
-                lambda n: harness.raw_stream_rtt("ethernet", "tcp", n), sizes
-            ),
-        },
+        "series": _series(cells, {
+            "mpi/tcp/atm": sizes, "mpi/tcp/eth": sizes,
+            "tcp/atm": sizes, "tcp/eth": sizes,
+        }, runner),
         "paper": {"tcp_eth_1B": 925.0, "tcp_atm_1B": 1065.0, "mpi_adds_per_way": 210.0},
     }
 
 
-def fig06_tcp_bandwidth(sizes: Sequence[int] = BANDWIDTH_SIZES[:-1]):
+def fig06_tcp_bandwidth(sizes: Sequence[int] = BANDWIDTH_SIZES[:-1],
+                        runner: Optional[Runner] = None):
+    cells = (
+        [{"kind": "bandwidth", "platform": "atm", "device": "tcp",
+          "nbytes": n} for n in sizes]
+        + [{"kind": "bandwidth", "platform": "ethernet", "device": "tcp",
+            "nbytes": n} for n in sizes]
+        + [{"kind": "raw_bandwidth", "network": "atm", "transport": "tcp",
+            "nbytes": n} for n in sizes]
+        + [{"kind": "raw_bandwidth", "network": "ethernet", "transport": "tcp",
+            "nbytes": n} for n in sizes]
+    )
     return {
-        "series": {
-            "mpi/tcp/atm": harness.sweep(
-                lambda n: harness.mpi_bandwidth("atm", "tcp", n), sizes
-            ),
-            "mpi/tcp/eth": harness.sweep(
-                lambda n: harness.mpi_bandwidth("ethernet", "tcp", n), sizes
-            ),
-            "tcp/atm": harness.sweep(
-                lambda n: harness.raw_stream_bandwidth("atm", "tcp", n), sizes
-            ),
-            "tcp/eth": harness.sweep(
-                lambda n: harness.raw_stream_bandwidth("ethernet", "tcp", n), sizes
-            ),
-        },
+        "series": _series(cells, {
+            "mpi/tcp/atm": sizes, "mpi/tcp/eth": sizes,
+            "tcp/atm": sizes, "tcp/eth": sizes,
+        }, runner),
         "paper": {"note": "ATM roughly an order of magnitude above 10 Mb/s Ethernet"},
     }
 
@@ -228,46 +269,67 @@ def _app_time(platform: str, device: str, nprocs: int, app, **kw) -> float:
     return max(world.run(main))
 
 
-def fig07_linsolve(nprocs_list: Sequence[int] = (1, 2, 4, 8, 16, 32), n: int = 192):
-    """Meiko linear solver times (seconds) vs processes."""
-    from repro.apps import linsolve
+def _app_cells(configs) -> List[dict]:
+    """configs: iterable of (platform, device, nprocs, app name, kwargs)."""
+    return [
+        {"kind": "app_time", "platform": platform, "device": device,
+         "nprocs": nprocs, "app": app, "kwargs": kwargs}
+        for platform, device, nprocs, app, kwargs in configs
+    ]
 
-    series: Dict[str, List] = {"mpich": [], "low latency": []}
-    for device, key in (("mpich", "mpich"), ("lowlatency", "low latency")):
-        for p in nprocs_list:
-            t = _app_time("meiko", device, p, linsolve, n=n, seed=0)
-            series[key].append((p, t / 1e6))  # seconds, like the paper's axis
+
+def fig07_linsolve(nprocs_list: Sequence[int] = (1, 2, 4, 8, 16, 32), n: int = 192,
+                   runner: Optional[Runner] = None):
+    """Meiko linear solver times (seconds) vs processes."""
+    devices = (("mpich", "mpich"), ("lowlatency", "low latency"))
+    cells = _app_cells(
+        ("meiko", device, p, "linsolve", {"n": n, "seed": 0})
+        for device, _ in devices for p in nprocs_list
+    )
+    values = _eval(cells, runner)
+    series: Dict[str, List] = {}
+    for i, (_, key) in enumerate(devices):
+        chunk = values[i * len(nprocs_list):(i + 1) * len(nprocs_list)]
+        series[key] = [(p, t / 1e6) for p, t in zip(nprocs_list, chunk)]
     return {
         "series": series,
         "paper": {"note": "hardware broadcast beats pt2pt; gap grows with P"},
     }
 
 
-def fig08_meiko_nbody(nprocs_list: Sequence[int] = (1, 2, 3, 4, 6, 8), nparticles: int = 24):
+def fig08_meiko_nbody(nprocs_list: Sequence[int] = (1, 2, 3, 4, 6, 8),
+                      nparticles: int = 24, runner: Optional[Runner] = None):
     """Meiko pairwise-interaction times (µs) vs processes."""
-    from repro.apps import nbody_ring
-
-    series: Dict[str, List] = {"mpich": [], "low latency": []}
-    for device, key in (("mpich", "mpich"), ("lowlatency", "low latency")):
-        for p in nprocs_list:
-            t = _app_time("meiko", device, p, nbody_ring, nparticles=nparticles, seed=0)
-            series[key].append((p, t))
+    devices = (("mpich", "mpich"), ("lowlatency", "low latency"))
+    cells = _app_cells(
+        ("meiko", device, p, "nbody_ring", {"nparticles": nparticles, "seed": 0})
+        for device, _ in devices for p in nprocs_list
+    )
+    values = _eval(cells, runner)
+    series: Dict[str, List] = {}
+    for i, (_, key) in enumerate(devices):
+        chunk = values[i * len(nprocs_list):(i + 1) * len(nprocs_list)]
+        series[key] = list(zip(nprocs_list, chunk))
     return {
         "series": series,
         "paper": {"note": "24 particles; low latency wins (even loads, synchronized phases)"},
     }
 
 
-def fig09_tcp_nbody(nprocs_list: Sequence[int] = (1, 2, 4, 8), nparticles: int = 128):
+def fig09_tcp_nbody(nprocs_list: Sequence[int] = (1, 2, 4, 8), nparticles: int = 128,
+                    runner: Optional[Runner] = None):
     """Cluster pairwise-interaction times (µs) vs processes, Ethernet vs ATM."""
-    from repro.apps import nbody_ring
-
-    series: Dict[str, List] = {"Ethernet": [], "ATM": []}
-    for platform, key in (("ethernet", "Ethernet"), ("atm", "ATM")):
-        for p in nprocs_list:
-            t = _app_time(platform, "tcp", p, nbody_ring,
-                          nparticles=nparticles, seed=0, flop_time=0.03)
-            series[key].append((p, t))
+    platforms = (("ethernet", "Ethernet"), ("atm", "ATM"))
+    cells = _app_cells(
+        (platform, "tcp", p, "nbody_ring",
+         {"nparticles": nparticles, "seed": 0, "flop_time": 0.03})
+        for platform, _ in platforms for p in nprocs_list
+    )
+    values = _eval(cells, runner)
+    series: Dict[str, List] = {}
+    for i, (_, key) in enumerate(platforms):
+        chunk = values[i * len(nprocs_list):(i + 1) * len(nprocs_list)]
+        series[key] = list(zip(nprocs_list, chunk))
     return {
         "series": series,
         "paper": {"note": "ATM wins: no contention + higher bandwidth (128 particles)"},

@@ -1,0 +1,53 @@
+"""Provenance stamp for benchmark JSON reports.
+
+``BENCH_kernel.json`` (and any future bench JSON) is a *trajectory* —
+numbers from different commits and machines compared over time.  A bare
+number is uncomparable; :func:`bench_metadata` stamps each report with
+the git SHA it measured, the host that measured it, the worker count,
+and an ISO-8601 UTC timestamp, so a regression can be attributed to a
+commit rather than to a slower runner.
+"""
+
+from __future__ import annotations
+
+import os
+import platform as _platform
+import subprocess
+import sys
+from datetime import datetime, timezone
+from typing import Dict, Optional
+
+__all__ = ["git_sha", "bench_metadata"]
+
+
+def git_sha() -> str:
+    """The current commit (plus ``-dirty`` when the tree has changes);
+    ``"unknown"`` outside a git checkout."""
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"],
+            capture_output=True, text=True, timeout=10, check=True,
+        ).stdout.strip()
+        dirty = subprocess.run(
+            ["git", "status", "--porcelain"],
+            capture_output=True, text=True, timeout=10, check=True,
+        ).stdout.strip()
+        return f"{sha}-dirty" if dirty else sha
+    except Exception:  # noqa: BLE001 - no git, not a checkout, ...
+        return "unknown"
+
+
+def bench_metadata(workers: Optional[int] = None) -> Dict:
+    """The provenance block every bench JSON report carries."""
+    return {
+        "git_sha": git_sha(),
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "host": {
+            "platform": _platform.platform(),
+            "machine": _platform.machine(),
+            "cpus": os.cpu_count(),
+            "python": sys.version.split()[0],
+        },
+        "workers": max(1, int(workers or 1)),
+        "floor_slack": float(os.environ.get("REPRO_BENCH_FLOOR_SLACK", "1.0")),
+    }

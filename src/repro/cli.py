@@ -25,11 +25,21 @@ Commands
     from a seed, run it on every device in the matrix, and assert all
     produce the identical semantic trace.  ``--corpus ci`` runs the
     pinned seed corpus; failures are shrunk to minimal repro scripts.
+``sweep``
+    Regenerate one or more paper figures through the parallel
+    experiment engine — every sweep point is an independent cell
+    fanned out over ``--workers`` processes and cached
+    content-addressed under ``.repro-cache/``.
 
 ``pingpong``, ``app``, ``chaos`` and ``phases`` accept
 ``--trace FILE`` (+ ``--trace-format {chrome,jsonl}``) to export the
 run's structured event trace — ``chrome`` loads in ``chrome://tracing``
 or Perfetto.
+
+``fuzz``, ``chaos`` and ``sweep`` accept ``--workers N`` to shard
+their independent cells over N worker processes (merged output is
+byte-identical to the serial run; engine statistics go to stderr) and
+``--no-cache`` to bypass the result cache.  See ``docs/PERF.md``.
 """
 
 from __future__ import annotations
@@ -63,6 +73,13 @@ def _add_trace_args(p: argparse.ArgumentParser) -> None:
                    help="write the run's structured event trace to FILE")
     p.add_argument("--trace-format", default="chrome", choices=["chrome", "jsonl"],
                    help="chrome (chrome://tracing / Perfetto JSON) or jsonl")
+
+
+def _add_parallel_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="shard independent cells over N worker processes")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the content-addressed result cache")
 
 
 def _make_bus(args):
@@ -128,6 +145,16 @@ def build_parser() -> argparse.ArgumentParser:
                     help="ping-pong round trips per cell")
     ch.add_argument("--seed", type=int, default=1)
     _add_trace_args(ch)
+    _add_parallel_args(ch)
+
+    sw = sub.add_parser(
+        "sweep", help="figure sweeps through the parallel experiment engine"
+    )
+    sw.add_argument("names", nargs="*", metavar="FIG",
+                    help=f"figures to regenerate, from {', '.join(sorted(FIGURES))} "
+                         "(default: fig02 fig05)")
+    sw.add_argument("--chart", action="store_true", help="also render ASCII charts")
+    _add_parallel_args(sw)
 
     ph = sub.add_parser(
         "phases", help="Table-1 phase breakdown of a traced ping-pong"
@@ -156,6 +183,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write shrunk repro scripts for failures to DIR")
     fz.add_argument("--dump-trace", action="store_true",
                     help="print the canonical reference trace per seed")
+    _add_parallel_args(fz)
     return parser
 
 
@@ -220,6 +248,21 @@ def cmd_bandwidth(args, out) -> int:
     return 0
 
 
+def _print_figure(name, result, chart, out) -> None:
+    _, xlabel, is_bandwidth = FIGURES[name]
+    unit = "MB/s" if is_bandwidth else "us"
+    print(format_series(result["series"], xlabel=xlabel,
+                        title=f"{name} ({unit})"), file=out)
+    if "crossover" in result and result["crossover"]:
+        print(f"crossover: {result['crossover']:.0f} B "
+              f"(paper: {result['paper'].get('crossover')})", file=out)
+    if chart:
+        logx = xlabel == "bytes"
+        print(file=out)
+        print(ascii_chart(result["series"], logx=logx, title=name,
+                          xlabel=xlabel, ylabel=unit), file=out)
+
+
 def cmd_figure(args, out) -> int:
     if args.name == "table1":
         result = figures.table1_overheads()
@@ -233,19 +276,40 @@ def cmd_figure(args, out) -> int:
             title="Table 1: MPI round-trip overheads with TCP (us)",
         ), file=out)
         return 0
-    fn, xlabel, is_bandwidth = FIGURES[args.name]
-    result = fn()
-    unit = "MB/s" if is_bandwidth else "us"
-    print(format_series(result["series"], xlabel=xlabel,
-                        title=f"{args.name} ({unit})"), file=out)
-    if "crossover" in result and result["crossover"]:
-        print(f"crossover: {result['crossover']:.0f} B "
-              f"(paper: {result['paper'].get('crossover')})", file=out)
-    if args.chart:
-        logx = xlabel == "bytes"
-        print(file=out)
-        print(ascii_chart(result["series"], logx=logx, title=args.name,
-                          xlabel=xlabel, ylabel=unit), file=out)
+    fn, _, _ = FIGURES[args.name]
+    _print_figure(args.name, fn(), args.chart, out)
+    return 0
+
+
+def cmd_sweep(args, out) -> int:
+    from repro.parallel import run_cells
+
+    names = args.names or ["fig02", "fig05"]
+    unknown = [n for n in names if n not in FIGURES]
+    if unknown:
+        print(f"sweep: unknown figure(s) {', '.join(unknown)} "
+              f"(choose from {', '.join(sorted(FIGURES))})", file=out)
+        return 2
+    reports = []
+
+    def runner(cells):
+        report = run_cells(cells, workers=args.workers,
+                           cache=not args.no_cache)
+        reports.append(report)
+        return report.results
+
+    for name in names:
+        fn, _, _ = FIGURES[name]
+        _print_figure(name, fn(runner=runner), args.chart, out)
+    cached = sum(r.cached for r in reports)
+    executed = sum(r.executed for r in reports)
+    wall = sum(r.wall_s for r in reports)
+    print(
+        f"sweep: {len(names)} figure(s), workers={max(1, args.workers or 1)}, "
+        f"cells={cached + executed} (cached={cached} executed={executed}), "
+        f"wall={wall:.2f}s",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -331,6 +395,8 @@ def cmd_chaos(args, out) -> int:
         repeats=args.repeats,
         seed=args.seed,
         obs=bus,
+        workers=args.workers,
+        use_cache=args.workers is not None and not args.no_cache,
     )
     print(format_chaos(rows), file=out)
     _write_trace(bus, args, out)
@@ -390,7 +456,22 @@ def cmd_fuzz(args, out) -> int:
             budget_s=_parse_budget(args.budget),
             artifacts_dir=args.artifacts,
             out=out,
+            workers=args.workers,
+            use_cache=not args.no_cache,
         )
+        engine = summary.get("engine")
+        if engine is not None:
+            shards = " ".join(
+                f"shard{s['shard']}:{s['cells']}c/{s['wall_s']:.2f}s"
+                for s in engine["shards"]
+            )
+            print(
+                f"parallel: workers={engine['workers']} "
+                f"cached={engine['cached']} executed={engine['executed']}"
+                + (f" skipped={engine['skipped']}" if engine["skipped"] else "")
+                + (f" [{shards}]" if shards else ""),
+                file=sys.stderr,
+            )
         return 1 if summary["failures"] else 0
 
     if args.seed is None and args.seeds is None:
@@ -403,7 +484,8 @@ def cmd_fuzz(args, out) -> int:
     failed = 0
     for seed in seeds:
         program = generate(seed, nprocs=args.nprocs, profile=args.profile)
-        result = differential(program)
+        result = differential(program, workers=args.workers,
+                              use_cache=args.workers is not None and not args.no_cache)
         print(result.summary(), file=out)
         ok = result.ok
         if ok and program.fault is not None:
@@ -435,6 +517,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "chaos": cmd_chaos,
         "phases": cmd_phases,
         "fuzz": cmd_fuzz,
+        "sweep": cmd_sweep,
     }[args.command]
     return handler(args, out)
 

@@ -6,6 +6,14 @@ The seeds are pinned so a CI run is fully reproducible — when a seed
 fails, the shrunk repro artifacts say exactly why.  Policy: seeds are
 append-only; a failing seed is a bug to fix, never a seed to delete
 (see ``docs/TESTING.md``).
+
+``run_corpus(workers=N)`` fans the entries out over the parallel
+experiment engine (``repro.parallel``): each entry is an independent
+deterministic cell, results are merged in corpus order, and the printed
+lines, summary, reference traces, and shrunk artifacts are
+byte-identical to the serial run.  With the content-addressed result
+cache enabled (the default on the engine path), a warm re-run of an
+unchanged tree skips every entry.
 """
 
 from __future__ import annotations
@@ -33,6 +41,18 @@ CI_CORPUS: List[Tuple[int, str]] = [
 ]
 
 
+def _shrink_failure(program, matrix, failed_fault: bool, shrink_budget: int):
+    """The parent-side shrink predicate — identical for the serial and
+    parallel paths, so both produce the same artifacts."""
+
+    def still_fails(candidate):
+        if failed_fault:
+            return candidate.fault is not None and not check_faulty(candidate).ok
+        return not differential(candidate, matrix=matrix).ok
+
+    return shrink(program, still_fails, max_evals=shrink_budget)
+
+
 def run_corpus(
     entries: Optional[Sequence[Tuple[int, str]]] = None,
     budget_s: Optional[float] = None,
@@ -40,6 +60,9 @@ def run_corpus(
     out=None,
     matrix=None,
     shrink_budget: int = 120,
+    workers: Optional[int] = None,
+    use_cache: bool = True,
+    cache_root: Optional[str] = None,
 ) -> dict:
     """Run the corpus; return a summary dict.
 
@@ -47,10 +70,23 @@ def run_corpus(
     out — a budgeted run that found no failure reports how much of the
     corpus it actually covered rather than claiming full coverage.
     Failures are shrunk and written to ``artifacts_dir`` when given.
+
+    ``workers=None`` (the default) is the plain serial loop.  Any
+    integer — including 1 — routes through the parallel engine instead,
+    with the content-addressed result cache enabled unless
+    ``use_cache=False``.  The engine path's printed lines, summary,
+    traces, and artifacts are byte-identical to the serial path; the
+    summary additionally carries engine statistics.
     """
     entries = CI_CORPUS if entries is None else list(entries)
     started = time.monotonic()
+    if workers is not None:
+        return _run_corpus_engine(
+            entries, started, budget_s, artifacts_dir, out, matrix,
+            shrink_budget, workers, use_cache, cache_root,
+        )
     ran, failures, artifacts = 0, [], []
+    canons = {}
     for seed, profile in entries:
         if budget_s is not None and time.monotonic() - started > budget_s:
             break
@@ -60,6 +96,8 @@ def run_corpus(
         if result.ok and program.fault is not None:
             fault_result = check_faulty(program)
         ran += 1
+        if result.reference is not None:
+            canons[f"{profile}-{seed}"] = result.canons[result.reference]
         failed = not result.ok or (fault_result is not None and not fault_result.ok)
         line = result.summary() if not (fault_result and not fault_result.ok) \
             else fault_result.summary() + " [fault-composed]"
@@ -69,23 +107,70 @@ def run_corpus(
             continue
         failures.append((seed, profile, line))
         if artifacts_dir is not None:
-            failing = result if not result.ok else fault_result
-
-            def still_fails(candidate, _fault=(failing is fault_result)):
-                if _fault:
-                    return candidate.fault is not None and not check_faulty(candidate).ok
-                return not differential(candidate, matrix=matrix).ok
-
-            small = shrink(program, still_fails, max_evals=shrink_budget)
+            failed_fault = fault_result is not None and not fault_result.ok
+            small = _shrink_failure(program, matrix, failed_fault, shrink_budget)
             artifacts += write_artifacts(
                 small, artifacts_dir, label=f"repro_{profile}_seed{seed}"
             )
+    return _summarize(entries, started, ran, failures, artifacts, canons, out)
+
+
+def _run_corpus_engine(
+    entries, started, budget_s, artifacts_dir, out, matrix,
+    shrink_budget, workers, use_cache, cache_root,
+):
+    from repro.parallel import ResultCache, run_cells
+    from repro.parallel.engine import SKIPPED
+
+    cache = ResultCache(cache_root) if use_cache else False
+    cells = [
+        {"kind": "fuzz_entry", "seed": seed, "profile": profile,
+         "matrix": None if matrix is None else [list(p) for p in matrix]}
+        for seed, profile in entries
+    ]
+    report = run_cells(cells, workers=workers, cache=cache, budget_s=budget_s)
+    ran, failures, artifacts = 0, [], []
+    canons = {}
+    for (seed, profile), res in zip(entries, report.results):
+        if res is SKIPPED:
+            continue
+        ran += 1
+        if res["canon"] is not None:
+            canons[f"{profile}-{seed}"] = res["canon"]
+        failed_fault = res["fault_checked"] and not res["fault_ok"]
+        failed = not res["ok"] or failed_fault
+        line = res["summary"] if not failed_fault \
+            else res["fault_summary"] + " [fault-composed]"
+        if out is not None:
+            print(f"[{ran}/{len(entries)}] {profile}: {line}", file=out)
+        if not failed:
+            continue
+        failures.append((seed, profile, line))
+        if artifacts_dir is not None:
+            program = generate(seed, profile=profile)
+            small = _shrink_failure(program, matrix, failed_fault, shrink_budget)
+            artifacts += write_artifacts(
+                small, artifacts_dir, label=f"repro_{profile}_seed{seed}"
+            )
+    summary = _summarize(entries, started, ran, failures, artifacts, canons, out)
+    summary["engine"] = {
+        "workers": report.workers,
+        "cached": report.cached,
+        "executed": report.executed,
+        "skipped": report.skipped,
+        "shards": [s.to_dict() for s in report.shards],
+    }
+    return summary
+
+
+def _summarize(entries, started, ran, failures, artifacts, canons, out) -> dict:
     summary = {
         "total": len(entries),
         "ran": ran,
         "passed": ran - len(failures),
         "failures": failures,
         "artifacts": artifacts,
+        "canons": canons,
         "elapsed_s": round(time.monotonic() - started, 2),
         "truncated": ran < len(entries),
     }

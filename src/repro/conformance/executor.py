@@ -380,28 +380,53 @@ def differential(
     program: Program,
     matrix: Optional[Sequence[Tuple[str, str]]] = None,
     mutators: Optional[Dict[str, Callable[[World], None]]] = None,
+    workers: Optional[int] = None,
+    use_cache: bool = False,
 ) -> DifferentialResult:
     """Run *program* on every (platform, device) of *matrix* and demand
     byte-identical semantic traces.
 
     ``mutators`` maps "platform-device" keys to world mutation hooks —
     used by the mutation tests to verify a deliberately broken device
-    is caught.
+    is caught.  ``workers`` > 1 fans the matrix cells out over the
+    parallel engine (``repro.parallel``) — each cell is an independent
+    deterministic simulation, so the merged result is identical to the
+    serial loop; mutators are in-process callables and force the serial
+    path.  ``use_cache`` additionally consults the content-addressed
+    result cache (parallel path only).
     """
+    from repro.platforms import device_key
+
     if matrix is None:
         from repro.platforms import DEVICE_MATRIX
 
         matrix = DEVICE_MATRIX
     canons: Dict[str, str] = {}
     errors: Dict[str, str] = {}
-    for platform, device in matrix:
-        key = f"{platform}-{device}"
-        mut = (mutators or {}).get(key)
-        try:
-            trace = run_program(program, platform, device, world_mutator=mut)
-            canons[key] = canonical_trace(trace)
-        except Exception as exc:  # noqa: BLE001 - any failure is a finding
-            errors[key] = f"{type(exc).__name__}: {exc}"
+    if workers and workers > 1 and not mutators:
+        from repro.parallel import run_cells
+
+        cells = [
+            {"kind": "conformance_cell", "program": program.to_dict(),
+             "platform": platform, "device": device}
+            for platform, device in matrix
+        ]
+        report = run_cells(cells, workers=workers, cache=use_cache)
+        for (platform, device), res in zip(matrix, report.results):
+            key = device_key(platform, device)
+            if "error" in res:
+                errors[key] = res["error"]
+            else:
+                canons[key] = res["canon"]
+    else:
+        for platform, device in matrix:
+            key = device_key(platform, device)
+            mut = (mutators or {}).get(key)
+            try:
+                trace = run_program(program, platform, device, world_mutator=mut)
+                canons[key] = canonical_trace(trace)
+            except Exception as exc:  # noqa: BLE001 - any failure is a finding
+                errors[key] = f"{type(exc).__name__}: {exc}"
     reference = next(iter(canons), None)
     mismatched = [
         key for key, canon in canons.items()
@@ -431,12 +456,14 @@ def check_faulty(
         matrix = [
             (p, d) for p in FAULT_PLATFORMS for d in PLATFORM_DEVICES[p]
         ]
+    from repro.platforms import device_key
+
     canons: Dict[str, str] = {}
     errors: Dict[str, str] = {}
     mismatched: List[str] = []
     reference = None
     for platform, device in matrix:
-        key = f"{platform}-{device}"
+        key = device_key(platform, device)
         clean = canonical_trace(run_program(program, platform, device))
         if reference is None:
             reference = key

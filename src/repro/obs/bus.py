@@ -109,6 +109,25 @@ class EventBus:
         """Label subsequent events (multi-world sweeps share one bus)."""
         self.run = label
 
+    # -- merging --------------------------------------------------------------
+    def extend(self, events) -> None:
+        """Append already-constructed events (their ``run`` labels kept).
+
+        This is how the parallel experiment engine threads per-shard
+        event streams back through its merge: each worker records into
+        its own bus, the parent ``extend``s the shard streams in
+        canonical cell order, and the merged bus is indistinguishable
+        from one serial run sharing a single bus — counters are bumped
+        and subscribers notified exactly as live emission would.
+        """
+        for ev in events:
+            if self.layers is not None and ev.layer not in self.layers:
+                continue
+            self.events.append(ev)
+            self.counters.inc(ev.layer + "." + ev.kind)
+            for fn in self._subscribers:
+                fn(ev)
+
     # -- subscribers ---------------------------------------------------------
     def subscribe(self, fn: Callable[[Event], None]) -> Callable[[Event], None]:
         self._subscribers.append(fn)

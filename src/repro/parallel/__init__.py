@@ -1,0 +1,40 @@
+"""Parallel experiment engine: sharded multi-process sweeps with a
+content-addressed result cache.
+
+Every headline artifact of this reproduction — figure latency curves,
+chaos sweeps, the fuzz corpus, the conformance device matrix, the
+kernel perf suite — is a set of independent single-process simulations.
+:func:`~repro.parallel.engine.run_cells` fans those *cells* out over a
+worker pool with seed-stable partitioning and a canonical-order merge
+that is byte-identical to the serial run; the
+:class:`~repro.parallel.cache.ResultCache` skips unchanged cells
+entirely on re-runs (keyed by the ``src/repro`` code digest + cell
+spec).  See ``docs/PERF.md`` for the worker model, cache layout, and
+determinism contract.
+"""
+
+from repro.parallel.cache import ResultCache, cell_key, code_digest
+from repro.parallel.engine import (
+    SKIPPED,
+    CellError,
+    RunReport,
+    ShardReport,
+    plan_shards,
+    run_cells,
+)
+from repro.parallel.tasks import TASKS, run_cell, task
+
+__all__ = [
+    "ResultCache",
+    "cell_key",
+    "code_digest",
+    "SKIPPED",
+    "CellError",
+    "RunReport",
+    "ShardReport",
+    "plan_shards",
+    "run_cells",
+    "TASKS",
+    "run_cell",
+    "task",
+]

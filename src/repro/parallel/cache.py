@@ -1,0 +1,129 @@
+"""Content-addressed on-disk result cache for experiment cells.
+
+Every independent simulation cell (a fuzz seed, a figure sweep point, a
+chaos scenario, a conformance platform/device run) is deterministic: its
+result is a pure function of (the code in ``src/repro``, the cell spec).
+The cache exploits that by addressing results with
+
+    sha256(code digest of src/repro  +  cell kind  +  canonical cell JSON)
+
+so a re-run after *any* source change misses everything (the digest
+covers every ``.py`` file under the package), while a re-run of an
+unchanged tree skips unchanged cells entirely.
+
+Layout (default root ``.repro-cache/``, override with the
+``REPRO_CACHE_DIR`` environment variable)::
+
+    .repro-cache/objects/<key[:2]>/<key>.json
+
+Each object file records the key's ingredients next to the value, so a
+cache entry is self-describing and auditable.  Values must be
+JSON-serializable; cells that produce richer results (e.g. live event
+streams for trace export) are marked uncacheable by the engine.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Optional, Tuple
+
+__all__ = ["code_digest", "cell_key", "ResultCache", "default_cache_root"]
+
+_MISS = object()
+
+#: memoized (per-process) digest of the src/repro tree
+_code_digest_cache: Optional[str] = None
+
+
+def code_digest() -> str:
+    """sha256 over every ``.py`` file of the installed ``repro`` package.
+
+    Sorted relative paths and file bytes both enter the hash, so moving,
+    renaming, adding, or editing any module changes the digest — which
+    invalidates every cached cell.  Memoized per process.
+    """
+    global _code_digest_cache
+    if _code_digest_cache is not None:
+        return _code_digest_cache
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    h = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        h.update(str(path.relative_to(root)).encode())
+        h.update(b"\0")
+        h.update(path.read_bytes())
+        h.update(b"\0")
+    _code_digest_cache = h.hexdigest()
+    return _code_digest_cache
+
+
+def cell_key(kind: str, cell: Any, code: Optional[str] = None) -> str:
+    """Content address of one cell: code digest + kind + canonical spec."""
+    material = json.dumps(
+        {"code": code if code is not None else code_digest(),
+         "kind": kind, "cell": cell},
+        sort_keys=True, separators=(",", ":"),
+    )
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+def default_cache_root() -> str:
+    return os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
+
+
+class ResultCache:
+    """Content-addressed JSON store under *root* (see module docstring)."""
+
+    def __init__(self, root: Optional[str] = None):
+        self.root = Path(root if root is not None else default_cache_root())
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / "objects" / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """``(True, value)`` on a hit, ``(False, None)`` on a miss."""
+        path = self._path(key)
+        try:
+            with open(path) as fh:
+                entry = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            return False, None
+        if entry.get("key") != key:  # truncated/corrupt write
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, entry["value"]
+
+    def put(self, key: str, kind: str, cell: Any, value: Any) -> bool:
+        """Store *value*; returns False (and stores nothing) if the value
+        is not JSON-serializable."""
+        try:
+            blob = json.dumps(
+                {
+                    "key": key,
+                    "kind": kind,
+                    "code": code_digest(),
+                    "cell": cell,
+                    "value": value,
+                    "created": datetime.now(timezone.utc).isoformat(),
+                },
+                sort_keys=True,
+            )
+        except (TypeError, ValueError):
+            return False
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(blob + "\n")
+        os.replace(tmp, path)  # atomic: concurrent writers race benignly
+        self.stores += 1
+        return True

@@ -1,0 +1,221 @@
+"""The cell-kind registry: what a worker actually runs.
+
+A *cell* is a plain JSON dict describing one independent simulation —
+``{"kind": "<task name>", ...parameters...}``.  Cells are the unit of
+sharding, caching, and merging: pure data in, a JSON-serializable result
+out, with the simulation seeded entirely by the cell spec so the result
+never depends on which shard (or process) ran it.
+
+Cells with a truthy ``"_nocache"`` field bypass the result cache — used
+for wall-clock measurements (kernel perf) and for cells that return live
+:class:`~repro.obs.bus.Event` objects (trace capture).  Underscore keys
+are stripped before cache-key computation so ``_nocache`` never changes
+a cell's content address.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+__all__ = ["TASKS", "task", "run_cell", "cacheable_spec"]
+
+TASKS: Dict[str, Callable[[dict], Any]] = {}
+
+
+def task(name: str):
+    """Register a top-level cell function under *name*."""
+    def register(fn):
+        TASKS[name] = fn
+        return fn
+    return register
+
+
+def run_cell(cell: dict) -> Any:
+    """Execute one cell (in whatever process this is called from)."""
+    return TASKS[cell["kind"]](cell)
+
+
+def cacheable_spec(cell: dict):
+    """The cache-key material of a cell: underscore keys stripped.
+    Returns None when the cell opts out of caching."""
+    if cell.get("_nocache"):
+        return None
+    return {k: v for k, v in cell.items() if not k.startswith("_")}
+
+
+# ------------------------------------------------------- figure sweep points
+def _device_config(cell):
+    cfg = cell.get("config")
+    if not cfg:
+        return None
+    from repro.mpi.device.lowlatency import LowLatencyConfig
+
+    return LowLatencyConfig(**cfg)
+
+
+@task("pingpong_rtt")
+def _pingpong_rtt(cell):
+    from repro.bench import harness
+
+    return harness.mpi_pingpong_rtt(
+        cell["platform"], cell["device"], cell["nbytes"],
+        device_config=_device_config(cell),
+    )
+
+
+@task("bandwidth")
+def _bandwidth(cell):
+    from repro.bench import harness
+
+    return harness.mpi_bandwidth(cell["platform"], cell["device"], cell["nbytes"])
+
+
+@task("tport_rtt")
+def _tport_rtt(cell):
+    from repro.bench import harness
+
+    return harness.tport_rtt(cell["nbytes"])
+
+
+@task("tport_bandwidth")
+def _tport_bandwidth(cell):
+    from repro.bench import harness
+
+    return harness.tport_bandwidth(cell["nbytes"])
+
+
+@task("raw_rtt")
+def _raw_rtt(cell):
+    from repro.bench import harness
+
+    return harness.raw_stream_rtt(cell["network"], cell["transport"], cell["nbytes"])
+
+
+@task("raw_bandwidth")
+def _raw_bandwidth(cell):
+    from repro.bench import harness
+
+    return harness.raw_stream_bandwidth(
+        cell["network"], cell["transport"], cell["nbytes"]
+    )
+
+
+@task("fore_rtt")
+def _fore_rtt(cell):
+    from repro.bench import harness
+
+    return harness.fore_rtt(cell["nbytes"])
+
+
+@task("app_time")
+def _app_time(cell):
+    from repro import apps
+    from repro.mpi import World
+
+    app = getattr(apps, cell["app"])
+    kwargs = cell.get("kwargs") or {}
+
+    def main(comm):
+        _, elapsed = yield from app(comm, **kwargs)
+        return elapsed
+
+    world = World(cell["nprocs"], platform=cell["platform"], device=cell["device"])
+    return max(world.run(main))
+
+
+# ------------------------------------------------------------ chaos scenarios
+@task("chaos_cell")
+def _chaos_cell(cell):
+    from repro.bench.chaos import chaos_cell
+
+    bus = None
+    if cell.get("_trace"):
+        from repro.obs import EventBus
+
+        bus = EventBus()
+    row = chaos_cell(
+        cell["platform"], cell["loss"], workload=cell["workload"],
+        nprocs=cell["nprocs"], nbytes=cell["nbytes"],
+        repeats=cell["repeats"], seed=cell["seed"], obs=bus,
+    )
+    if bus is None:
+        return {"row": row}
+    return {"row": row, "events": bus.events}
+
+
+# ----------------------------------------------------- conformance/fuzz cells
+@task("conformance_cell")
+def _conformance_cell(cell):
+    from repro.conformance.executor import canonical_trace, run_program
+    from repro.conformance.grammar import Program
+
+    program = Program.from_dict(cell["program"])
+    try:
+        trace = run_program(
+            program, cell["platform"], cell["device"], fault=cell.get("fault", False)
+        )
+        return {"canon": canonical_trace(trace)}
+    except Exception as exc:  # noqa: BLE001 - any failure is a finding
+        return {"error": f"{type(exc).__name__}: {exc}"}
+
+
+@task("fuzz_entry")
+def _fuzz_entry(cell):
+    """One corpus entry: differential (+ fault-composed) for one seed.
+
+    Returns exactly what the serial corpus loop needs to print the same
+    line and the parent needs to decide on shrinking — plus the
+    reference canonical trace, the merged "semantic trace" artifact.
+    """
+    from repro.conformance.executor import check_faulty, differential
+    from repro.conformance.grammar import generate
+
+    matrix = cell.get("matrix")
+    if matrix is not None:
+        matrix = [tuple(pair) for pair in matrix]
+    program = generate(cell["seed"], nprocs=cell.get("nprocs"),
+                       profile=cell["profile"])
+    result = differential(program, matrix=matrix)
+    out = {
+        "summary": result.summary(),
+        "ok": result.ok,
+        "canon": None if result.reference is None
+        else result.canons[result.reference],
+        "fault_checked": False,
+        "fault_summary": None,
+        "fault_ok": True,
+        "has_fault": program.fault is not None,
+    }
+    if result.ok and program.fault is not None:
+        fault_result = check_faulty(program)
+        out["fault_checked"] = True
+        out["fault_summary"] = fault_result.summary()
+        out["fault_ok"] = fault_result.ok
+    return out
+
+
+# ------------------------------------------------------- kernel perf workload
+@task("kernel_workload")
+def _kernel_workload(cell):
+    from repro.bench.kernel_perf import run_workload
+
+    return run_workload(
+        cell["name"], quick=cell["quick"], repeats=cell["repeats"]
+    )
+
+
+# ------------------------------------------------------------------ self-test
+@task("_selftest")
+def _selftest(cell):
+    """Deterministic toy cell for the engine's own tests: no simulation,
+    just a digest of the spec (plus an optional busy-loop)."""
+    import hashlib
+    import json as _json
+
+    spin = cell.get("spin", 0)
+    acc = 0
+    for i in range(spin):
+        acc += i
+    material = _json.dumps(cacheable_spec(cell) or cell, sort_keys=True)
+    return {"digest": hashlib.sha256(material.encode()).hexdigest()[:16],
+            "acc": acc}

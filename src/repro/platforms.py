@@ -20,10 +20,21 @@ from repro.sim import Simulator
 __all__ = [
     "Platform",
     "build_platform",
+    "device_key",
     "DEFAULT_DEVICES",
     "PLATFORM_DEVICES",
     "DEVICE_MATRIX",
 ]
+
+
+def device_key(platform: str, device: str) -> str:
+    """Canonical ``"platform-device"`` cell label.
+
+    This is the key used everywhere a (platform, device) pair names an
+    experiment cell: differential-conformance results, parallel-engine
+    cache entries, and test parametrisation ids.
+    """
+    return f"{platform}-{device}"
 
 DEFAULT_DEVICES = {"meiko": "lowlatency", "atm": "tcp", "ethernet": "tcp"}
 

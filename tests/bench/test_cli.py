@@ -68,6 +68,20 @@ def test_unknown_figure_rejected():
         run_cli("figure", "fig99")
 
 
+def test_sweep_matches_figure_output(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    _, figure_text = run_cli("figure", "fig02")
+    code, sweep_text = run_cli("sweep", "fig02", "--workers", "2")
+    assert code == 0
+    assert sweep_text == figure_text  # engine stats go to stderr only
+
+
+def test_sweep_rejects_unknown_figure():
+    code, text = run_cli("sweep", "fig99")
+    assert code == 2
+    assert "unknown figure" in text
+
+
 @pytest.mark.parametrize("app", ["linsolve", "matmul", "nbody", "jacobi"])
 def test_apps_verify(app):
     code, text = run_cli("app", app, "--nprocs", "2", "--size", "8")

@@ -1,0 +1,134 @@
+"""The parallel experiment engine's own tests.
+
+The contract under test (see ``src/repro/parallel/engine.py``):
+seed-stable round-robin sharding, canonical-order merge identical to
+the serial run, budget skips as :data:`SKIPPED`, worker exceptions
+re-raised as :class:`CellError`, and — for traced sweeps — per-shard
+event streams threaded back through the merge so an exported trace is
+byte-identical to the serial sweep's.
+
+Tests use the ``_selftest`` cell kind (a pure digest of the spec, no
+simulation) so engine behaviour is isolated from simulator behaviour.
+"""
+
+import json
+
+import pytest
+
+from repro.parallel import CellError, SKIPPED, plan_shards, run_cells
+from repro.parallel.engine import RunReport
+
+
+def _cells(n, **extra):
+    return [{"kind": "_selftest", "i": i, **extra} for i in range(n)]
+
+
+# ---------------------------------------------------------------- sharding
+def test_plan_shards_is_round_robin():
+    assert plan_shards(7, 3) == [[0, 3, 6], [1, 4], [2, 5]]
+
+
+def test_plan_shards_is_a_pure_function_of_counts():
+    assert plan_shards(10, 4) == plan_shards(10, 4)
+
+
+def test_plan_shards_covers_every_index_exactly_once():
+    for n, w in [(0, 1), (1, 4), (9, 2), (16, 16), (5, 7)]:
+        flat = sorted(i for shard in plan_shards(n, w) for i in shard)
+        assert flat == list(range(n))
+
+
+def test_plan_shards_clamps_workers_to_one():
+    assert plan_shards(3, 0) == [[0, 1, 2]]
+
+
+# ------------------------------------------------------------------- merge
+def test_parallel_results_equal_serial(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    cells = _cells(9)
+    serial = run_cells(cells, workers=1, cache=False)
+    parallel = run_cells(cells, workers=4, cache=False)
+    assert parallel.results == serial.results
+    assert [r["digest"] for r in parallel.results] == [
+        r["digest"] for r in serial.results
+    ]
+
+
+def test_merge_is_in_submission_order():
+    cells = _cells(6)
+    report = run_cells(cells, workers=3, cache=False)
+    expected = [run_cells([c], cache=False).results[0] for c in cells]
+    assert report.results == expected
+
+
+def test_report_accounting():
+    report = run_cells(_cells(5), workers=2, cache=False)
+    assert isinstance(report, RunReport)
+    assert report.executed == 5
+    assert report.cached == 0
+    assert report.skipped == 0
+    assert sum(s.cells for s in report.shards) == 5
+    assert "workers=2" in report.stats_line()
+
+
+def test_empty_cell_list():
+    report = run_cells([], workers=4, cache=False)
+    assert report.results == []
+    assert report.executed == 0
+
+
+# ------------------------------------------------------------------ budget
+def test_budget_skips_remaining_cells():
+    cells = _cells(8, spin=200_000)
+    report = run_cells(cells, workers=1, cache=False, budget_s=0.0)
+    # budget 0 → the first cell of the shard still starts before the
+    # clock is checked, everything after is skipped
+    assert report.skipped >= 1
+    assert any(r is SKIPPED for r in report.results)
+    assert report.executed + report.skipped == len(cells)
+
+
+def test_skipped_cells_use_the_sentinel_not_none():
+    report = run_cells(_cells(4, spin=200_000), workers=1,
+                       cache=False, budget_s=0.0)
+    for r in report.results:
+        assert r is SKIPPED or isinstance(r, dict)
+
+
+# ------------------------------------------------------------------ errors
+def test_worker_exception_becomes_cell_error():
+    cells = _cells(2) + [{"kind": "no_such_task"}]
+    with pytest.raises(CellError) as excinfo:
+        run_cells(cells, workers=2, cache=False)
+    assert excinfo.value.index == 2
+    assert "no_such_task" in str(excinfo.value)
+
+
+def test_cell_error_carries_the_cell():
+    with pytest.raises(CellError) as excinfo:
+        run_cells([{"kind": "no_such_task", "x": 1}], cache=False)
+    assert excinfo.value.cell == {"kind": "no_such_task", "x": 1}
+
+
+# ----------------------------------------------- traced sweeps (obs merge)
+def _traced_chaos_sweep(workers, trace_path):
+    from repro.bench.chaos import chaos_sweep
+    from repro.obs import EventBus
+    from repro.obs.export import write_trace
+
+    bus = EventBus()
+    rows = chaos_sweep(
+        platforms=["ethernet"], losses=(0.0, 0.05), workloads=("pingpong",),
+        repeats=2, obs=bus, workers=workers, use_cache=False,
+    )
+    write_trace(bus, str(trace_path))
+    return rows, len(bus.events)
+
+
+def test_traced_chaos_parallel_trace_is_byte_identical(tmp_path):
+    serial_rows, serial_events = _traced_chaos_sweep(None, tmp_path / "s.json")
+    par_rows, par_events = _traced_chaos_sweep(2, tmp_path / "p.json")
+    assert par_rows == serial_rows
+    assert par_events == serial_events > 0
+    assert (tmp_path / "p.json").read_bytes() == (tmp_path / "s.json").read_bytes()
+    json.loads((tmp_path / "s.json").read_text())  # stays valid JSON

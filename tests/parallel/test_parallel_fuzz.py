@@ -1,0 +1,120 @@
+"""Serial/parallel equivalence of the fuzz-corpus runner.
+
+The acceptance contract from the ISSUE: a 4-worker corpus run must
+produce byte-identical merged semantic traces (the per-entry printed
+lines and the reference canonical traces) and identical shrunk repro
+artifacts versus the serial run — plus, with a warm cache, a re-run of
+an unchanged tree must skip every entry.
+"""
+
+import io
+from pathlib import Path
+
+import pytest
+
+from repro.conformance.corpus import run_corpus
+from repro.conformance.executor import DifferentialResult
+from repro.conformance.grammar import generate
+from repro.parallel import ResultCache
+
+#: small cross-profile slice of the pinned corpus (kept fault-free so the
+#: injected-failure test below exercises only the differential path)
+ENTRIES = [(1, "mixed"), (11, "pt2pt"), (21, "collective"),
+           (2, "mixed"), (12, "pt2pt"), (31, "fault")]
+
+
+def _lines(buf):
+    """Per-entry output lines; the trailing summary line carries a
+    wall-clock elapsed figure, so it is compared field-wise instead."""
+    lines = buf.getvalue().splitlines()
+    assert lines[-1].startswith("corpus ")
+    return lines[:-1]
+
+
+# ------------------------------------------------- byte-identical merge
+def test_four_worker_run_matches_serial():
+    serial_out, parallel_out = io.StringIO(), io.StringIO()
+    serial = run_corpus(ENTRIES, out=serial_out)
+    parallel = run_corpus(ENTRIES, out=parallel_out, workers=4,
+                          use_cache=False)
+
+    assert _lines(parallel_out) == _lines(serial_out)
+    for field in ("total", "ran", "passed", "failures", "truncated"):
+        assert parallel[field] == serial[field]
+    # the merged semantic traces: reference canonical trace per entry
+    assert parallel["canons"] == serial["canons"]
+    assert len(serial["canons"]) == len(ENTRIES)
+    eng = parallel["engine"]
+    assert eng["workers"] == 4
+    assert eng["executed"] == len(ENTRIES)
+    assert len(eng["shards"]) <= 4
+
+
+def test_workers_one_also_matches_serial():
+    serial_out, one_out = io.StringIO(), io.StringIO()
+    entries = ENTRIES[:3]
+    serial = run_corpus(entries, out=serial_out)
+    one = run_corpus(entries, out=one_out, workers=1, use_cache=False)
+    assert _lines(one_out) == _lines(serial_out)
+    assert one["canons"] == serial["canons"]
+
+
+# ----------------------------------------------------------- warm cache
+def test_warm_cache_skips_every_entry(tmp_path):
+    entries = ENTRIES[:4]
+    cache_root = str(tmp_path / "cache")
+    cold = run_corpus(entries, workers=2, cache_root=cache_root)
+    assert cold["engine"]["executed"] == len(entries)
+    warm = run_corpus(entries, workers=2, cache_root=cache_root)
+    assert warm["engine"]["executed"] == 0
+    assert warm["engine"]["cached"] == len(entries)
+    assert warm["canons"] == cold["canons"]
+    assert warm["passed"] == cold["passed"]
+
+
+# ------------------------------------------------------ shrunk artifacts
+def _has_collective(program):
+    return any(r.kind == "collective" for r in program.rounds)
+
+
+def _inject_collective_failure(monkeypatch):
+    """Replace the differential oracle with a deterministic structural
+    predicate: any program containing a collective round 'fails'.  The
+    patch is installed before the worker pool forks, so worker processes
+    inherit it; the shrinker then minimises under the same predicate in
+    both the serial and the engine path."""
+
+    def fake_differential(program, matrix=None, **kwargs):
+        return DifferentialResult(program=program, ok=not _has_collective(program))
+
+    monkeypatch.setattr(
+        "repro.conformance.executor.differential", fake_differential
+    )
+    monkeypatch.setattr(
+        "repro.conformance.corpus.differential", fake_differential
+    )
+
+
+def test_shrunk_repros_identical_serial_vs_parallel(tmp_path, monkeypatch):
+    _inject_collective_failure(monkeypatch)
+    entries = [(11, "pt2pt"), (21, "collective")]
+    assert _has_collective(generate(21, profile="collective"))
+
+    serial_dir, parallel_dir = tmp_path / "serial", tmp_path / "parallel"
+    serial = run_corpus(entries, artifacts_dir=str(serial_dir),
+                        shrink_budget=40)
+    parallel = run_corpus(entries, artifacts_dir=str(parallel_dir),
+                          shrink_budget=40, workers=4, use_cache=False)
+
+    assert serial["failures"] and parallel["failures"]
+    assert [f[:2] for f in parallel["failures"]] == \
+        [f[:2] for f in serial["failures"]]
+
+    serial_files = sorted(p.name for p in serial_dir.iterdir())
+    parallel_files = sorted(p.name for p in parallel_dir.iterdir())
+    assert parallel_files == serial_files
+    assert serial_files == ["repro_collective_seed21.json",
+                            "repro_collective_seed21.py"]
+    for name in serial_files:
+        assert (parallel_dir / name).read_bytes() == \
+            (serial_dir / name).read_bytes()
