@@ -8,6 +8,12 @@
 * :mod:`repro.apps.nbody` — particle pairwise interactions in a ring,
   using nonblocking sends + blocking receives + wait (Figures 8 and 9).
 
+Extensions past the paper:
+
+* :mod:`repro.apps.jacobi` — 2D halo-exchange heat diffusion;
+* :mod:`repro.apps.survivable` — fault-tolerant ring relaxation with
+  checkpoint-restart over the ULFM recovery path (:mod:`repro.mpi.ft`).
+
 Each application both *computes real numbers* (verified against NumPy
 in the tests) and *charges simulated CPU time* for its floating-point
 work, so communication/computation overlap behaves like the paper's
@@ -18,6 +24,7 @@ from repro.apps.jacobi import jacobi_heat, initial_grid, reference_jacobi
 from repro.apps.linsolve import linsolve, generate_system
 from repro.apps.matmul import matmul
 from repro.apps.nbody import nbody_ring, reference_forces, generate_particles
+from repro.apps.survivable import initial_vector, reference_relax, survivable_relax
 
 __all__ = [
     "jacobi_heat",
@@ -29,4 +36,7 @@ __all__ = [
     "nbody_ring",
     "reference_forces",
     "generate_particles",
+    "initial_vector",
+    "reference_relax",
+    "survivable_relax",
 ]

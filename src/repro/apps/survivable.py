@@ -1,0 +1,159 @@
+"""Survivable ring relaxation: checkpoint-restart over ULFM recovery.
+
+Not in the paper — the demonstration workload for :mod:`repro.mpi.ft`.
+A global vector is block-partitioned over the ranks; each iteration
+exchanges one boundary element with each ring neighbour (``sendrecv``,
+the n-body communication shape) and relaxes the interior with a
+three-point average.  Every ``checkpoint_every`` iterations each rank
+saves its block to the :class:`~repro.mpi.ft.CheckpointStore` and the
+wave is committed behind a barrier.
+
+When a rank dies mid-run, the survivors' operations fail with
+:class:`~repro.mpi.exceptions.RankFailed` (or
+:class:`~repro.mpi.exceptions.CommRevoked`, once the first survivor
+revokes); every survivor then runs the ULFM recovery sequence —
+``revoke → failure_ack → shrink → agree`` — reassembles the vector from
+the newest *committed* checkpoint wave, repartitions it over the
+shrunken communicator, and resumes.  The final result is byte-identical
+to the failure-free run (verified against :func:`reference_relax`),
+because relaxation is deterministic and recovery replays from a
+consistent wave.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.mpi.constants import PROC_NULL
+from repro.mpi.exceptions import CommRevoked, MPIError, RankFailed
+
+__all__ = ["initial_vector", "reference_relax", "survivable_relax"]
+
+#: simulated µs per relaxed element (2 adds + 1 divide, with indexing)
+FLOP_TIME = 0.1
+FLOPS_PER_CELL = 4
+
+TAG_LEFT = 31   # boundary element travelling toward rank 0
+TAG_RIGHT = 32  # boundary element travelling away from rank 0
+
+
+def initial_vector(n: int, hot: float = 100.0) -> np.ndarray:
+    """A length-*n* vector, zero inside, *hot* at both fixed ends."""
+    v = np.zeros(n)
+    v[0] = hot
+    v[-1] = hot
+    return v
+
+
+def reference_relax(n: int, iters: int, hot: float = 100.0) -> np.ndarray:
+    """Serial three-point relaxation (end elements held fixed)."""
+    v = initial_vector(n, hot)
+    for _ in range(iters):
+        nxt = v.copy()
+        nxt[1:-1] = (v[:-2] + v[1:-1] + v[2:]) / 3.0
+        v = nxt
+    return v
+
+
+def _bounds(n: int, size: int, rank: int) -> Tuple[int, int]:
+    """Global [lo, hi) of *rank*'s block under an even partition."""
+    split = np.array_split(np.arange(n), size)[rank]
+    return int(split[0]), int(split[-1]) + 1
+
+
+def _assemble(wave: Dict[int, Tuple[int, np.ndarray]], n: int) -> np.ndarray:
+    """Rebuild the global vector from a checkpoint wave's blocks."""
+    vec = np.empty(n)
+    covered = 0
+    for lo, block in wave.values():
+        vec[lo:lo + len(block)] = block
+        covered += len(block)
+    if covered != n:
+        raise ConfigurationError(
+            f"checkpoint wave covers {covered} of {n} elements"
+        )
+    return vec
+
+
+def survivable_relax(comm, n: int = 64, iters: int = 12,
+                     checkpoint_every: int = 4, hot: float = 100.0):
+    """Generator: fault-tolerant distributed relaxation on *comm*.
+
+    Requires ``World(..., ft=True)``.  Returns ``(vec, info)`` at the
+    lowest surviving rank and ``(None, info)`` elsewhere, where ``info``
+    records the number of recoveries and the final communicator size.
+    """
+    ft = getattr(comm.world, "ft", None)
+    if ft is None:
+        raise MPIError("survivable_relax requires World(..., ft=True)")
+    if checkpoint_every < 1:
+        raise ConfigurationError("checkpoint_every must be >= 1")
+    if n < comm.size:
+        raise ConfigurationError(f"{n} elements under {comm.size} ranks")
+    store = ft.checkpoints
+    recoveries = 0
+
+    # a restarted world resumes from the newest committed wave
+    step = store.latest_committed()
+    if step is None:
+        vec, it = initial_vector(n, hot), 0
+    else:
+        vec, it = _assemble(store.load(step), n), step
+
+    lo, hi = _bounds(n, comm.size, comm.rank)
+    block = vec[lo:hi].copy()
+    host = comm.endpoint.host
+
+    while it < iters:
+        try:
+            left = comm.rank - 1 if comm.rank > 0 else PROC_NULL
+            right = comm.rank + 1 if comm.rank < comm.size - 1 else PROC_NULL
+            halo = np.zeros(1)
+            ext = np.empty(len(block) + 2)
+            ext[1:-1] = block
+            _, st = yield from comm.sendrecv(
+                block[:1].copy(), dest=left, recvbuf=halo, source=right,
+                sendtag=TAG_LEFT, recvtag=TAG_LEFT,
+            )
+            ext[-1] = halo[0] if st.count_bytes else 0.0
+            _, st = yield from comm.sendrecv(
+                block[-1:].copy(), dest=right, recvbuf=halo, source=left,
+                sendtag=TAG_RIGHT, recvtag=TAG_RIGHT,
+            )
+            ext[0] = halo[0] if st.count_bytes else 0.0
+            nxt = (ext[:-2] + ext[1:-1] + ext[2:]) / 3.0
+            if lo == 0:
+                nxt[0] = block[0]       # global ends are held fixed
+            if hi == n:
+                nxt[-1] = block[-1]
+            block = nxt
+            yield from host.compute(len(block) * FLOPS_PER_CELL * FLOP_TIME)
+            it += 1
+            if it % checkpoint_every == 0 and it < iters:
+                store.save(it, comm.endpoint.world_rank, (lo, block.copy()))
+                yield from comm.barrier()
+                store.commit(it)
+        except (RankFailed, CommRevoked):
+            # ULFM recovery: get every survivor onto the same new
+            # communicator, then roll back to the committed wave
+            comm.revoke()
+            comm.failure_ack()
+            comm = yield from comm.shrink()
+            yield from comm.agree(True)
+            recoveries += 1
+            step = store.latest_committed()
+            if step is None:
+                vec, it = initial_vector(n, hot), 0
+            else:
+                vec, it = _assemble(store.load(step), n), step
+            lo, hi = _bounds(n, comm.size, comm.rank)
+            block = vec[lo:hi].copy()
+
+    gathered = yield from comm.gather((lo, block.copy()), root=0)
+    info = {"recoveries": recoveries, "size": comm.size, "iters": it}
+    if comm.rank != 0:
+        return None, info
+    return _assemble(dict(enumerate(gathered)), n), info

@@ -31,6 +31,9 @@ __all__ = [
     "chaos_cell",
     "chaos_sweep",
     "format_chaos",
+    "soak_cell",
+    "soak_sweep",
+    "format_soak",
 ]
 
 CLUSTER_PLATFORMS = ("ethernet", "atm")
@@ -220,6 +223,221 @@ def chaos_sweep(
         if baseline and row["outcome"] == "ok":
             row["slowdown"] = row["time_us"] / baseline
     return rows
+
+
+# --------------------------------------------------------------- chaos soak
+#
+# The soak gate: a pinned crash schedule driven through the full ULFM
+# recovery path (detect -> revoke -> shrink -> agree -> restart from
+# checkpoint) on every platform/device cell.  Each cell must *complete
+# with the correct answer* and its recovery event trace must be
+# byte-identical across repeated seeded runs — the determinism property
+# the FT layer promises.
+
+def _ft_trace_sha(events) -> str:
+    """Content hash of the ft-layer slice of an event stream.
+
+    Canonical JSON over ``(t, kind, rank, detail)`` of every ``"ft"``
+    event, in emission order.  Two runs of the same seeded cell must
+    produce the same digest; two different cells generally do not
+    (platform timing differs).
+    """
+    import hashlib
+    import json
+
+    canon = [
+        [ev.t, ev.kind, ev.rank, ev.detail]
+        for ev in events
+        if ev.layer == "ft"
+    ]
+    material = json.dumps(canon, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+def soak_cell(
+    platform: str,
+    device: str,
+    nprocs: int = 8,
+    victim: int = 3,
+    crash_at: float = 900.0,
+    n: int = 64,
+    iters: int = 12,
+    checkpoint_every: int = 4,
+    seed: int = 1,
+    obs=None,
+) -> Dict:
+    """One soak cell: crash *victim* mid-run, recover, verify the answer.
+
+    Runs the survivable ring relaxation (``repro.apps.survivable``) under
+    ``World(..., ft=True)`` with a pinned :class:`NodeCrash`, checks the
+    survivors' result against the serial reference, and reports the
+    recovery timeline plus ``trace_sha`` — the digest of the typed
+    ``"ft"`` recovery events (crash/detect/revoke/shrink/agree/
+    checkpoint), the determinism witness the sweep compares across
+    repeated runs.
+    """
+    import numpy as np
+
+    from repro.apps.survivable import reference_relax, survivable_relax
+    from repro.errors import DeadlockError
+    from repro.faults import NodeCrash
+    from repro.obs import EventBus
+    from repro.platforms import device_key
+
+    bus = obs if obs is not None else EventBus()
+    if obs is not None:
+        obs.set_run(f"soak/{device_key(platform, device)}/crash@{crash_at:g}")
+    start = len(bus.events)
+    plan = FaultPlan.of(NodeCrash(node=victim, at=crash_at))
+    world = World(
+        nprocs, platform=platform, device=device, seed=seed,
+        faults=plan, ft=True, obs=bus,
+    )
+    row: Dict = {
+        "platform": platform,
+        "device": device,
+        "cell": device_key(platform, device),
+        "outcome": "ok",
+        "recoveries": None,
+        "survivors": None,
+        "time_us": None,
+        "timeline": {},
+        "diagnostic": "",
+    }
+    try:
+        results = world.run(
+            lambda comm: survivable_relax(
+                comm, n=n, iters=iters, checkpoint_every=checkpoint_every
+            )
+        )
+        row["time_us"] = world.sim.now
+        vecs = [r[0] for r in results if r is not None and r[0] is not None]
+        info = next(r[1] for r in results if r is not None)
+        row["recoveries"] = info["recoveries"]
+        row["survivors"] = info["size"]
+        ref = reference_relax(n, iters)
+        if len(vecs) != 1 or not np.allclose(vecs[0], ref):
+            row["outcome"] = "wrong-answer"
+            row["diagnostic"] = f"{len(vecs)} result vectors"
+    except DeadlockError as e:
+        row["outcome"] = "deadlock"
+        row["time_us"] = world.sim.now
+        row["diagnostic"] = f"stuck ranks {e.stuck_ranks}"
+    except (NetworkError, CommError) as e:
+        row["outcome"] = "net-error"
+        row["time_us"] = getattr(e, "sim_time_us", world.sim.now)
+        rank = getattr(e, "mpi_rank", getattr(e, "rank", "?"))
+        row["diagnostic"] = f"rank {rank}: {type(e).__name__}: {e}"
+    row["timeline"] = dict(world.ft.timeline)
+    row["trace_sha"] = _ft_trace_sha(bus.events[start:])
+    tl = row["timeline"]
+    if "crash" in tl and "detect" in tl:
+        row["detect_us"] = tl["detect"] - tl["crash"]
+    if "detect" in tl and "agree" in tl:
+        row["recover_us"] = tl["agree"] - tl["detect"]
+    return row
+
+
+def soak_sweep(
+    cells=None,
+    nprocs: int = 8,
+    victim: int = 3,
+    crash_at: float = 900.0,
+    n: int = 64,
+    iters: int = 12,
+    checkpoint_every: int = 4,
+    seed: int = 1,
+    repeat: int = 2,
+    obs=None,
+    workers: Optional[int] = None,
+) -> List[Dict]:
+    """The chaos-soak gate: the pinned crash scenario on every cell.
+
+    Each (platform, device) cell runs ``repeat`` times; the first run is
+    the reported row (and the traced one, when *obs* is attached), and
+    every repetition's ``trace_sha`` must match it — the row's
+    ``deterministic`` field records the comparison.  ``workers`` routes
+    the runs through the parallel experiment engine (soak cells are
+    never cached: the digest of a fresh run is the whole point).
+    """
+    from repro.platforms import DEVICE_MATRIX
+
+    cells = list(cells) if cells is not None else list(DEVICE_MATRIX)
+    params = {
+        "nprocs": nprocs, "victim": victim, "crash_at": crash_at,
+        "n": n, "iters": iters, "checkpoint_every": checkpoint_every,
+        "seed": seed,
+    }
+    specs = [
+        dict(params, platform=platform, device=device, rep=rep)
+        for platform, device in cells
+        for rep in range(max(1, repeat))
+    ]
+
+    if workers is None:
+        rows_by_spec = []
+        for s in specs:
+            cell_obs = obs if s["rep"] == 0 else None
+            rows_by_spec.append(soak_cell(
+                s["platform"], s["device"], nprocs=s["nprocs"],
+                victim=s["victim"], crash_at=s["crash_at"], n=s["n"],
+                iters=s["iters"], checkpoint_every=s["checkpoint_every"],
+                seed=s["seed"], obs=cell_obs,
+            ))
+    else:
+        from repro.parallel import run_cells
+
+        traced = obs is not None
+        engine_cells = [
+            dict(s, kind="soak_cell", _nocache=True,
+                 _trace=traced and s["rep"] == 0)
+            for s in specs
+        ]
+        report = run_cells(engine_cells, workers=workers, cache=False)
+        rows_by_spec = []
+        for res in report.results:
+            rows_by_spec.append(res["row"])
+            if "events" in res and obs is not None:
+                obs.extend(res["events"])
+
+    # fold repetitions: first rep is the row, the rest are witnesses
+    rows: List[Dict] = []
+    by_cell: Dict = {}
+    for s, row in zip(specs, rows_by_spec):
+        key = (s["platform"], s["device"])
+        if s["rep"] == 0:
+            row["deterministic"] = True
+            by_cell[key] = row
+            rows.append(row)
+        elif row["trace_sha"] != by_cell[key]["trace_sha"]:
+            by_cell[key]["deterministic"] = False
+    return rows
+
+
+def format_soak(rows: Sequence[Dict]) -> str:
+    """Fixed-width table of a chaos-soak sweep."""
+    from repro.bench.tables import format_table
+
+    table = []
+    for r in rows:
+        t = f"{r['time_us']:.0f}" if r["time_us"] is not None else "-"
+        det = f"{r['detect_us']:.0f}" if r.get("detect_us") is not None else "-"
+        rec = f"{r['recover_us']:.0f}" if r.get("recover_us") is not None else "-"
+        table.append([
+            r["cell"], r["outcome"],
+            r["recoveries"] if r["recoveries"] is not None else "-",
+            r["survivors"] if r["survivors"] is not None else "-",
+            det, rec, t,
+            "yes" if r.get("deterministic") else "NO",
+            r["trace_sha"][:12],
+            r["diagnostic"],
+        ])
+    return format_table(
+        ["cell", "outcome", "recov", "ranks", "detect us", "recover us",
+         "sim us", "det.", "trace sha", "diagnostic"],
+        table,
+        title="Chaos soak: pinned mid-run crash through ULFM recovery",
+    )
 
 
 def format_chaos(rows: Sequence[Dict]) -> str:

@@ -144,6 +144,23 @@ def build_parser() -> argparse.ArgumentParser:
     ch.add_argument("--repeats", type=int, default=20,
                     help="ping-pong round trips per cell")
     ch.add_argument("--seed", type=int, default=1)
+    ch.add_argument("--soak", action="store_true",
+                    help="run the ULFM recovery soak instead of the loss "
+                         "sweep: a pinned mid-run NodeCrash driven through "
+                         "detect/revoke/shrink/agree + checkpoint restart "
+                         "on every platform/device cell")
+    ch.add_argument("--cells", default="all", metavar="CELLS",
+                    help="soak mode: comma-separated platform-device cells "
+                         "(default: the full device matrix)")
+    ch.add_argument("--crash-at", type=float, default=900.0,
+                    help="soak mode: simulated us at which the victim dies")
+    ch.add_argument("--victim", type=int, default=3,
+                    help="soak mode: world rank that crashes")
+    ch.add_argument("--nprocs", type=int, default=8,
+                    help="soak mode: ranks in the survivable workload")
+    ch.add_argument("--soak-repeat", type=int, default=2,
+                    help="soak mode: seeded runs per cell whose recovery "
+                         "traces must be byte-identical")
     _add_trace_args(ch)
     _add_parallel_args(ch)
 
@@ -171,8 +188,9 @@ def build_parser() -> argparse.ArgumentParser:
     fz.add_argument("--seeds", default=None,
                     help="comma-separated list of seeds to check")
     fz.add_argument("--profile", default="mixed",
-                    choices=["mixed", "pt2pt", "collective", "fault"],
-                    help="generator op-mix profile (default: mixed)")
+                    choices=["mixed", "pt2pt", "collective", "fault", "ft"],
+                    help="generator op-mix profile (default: mixed); "
+                         "'ft' generates ULFM crash-recovery programs")
     fz.add_argument("--nprocs", type=int, default=None,
                     help="force the rank count (default: seed-derived)")
     fz.add_argument("--corpus", default=None, choices=["ci"],
@@ -387,6 +405,8 @@ def cmd_app(args, out) -> int:
 def cmd_chaos(args, out) -> int:
     from repro.bench.chaos import chaos_sweep, format_chaos
 
+    if args.soak:
+        return _cmd_chaos_soak(args, out)
     bus = _make_bus(args)
     rows = chaos_sweep(
         platforms=[p for p in args.platforms.split(",") if p],
@@ -400,6 +420,44 @@ def cmd_chaos(args, out) -> int:
     )
     print(format_chaos(rows), file=out)
     _write_trace(bus, args, out)
+    return 0
+
+
+def _cmd_chaos_soak(args, out) -> int:
+    """``repro chaos --soak``: the ULFM recovery gate.
+
+    Exits non-zero unless every cell completes with the correct answer
+    AND its recovery event trace is byte-identical across the repeated
+    seeded runs.
+    """
+    from repro.bench.chaos import format_soak, soak_sweep
+    from repro.platforms import DEVICE_MATRIX, device_key
+
+    if args.cells == "all":
+        cells = list(DEVICE_MATRIX)
+    else:
+        wanted = {c.strip() for c in args.cells.split(",") if c.strip()}
+        cells = [pd for pd in DEVICE_MATRIX if device_key(*pd) in wanted]
+        unknown = wanted - {device_key(*pd) for pd in cells}
+        if unknown:
+            print(f"unknown cells: {', '.join(sorted(unknown))}", file=sys.stderr)
+            return 2
+    bus = _make_bus(args)
+    rows = soak_sweep(
+        cells=cells, nprocs=args.nprocs, victim=args.victim,
+        crash_at=args.crash_at, seed=args.seed, repeat=args.soak_repeat,
+        obs=bus, workers=args.workers,
+    )
+    print(format_soak(rows), file=out)
+    _write_trace(bus, args, out)
+    bad = [r for r in rows if r["outcome"] != "ok" or not r["deterministic"]]
+    if bad:
+        for r in bad:
+            why = r["diagnostic"] or (
+                "non-deterministic recovery trace" if not r["deterministic"]
+                else r["outcome"])
+            print(f"soak FAIL {r['cell']}: {why}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -27,8 +27,8 @@ from repro.conformance.shrink import shrink, write_artifacts
 
 __all__ = ["CI_CORPUS", "run_corpus"]
 
-#: the pinned CI corpus: (seed, profile) — 28 programs mixing
-#: point-to-point, collectives, and fault-composed runs
+#: the pinned CI corpus: (seed, profile) — 32 programs mixing
+#: point-to-point, collectives, fault-composed, and ULFM-recovery runs
 CI_CORPUS: List[Tuple[int, str]] = [
     (1, "mixed"), (2, "mixed"), (3, "mixed"), (4, "mixed"), (5, "mixed"),
     (6, "mixed"), (7, "mixed"), (8, "mixed"),
@@ -38,6 +38,7 @@ CI_CORPUS: List[Tuple[int, str]] = [
     (24, "collective"), (25, "collective"), (26, "collective"),
     (27, "collective"), (28, "collective"),
     (31, "fault"), (32, "fault"), (33, "fault"), (34, "fault"),
+    (41, "ft"), (42, "ft"), (43, "ft"), (44, "ft"),
 ]
 
 

@@ -276,6 +276,52 @@ def _exec_collective(comm, rnd: CollectiveRound, program: Program, rec: List[dic
     rec.append(ev)
 
 
+def _exec_ft(comm, rnd, program: Program, rec: List[dict]):
+    """One ULFM recovery, recorded timing-free.
+
+    The victim (crashed at t=0 by the program's ft spec) contributes an
+    empty trace.  Every survivor attempts a receive from the dead rank —
+    which must fail with :class:`RankFailed`, or :class:`CommRevoked`
+    when a faster peer already revoked the communicator (both prove the
+    failure was delivered; which one arrives is a timing artifact, so
+    the trace does not record it) — then revokes, acknowledges, shrinks,
+    agrees, and runs a verification collective on the survivor
+    communicator.
+    """
+    from repro.mpi.collectives import SUM
+    from repro.mpi.exceptions import CommRevoked, RankFailed
+
+    if comm.rank == rnd.victim:
+        return  # crashed at t=0; never runs under FT
+    try:
+        yield from comm.recv(source=rnd.victim, tag=rnd.tag)
+        rec.append({"e": "ft", "tid": rnd.tid, "recovered": False})
+        return  # a delivery from a dead rank is itself the finding
+    except (RankFailed, CommRevoked):
+        pass
+    comm.revoke()
+    comm.failure_ack()
+    acked = sorted(comm.get_acked().world_ranks)
+    new = yield from comm.shrink()
+    flag = True if rnd.flag_mode == "all" else (new.rank % 2 == 0)
+    agreed = yield from new.agree(flag)
+    survivors = list(new.group.world_ranks)
+    ev = {
+        "e": "ft", "tid": rnd.tid, "recovered": True, "acked": acked,
+        "survivors": survivors, "rank": new.rank, "agreed": bool(agreed),
+    }
+    if rnd.verify == "allreduce":
+        send = payload_array(program.seed, 5000 + rnd.tid, new.rank,
+                             "long", rnd.nelems)
+        result = yield from new.allreduce(send, op=SUM)
+        ev["d"] = _digest(np.asarray(result).tobytes())
+    else:
+        obj = payload_bytes(program.seed, 5000 + rnd.tid, new.rank, rnd.nelems)
+        out = yield from new.allgather(obj)
+        ev["d"] = _digest(b"|".join(out))
+    rec.append(ev)
+
+
 def _rank_main(comm, program: Program, rec: List[dict]):
     bsend_bytes = sum(
         t.nbytes() * t.reps
@@ -294,6 +340,8 @@ def _rank_main(comm, program: Program, rec: List[dict]):
             yield from _exec_exchange(comm, rnd, program, rec)
         elif rnd.kind == "pingpong":
             yield from _exec_pingpong(comm, rnd, program, rec)
+        elif rnd.kind == "ft":
+            yield from _exec_ft(comm, rnd, program, rec)
         else:
             yield from _exec_collective(comm, rnd, program, rec)
 
@@ -333,6 +381,13 @@ def run_program(
         faults = FaultPlan.of(*rules)
         kw["kernel_params"] = KernelParams().with_overrides(rto=8_000.0)
         seed = spec.get("seed", 0)
+    if program.ft is not None:
+        from repro.faults import FaultPlan, NodeCrash
+
+        faults = FaultPlan.of(NodeCrash(
+            node=program.ft["victim"], at=program.ft.get("at", 0.0)
+        ))
+        kw["ft"] = True
     world = World(
         program.nprocs, platform=platform, device=device, seed=seed,
         faults=faults, **kw,

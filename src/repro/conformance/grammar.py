@@ -47,6 +47,7 @@ __all__ = [
     "ExchangeRound",
     "PingPongRound",
     "CollectiveRound",
+    "FtRound",
     "Program",
     "generate",
     "validate",
@@ -223,10 +224,47 @@ class CollectiveRound:
         return cls(**d)
 
 
+@dataclass
+class FtRound:
+    """ULFM recovery driven as a conformance operation.
+
+    The program's ``ft`` spec crashes *victim* at t=0; every survivor
+    then attempts a receive from the dead rank (which must fail with
+    :class:`~repro.mpi.exceptions.RankFailed` or, if a peer revoked
+    first, :class:`~repro.mpi.exceptions.CommRevoked`), runs
+    ``revoke -> failure_ack -> shrink -> agree``, and executes a
+    verification collective on the shrunken communicator.  The semantic
+    trace records the acked failures, the survivor list, the agreement
+    result, and the collective's digest — all timing-free, so every
+    device must produce the identical recovery trace.
+    """
+
+    kind = "ft"
+    tid: int = 0
+    victim: int = 1
+    tag: int = 1
+    flag_mode: str = "all"       # all | parity (per-rank agree inputs)
+    verify: str = "allreduce"    # allreduce | allgather
+    nelems: int = 8
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "ft", "tid": self.tid, "victim": self.victim,
+            "tag": self.tag, "flag_mode": self.flag_mode,
+            "verify": self.verify, "nelems": self.nelems,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "FtRound":
+        d = {k: v for k, v in d.items() if k != "kind"}
+        return cls(**d)
+
+
 _ROUND_TYPES = {
     "exchange": ExchangeRound,
     "pingpong": PingPongRound,
     "collective": CollectiveRound,
+    "ft": FtRound,
 }
 
 
@@ -240,6 +278,10 @@ class Program:
     #: optional fault spec for the fault-composed mode:
     #: {"loss": p, "dup": p, "seed": n} (cluster fabrics only)
     fault: Optional[Dict[str, Any]] = None
+    #: optional FT spec: {"victim": rank, "at": us} — the executor runs
+    #: the world with ``ft=True`` and a pinned NodeCrash; set iff the
+    #: program's rounds are :class:`FtRound`
+    ft: Optional[Dict[str, Any]] = None
 
     def op_count(self) -> int:
         """Total MPI operations (sends + receives + probes + collective
@@ -260,6 +302,7 @@ class Program:
             "nprocs": self.nprocs,
             "rounds": [r.to_dict() for r in self.rounds],
             "fault": self.fault,
+            "ft": self.ft,
         }
 
     @classmethod
@@ -267,7 +310,7 @@ class Program:
         rounds = [_ROUND_TYPES[r["kind"]].from_dict(r) for r in d["rounds"]]
         return cls(
             seed=d["seed"], nprocs=d["nprocs"], rounds=rounds,
-            fault=d.get("fault"),
+            fault=d.get("fault"), ft=d.get("ft"),
         )
 
 
@@ -319,8 +362,31 @@ def validate(program: Program) -> List[str]:
                     f"round {i}: reduce_scatter buffer of {rnd.nelems} elements "
                     f"does not split over {n} ranks"
                 )
+        elif rnd.kind == "ft":
+            if program.ft is None:
+                problems.append(f"round {i}: ft round needs the program's ft spec")
+            elif rnd.victim != program.ft.get("victim"):
+                problems.append(f"round {i}: victim disagrees with the ft spec")
+            if not 0 <= rnd.victim < n:
+                problems.append(f"round {i}: ft victim out of range")
+            if n < 3:
+                problems.append(f"round {i}: ft round needs >= 3 ranks")
+            if rnd.flag_mode not in ("all", "parity"):
+                problems.append(f"round {i}: unknown flag_mode {rnd.flag_mode!r}")
+            if rnd.verify not in ("allreduce", "allgather"):
+                problems.append(f"round {i}: unknown verify {rnd.verify!r}")
+            seen_tags[rnd.tag] = seen_tags.get(rnd.tag, 0) + 1
         else:  # pragma: no cover - from_dict rejects unknown kinds first
             problems.append(f"round {i}: unknown kind {rnd.kind!r}")
+    if program.ft is not None:
+        if program.fault is not None:
+            problems.append("ft programs cannot compose a packet-fault spec")
+        if any(rnd.kind != "ft" for rnd in program.rounds):
+            # with the crash pinned at t=0 any non-FT round would race
+            # the failure announcement nondeterministically
+            problems.append("ft programs may only contain ft rounds")
+        if len(program.rounds) != 1:
+            problems.append("ft programs contain exactly one ft round")
     for tag, count in seen_tags.items():
         if count > 1:
             problems.append(f"tag {tag} reused across transfers")
@@ -430,13 +496,26 @@ def _gen_collective(rng: random.Random, nprocs: int, ids: _Ids) -> CollectiveRou
     )
 
 
-#: round-kind weights per profile: (exchange, pingpong, collective)
+#: round-kind weights per profile: (exchange, pingpong, collective).
+#: the "ft" profile is special-cased: one FtRound + a pinned NodeCrash
 PROFILES = {
     "mixed": (5, 2, 3),
     "pt2pt": (7, 3, 0),
     "collective": (1, 1, 8),
     "fault": (6, 3, 1),
+    "ft": (0, 0, 0),
 }
+
+
+def _gen_ft(rng: random.Random, nprocs: int, ids: _Ids) -> FtRound:
+    return FtRound(
+        tid=ids.next_tid(),
+        victim=rng.randrange(nprocs),
+        tag=ids.next_tag(),
+        flag_mode=rng.choice(["all", "all", "parity"]),
+        verify=rng.choice(["allreduce", "allgather"]),
+        nelems=rng.choice([1, 4, 8, 32]),
+    )
 
 
 def generate(seed: int, nprocs: Optional[int] = None, profile: str = "mixed") -> Program:
@@ -449,6 +528,21 @@ def generate(seed: int, nprocs: Optional[int] = None, profile: str = "mixed") ->
     if profile not in PROFILES:
         raise ValueError(f"unknown profile {profile!r}; choose from {sorted(PROFILES)}")
     rng = random.Random((seed << 4) ^ 0x5EED)
+    if profile == "ft":
+        # one ULFM recovery scenario: crash at t=0, survivors recover
+        nprocs = nprocs or rng.randint(3, 5)
+        if nprocs < 3:
+            raise ValueError("ft programs need >= 3 ranks")
+        ids = _Ids()
+        rnd = _gen_ft(rng, nprocs, ids)
+        program = Program(
+            seed=seed, nprocs=nprocs, rounds=[rnd],
+            ft={"victim": rnd.victim, "at": 0.0},
+        )
+        problems = validate(program)
+        if problems:  # pragma: no cover - generator invariant
+            raise AssertionError(f"generator produced invalid program: {problems}")
+        return program
     nprocs = nprocs or rng.randint(2, 5)
     ids = _Ids()
     weights = PROFILES[profile]

@@ -432,6 +432,11 @@ def _crash(sim, host, at: float, node: int = -1):
     yield host.cpu.request()
     host.crashed_at = sim.now
     _emit_fault(sim, "node.crash", node, {"at": sim.now})
+    # fault tolerance (opt-in): tell the world's failure detector so
+    # survivors eventually learn of the death instead of deadlocking
+    ft = getattr(sim, "ft", None)
+    if ft is not None:
+        ft.on_crash(node, sim.now)
     # hold the CPU forever: wait on an event that never fires
     yield sim.event()
 

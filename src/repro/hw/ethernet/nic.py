@@ -27,6 +27,8 @@ class EthernetNic:
         self.addr = host.hostid if addr is None else addr
         #: set by the protocol stack: called with each received Frame
         self.rx_handler: Optional[Callable[[Frame], None]] = None
+        #: frames abandoned after 16 collisions (excessive-collision errors)
+        self.tx_aborts = 0
         self._txq: Store = Store(host.sim, name=f"eth{self.addr}.txq")
         self.mtu = medium.params.mtu
         self.sim.process(self._tx_worker(), name=f"eth{self.addr}.tx")
@@ -45,7 +47,14 @@ class EthernetNic:
     def _tx_worker(self):
         while True:
             frame = yield self._txq.get()
-            yield from self.medium.transmit(frame, self.host.rng)
+            try:
+                yield from self.medium.transmit(frame, self.host.rng)
+            except NetworkError:
+                # Excessive collisions: a real transceiver gives up on
+                # *this frame* and reports the error — the station keeps
+                # transmitting and the protocol layers retransmit.  The
+                # worker must survive, or the station is mute forever.
+                self.tx_aborts += 1
 
     def on_frame(self, frame: Frame) -> None:
         """Called by the medium on delivery."""

@@ -60,6 +60,7 @@ TAG_ALLTOALL = INTERNAL_TAG_BASE + 7
 TAG_OBJ = INTERNAL_TAG_BASE + 8
 TAG_SCAN = INTERNAL_TAG_BASE + 9
 TAG_RSCAT = INTERNAL_TAG_BASE + 10
+TAG_AGREE = INTERNAL_TAG_BASE + 11  # crash-tolerant agreement (repro.mpi.ft)
 
 # Every collective invocation gets its own tag *generation*: the
 # per-communicator sequence number (Communicator._coll_seq) selects a
@@ -84,6 +85,14 @@ def _coll_tag(comm, base: int) -> int:
     comm._coll_seq = seq + 1
     slot = base - INTERNAL_TAG_BASE
     return INTERNAL_TAG_BASE + _SEQ_BASE + slot + _SEQ_SLOTS * (seq % _SEQ_WINDOW)
+
+
+def is_agree_tag(tag: int) -> bool:
+    """Is *tag* any generation of the agreement slot?  Agreement traffic
+    must keep flowing on a revoked communicator (ULFM), so the FT layer
+    exempts it when poisoning pending operations."""
+    off = tag - INTERNAL_TAG_BASE - _SEQ_BASE
+    return off >= 0 and off % _SEQ_SLOTS == TAG_AGREE - INTERNAL_TAG_BASE
 
 
 class Op:

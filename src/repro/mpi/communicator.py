@@ -41,7 +41,14 @@ from repro.mpi.constants import (
     TAG_UB,
 )
 from repro.mpi.datatypes import Datatype, infer_datatype
-from repro.mpi.exceptions import CommError, CommunicatorError, MPIError, errcode_of
+from repro.mpi.exceptions import (
+    CommError,
+    CommRevoked,
+    CommunicatorError,
+    MPIError,
+    RankFailed,
+    errcode_of,
+)
 from repro.mpi.group import Group
 from repro.mpi.persistent import PersistentRequest
 from repro.mpi.request import Request
@@ -80,6 +87,11 @@ class Communicator:
         self._coll_seq = 0
         #: ERRORS_ARE_FATAL (default) or ERRORS_RETURN
         self.errhandler = ERRORS_ARE_FATAL
+        #: failures this rank has acknowledged (world ranks; ULFM)
+        self._acked = frozenset()
+        #: internal: recovery collectives (agree/shrink) bypass the
+        #: revoked-communicator check on their own traffic
+        self._ft_bypass = False
 
     # -------------------------------------------------------- error handling
     def set_errhandler(self, handler: str) -> None:
@@ -111,6 +123,23 @@ class Communicator:
         """
         if self.errhandler == ERRORS_RETURN:
             return errcode_of(exc)
+        if isinstance(exc, CommError):
+            # already a context-carrying MPI error (RankFailed /
+            # CommRevoked from the FT layer): preserve its type
+            if exc.rank is None:
+                exc.rank = self.rank
+            raise exc
+        ft = getattr(self.world, "ft", None)
+        if ft is not None and peer is not None and 0 <= peer < self.size:
+            dead = self.group.world_rank(peer)
+            if dead in ft.failed or ft.is_crashing(dead):
+                # a transport error on a connection to a crashed host is
+                # a process failure, not a network failure
+                raise RankFailed(
+                    f"rank {self.rank}: peer process failed "
+                    f"(peer={peer}, tag={tag}): {exc}",
+                    rank=self.rank, peer=peer, tag=tag, failed=(dead,),
+                ) from exc
         raise CommError(
             f"rank {self.rank}: device failure in operation "
             f"(peer={peer}, tag={tag}): {exc}",
@@ -210,12 +239,14 @@ class Communicator:
             req._complete(Status(source=PROC_NULL, tag=tag, count_bytes=0))
             return req
         self._check_rank(dest, "destination")
+        self._ft_check_send(dest, tag)
         count, datatype = self._resolve(buf, count, datatype)
         req = Request("send", self, buf, count, datatype, dest, tag, mode)
         if mode == MODE_BUFFERED:
             yield from self.endpoint.start_bsend(req)
         else:
             yield from self.endpoint.start_send(req)
+        self.endpoint.ft_check_new(req)
         return req
 
     def irecv(
@@ -245,6 +276,7 @@ class Communicator:
             return req
         if source != ANY_SOURCE:
             self._check_rank(source, "source")
+        self._ft_check_recv(source, tag)
         if buf is not None:
             count, datatype = self._resolve(buf, count, datatype)
         else:
@@ -253,13 +285,14 @@ class Communicator:
             count, datatype = 0, BYTE
         req = Request("recv", self, buf, count, datatype, source, tag)
         yield from self.endpoint.start_recv(req)
+        self.endpoint.ft_check_new(req)
         return req
 
     def _blocking_send(self, buf, dest, tag, count, datatype, mode):
         """Shared body of the blocking sends: SUCCESS or an error code."""
         try:
             req = yield from self.isend(buf, dest, tag, count, datatype, mode)
-        except NetworkError as exc:
+        except (NetworkError, CommError) as exc:
             return self._device_error(exc, peer=dest, tag=tag)
         status = yield from self.wait(req)
         return SUCCESS if status is None else status.error
@@ -335,7 +368,7 @@ class Communicator:
     def _recv_impl(self, source, tag, buf, count, datatype):
         try:
             req = yield from self.irecv(source, tag, buf, count, datatype)
-        except NetworkError as exc:
+        except (NetworkError, CommError) as exc:
             code = self._device_error(exc, peer=source, tag=tag)
             status = Status(source=source, tag=tag)
             status.error = code
@@ -440,7 +473,7 @@ class Communicator:
         try:
             yield from self.endpoint.wait([inner], mode="all")
             inner.raise_if_failed()
-        except NetworkError as exc:
+        except (NetworkError, CommError) as exc:
             status = self._failed_status(inner, exc)
             self._settle(request)
             return status
@@ -473,13 +506,15 @@ class Communicator:
             yield from self.endpoint.wait(inners, mode="all")
             for r in inners:
                 r.raise_if_failed()
-        except NetworkError as exc:
+        except (NetworkError, CommError) as exc:
             statuses = []
             for r in inners:
                 if r.complete and r.error is None:
                     statuses.append(r.status)
                 else:
-                    err = r.error if isinstance(r.error, NetworkError) else exc
+                    err = (r.error
+                           if isinstance(r.error, (NetworkError, CommError))
+                           else exc)
                     statuses.append(self._failed_status(r, err))
             for r in requests:
                 self._settle(r)
@@ -641,6 +676,47 @@ class Communicator:
         return self.endpoint.detach_buffer()
 
     # ---------------------------------------------------------- collectives
+    def _coll_fatal(self, gen):
+        """Run a collective body with device failures *raised*.
+
+        Collectives return data, not codes — there is no channel for
+        ERRORS_RETURN's error-code contract, and a collective built on
+        blocking point-to-point calls that silently return codes would
+        half-complete and hand back garbage (or deadlock the peers still
+        inside it).  So device failures inside a collective always
+        surface as :class:`CommError` / :class:`RankFailed` /
+        :class:`CommRevoked`, whatever the installed handler; the
+        handler is restored for the point-to-point calls that follow.
+        """
+        self._ft_check_collective()
+        prev = self.errhandler
+        self.errhandler = ERRORS_ARE_FATAL
+        try:
+            result = yield from gen
+        finally:
+            self.errhandler = prev
+        return result
+
+    def _ft_check_collective(self) -> None:
+        """Fail fast before entering a collective that cannot complete.
+
+        ULFM semantics: a collective over a communicator with a known
+        failed member raises :class:`RankFailed` at every participant
+        (the caller shrinks and retries on the survivor communicator).
+        Checking at entry keeps the failure deterministic — no rank
+        starts a tree exchange its peers will never finish.
+        """
+        ft = self._ft()
+        if ft is None:
+            return
+        dead = sorted(wr for wr in ft.failed if self.group.contains(wr))
+        if dead:
+            raise RankFailed(
+                f"rank {self.rank}: collective on communicator with failed "
+                f"process(es) (world ranks {dead})",
+                rank=self.rank, failed=tuple(dead),
+            )
+
     def bcast(self, buf, root: int = 0, count=None, datatype=None, style=None):
         """Generator -> buf: broadcast from *root* (MPI_Bcast).
 
@@ -655,21 +731,21 @@ class Communicator:
         return (
             yield from self._traced(
                 "bcast",
-                _coll.bcast(self, buf, root, count, datatype, style=style),
+                self._coll_fatal(_coll.bcast(self, buf, root, count, datatype, style=style)),
                 peer=root,
             )
         )
 
     def barrier(self):
         """Generator: MPI_Barrier (dissemination algorithm)."""
-        yield from self._traced("barrier", _coll.barrier(self))
+        yield from self._traced("barrier", self._coll_fatal(_coll.barrier(self)))
 
     def reduce(self, sendbuf, root: int = 0, op=None):
         """Generator -> result at root (None elsewhere): MPI_Reduce."""
         self._check_rank(root, "root")
         return (
             yield from self._traced(
-                "reduce", _coll.reduce(self, sendbuf, root, op or _coll.SUM), peer=root
+                "reduce", self._coll_fatal(_coll.reduce(self, sendbuf, root, op or _coll.SUM)), peer=root
             )
         )
 
@@ -677,39 +753,39 @@ class Communicator:
         """Generator -> result everywhere: MPI_Allreduce."""
         return (
             yield from self._traced(
-                "allreduce", _coll.allreduce(self, sendbuf, op or _coll.SUM)
+                "allreduce", self._coll_fatal(_coll.allreduce(self, sendbuf, op or _coll.SUM))
             )
         )
 
     def gather(self, sendbuf, root: int = 0):
         """Generator -> list of per-rank buffers at root: MPI_Gather."""
         self._check_rank(root, "root")
-        return (yield from _coll.gather(self, sendbuf, root))
+        return (yield from self._coll_fatal(_coll.gather(self, sendbuf, root)))
 
     def scatter(self, chunks, root: int = 0):
         """Generator -> this rank's chunk: MPI_Scatter."""
         self._check_rank(root, "root")
-        return (yield from _coll.scatter(self, chunks, root))
+        return (yield from self._coll_fatal(_coll.scatter(self, chunks, root)))
 
     def scan(self, sendbuf, op=None):
         """Generator -> inclusive prefix reduction at this rank: MPI_Scan."""
-        return (yield from _coll.scan(self, sendbuf, op or _coll.SUM))
+        return (yield from self._coll_fatal(_coll.scan(self, sendbuf, op or _coll.SUM)))
 
     def exscan(self, sendbuf, op=None):
         """Generator -> exclusive prefix reduction (None at rank 0): MPI_Exscan."""
-        return (yield from _coll.exscan(self, sendbuf, op or _coll.SUM))
+        return (yield from self._coll_fatal(_coll.exscan(self, sendbuf, op or _coll.SUM)))
 
     def reduce_scatter(self, sendbuf, op=None):
         """Generator -> this rank's block of the reduction: MPI_Reduce_scatter_block."""
-        return (yield from _coll.reduce_scatter(self, sendbuf, op or _coll.SUM))
+        return (yield from self._coll_fatal(_coll.reduce_scatter(self, sendbuf, op or _coll.SUM)))
 
     def allgather(self, sendbuf):
         """Generator -> list of per-rank buffers: MPI_Allgather (ring)."""
-        return (yield from _coll.allgather(self, sendbuf))
+        return (yield from self._coll_fatal(_coll.allgather(self, sendbuf)))
 
     def alltoall(self, chunks):
         """Generator -> list of received chunks: MPI_Alltoall."""
-        return (yield from _coll.alltoall(self, chunks))
+        return (yield from self._coll_fatal(_coll.alltoall(self, chunks)))
 
     # ------------------------------------------------- communicator algebra
     def dup(self):
@@ -729,7 +805,7 @@ class Communicator:
         """
         self._creation_counter += 1
         counter = self._creation_counter
-        pairs = yield from _coll.allgather_obj(self, (color, key))
+        pairs = yield from self._coll_fatal(_coll.allgather_obj(self, (color, key)))
         if color is None:
             return None
         members = [
@@ -742,6 +818,217 @@ class Communicator:
         new = Communicator(self.world, group, ctx, self.endpoint)
         new.errhandler = self.errhandler
         return new
+
+    # ------------------------------------------------- fault tolerance (ULFM)
+    def _ft(self):
+        return getattr(self.world, "ft", None)
+
+    def _ft_require(self):
+        ft = self._ft()
+        if ft is None:
+            raise MPIError(
+                "fault tolerance is not enabled; construct World(..., ft=True)"
+            )
+        return ft
+
+    def _ft_check_send(self, dest: int, tag: int) -> None:
+        """Raise before posting a send the FT layer already knows is doomed."""
+        ft = self._ft()
+        if ft is None:
+            return
+        if not self._ft_bypass and ft.is_revoked(self.context_id):
+            raise CommRevoked(
+                f"rank {self.rank}: communicator revoked (send dest={dest}, tag={tag})",
+                rank=self.rank, peer=dest, tag=tag,
+            )
+        dead = self.group.world_rank(dest)
+        if dead in ft.failed:
+            raise RankFailed(
+                f"rank {self.rank}: send to failed process "
+                f"(dest={dest}, world rank {dead}, tag={tag})",
+                rank=self.rank, peer=dest, tag=tag, failed=(dead,),
+            )
+
+    def _ft_check_recv(self, source: int, tag: int) -> None:
+        """Raise before posting a receive the FT layer already knows is doomed.
+
+        ULFM: a named receive from a failed process raises; a wildcard
+        receive raises while this rank has *unacknowledged* failures in
+        the communicator (after :meth:`failure_ack`, wildcard receives
+        are allowed again and simply never match the dead senders).
+        """
+        ft = self._ft()
+        if ft is None:
+            return
+        if not self._ft_bypass and ft.is_revoked(self.context_id):
+            raise CommRevoked(
+                f"rank {self.rank}: communicator revoked "
+                f"(recv source={source}, tag={tag})",
+                rank=self.rank, peer=source, tag=tag,
+            )
+        if source == ANY_SOURCE:
+            unacked = sorted(
+                wr for wr in ft.failed
+                if self.group.contains(wr) and wr not in self._acked
+            )
+            if unacked:
+                raise RankFailed(
+                    f"rank {self.rank}: wildcard receive with unacknowledged "
+                    f"process failures (world ranks {unacked}); call "
+                    f"failure_ack() to continue",
+                    rank=self.rank, peer=source, tag=tag, failed=unacked,
+                )
+            return
+        dead = self.group.world_rank(source)
+        if dead in ft.failed:
+            raise RankFailed(
+                f"rank {self.rank}: receive from failed process "
+                f"(source={source}, world rank {dead}, tag={tag})",
+                rank=self.rank, peer=source, tag=tag, failed=(dead,),
+            )
+
+    def failure_ack(self) -> None:
+        """MPIX_Comm_failure_ack: acknowledge all locally-known failures.
+
+        After acknowledgement, wildcard receives are permitted again and
+        :meth:`get_acked` reports the acknowledged group.
+        """
+        ft = self._ft_require()
+        self._acked = frozenset(
+            wr for wr in ft.failed if self.group.contains(wr)
+        )
+
+    def get_acked(self) -> Group:
+        """MPIX_Comm_failure_get_acked: group of acknowledged failed ranks
+        (ordered as in this communicator's group)."""
+        self._ft_require()
+        return Group([wr for wr in self.group.world_ranks if wr in self._acked])
+
+    def revoke(self) -> None:
+        """MPIX_Comm_revoke: poison this communicator everywhere.
+
+        Local call (not collective).  Every pending and future operation
+        on this communicator raises :class:`CommRevoked` at every member
+        — except agreement traffic, which must survive revocation.
+        """
+        ft = self._ft_require()
+        ft.revoke(self.context_id, by_rank=self.rank)
+
+    def is_revoked(self) -> bool:
+        """Has :meth:`revoke` been called on this communicator (by anyone)?"""
+        ft = self._ft()
+        return ft is not None and ft.is_revoked(self.context_id)
+
+    def shrink(self):
+        """Generator -> Communicator: MPIX_Comm_shrink.
+
+        Collective over the *survivors*: builds a new, un-revoked
+        communicator containing every member of this one that has not
+        failed, preserving rank order.  Works on a revoked communicator.
+        """
+        return (yield from self._shrink_impl())
+
+    def _shrink_impl(self):
+        ft = self._ft_require()
+        self.failure_ack()
+        failed = tuple(sorted(
+            wr for wr in self.group.world_ranks if wr in ft.failed
+        ))
+        survivors = [wr for wr in self.group.world_ranks if wr not in failed]
+        group = Group(survivors)
+        # Every survivor derives the same allocation key from the parent
+        # context and the failed set — no counter, so ranks that observed
+        # different numbers of earlier shrink attempts still converge.
+        ctx = self.world.allocate_context((self.context_id, "shrink", failed))
+        new = Communicator(self.world, group, ctx, self.endpoint)
+        new.errhandler = self.errhandler
+        ft._note("shrink")
+        ft._emit("comm.shrink", rank=self.endpoint.world_rank, detail={
+            "context": self.context_id,
+            "new_context": ctx,
+            "survivors": survivors,
+            "failed": list(failed),
+        })
+        yield from new.barrier()
+        return new
+
+    def agree(self, flag: bool = True):
+        """Generator -> bool: MPIX_Comm_agree (crash-tolerant agreement).
+
+        Returns the logical AND of every live member's *flag*.  Works on
+        a revoked communicator and completes despite process failures
+        (the coordinator role falls through to the lowest live rank).
+        """
+        return (yield from self._agree_impl(bool(flag)))
+
+    def _agree_impl(self, flag: bool):
+        ft = self._ft_require()
+        self.failure_ack()
+        # One tag generation per *call* — retries after a coordinator
+        # death reuse the same tag, so survivors' _coll_seq counters
+        # stay in lock-step no matter how many retries each needed.
+        tag = _coll._coll_tag(self, _coll.TAG_AGREE)
+        self._ft_bypass = True
+        try:
+            while True:
+                root = self._agree_root(ft)
+                try:
+                    if self.rank == root:
+                        result = flag
+                        peers = [r for r in range(self.size) if r != root]
+                        for r in peers:
+                            if self.group.world_rank(r) in ft.failed:
+                                continue
+                            try:
+                                contrib, _st = yield from self._agree_recv(r, tag)
+                                result = result and bool(contrib)
+                            except RankFailed:
+                                continue  # contributor died: excluded
+                        for r in peers:
+                            if self.group.world_rank(r) in ft.failed:
+                                continue
+                            try:
+                                yield from self._agree_send(result, r, tag)
+                            except RankFailed:
+                                continue
+                        decided = result
+                    else:
+                        yield from self._agree_send(flag, root, tag)
+                        decided, _st = yield from self._agree_recv(root, tag)
+                        decided = bool(decided)
+                except RankFailed:
+                    # the coordinator (or a peer mid-protocol) died;
+                    # recompute the coordinator and retry on the same tag
+                    self.failure_ack()
+                    continue
+                ft._note("agree")
+                ft._emit("agree", rank=self.endpoint.world_rank, detail={
+                    "context": self.context_id, "result": bool(decided),
+                })
+                return bool(decided)
+        finally:
+            self._ft_bypass = False
+
+    def _agree_root(self, ft) -> int:
+        for r in range(self.size):
+            if self.group.world_rank(r) not in ft.failed:
+                return r
+        raise MPIError("agree: no live ranks remain in communicator")
+
+    def _agree_send(self, value: bool, dest: int, tag: int):
+        """Internal agree send: always raises on device failure
+        (errhandler-independent), so the retry loop can catch it."""
+        buf = np.array([1 if value else 0], dtype=np.int32)
+        req = yield from self.isend(buf, dest, tag)
+        yield from self.endpoint.wait([req], mode="all")
+        req.raise_if_failed()
+
+    def _agree_recv(self, source: int, tag: int):
+        buf = np.zeros(1, dtype=np.int32)
+        req = yield from self.irecv(source, tag, buf)
+        yield from self.endpoint.wait([req], mode="all")
+        req.raise_if_failed()
+        return int(buf[0]), req.status
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Communicator ctx={self.context_id} rank={self.rank}/{self.size}>"

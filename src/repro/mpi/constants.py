@@ -15,6 +15,8 @@ __all__ = [
     "ERR_TRUNCATE",
     "ERR_OTHER",
     "ERR_NETWORK",
+    "ERR_PROC_FAILED",
+    "ERR_REVOKED",
     "ERRORS_ARE_FATAL",
     "ERRORS_RETURN",
 ]
@@ -51,6 +53,11 @@ ERR_OTHER = 16
 #: implementation-specific: a device/transport failure (retransmissions
 #: exhausted, connection reset, unreachable peer)
 ERR_NETWORK = 18
+#: a peer process has failed (ULFM MPI_ERR_PROC_FAILED; value follows
+#: the MPI-4 FT chapter)
+ERR_PROC_FAILED = 75
+#: the communicator has been revoked (ULFM MPI_ERR_REVOKED)
+ERR_REVOKED = 76
 
 #: error handlers (MPI_Errhandler analogues, settable per communicator)
 #: the default: a device failure raises CommError out of the rank

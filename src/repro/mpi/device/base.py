@@ -47,6 +47,10 @@ class Endpoint:
         self.host = host
         self.sim = host.sim
         self.queues = MatchQueues()
+        #: world ranks announced dead by the FT layer (see repro.mpi.ft)
+        self._ft_dead: set = set()
+        #: communicator contexts revoked by the FT layer
+        self._ft_revoked: set = set()
         # bsend buffer accounting
         self._bsend_capacity = 0
         self._bsend_used = 0
@@ -204,6 +208,144 @@ class Endpoint:
             if status is not None:
                 return status
             yield from self._progress(block=True)
+
+    # -- fault tolerance (opt-in; driven by repro.mpi.ft.FTState) ---------------
+    def _ft_requests(self):
+        """Yield ``(request, cancel_fn)`` for every incomplete operation
+        this endpoint owns.  ``cancel_fn`` (or None) removes the request
+        from the device's protocol structures so a failed request can
+        never be matched or completed by late wire traffic.  Devices
+        with additional protocol state extend this.
+        """
+        for req in list(self.queues.posted):
+            yield req, (lambda r=req: self.queues.cancel_post(r))
+
+    def _ft_wake(self) -> None:
+        """Wake any rank blocked inside this endpoint's progress loop so
+        it observes newly failed requests.  Device-specific."""
+
+    def _ft_involves(self, req: Request, dead_world: int) -> bool:
+        """Does *req* depend on the dead rank for completion?"""
+        from repro.mpi.collectives import is_agree_tag
+        from repro.mpi.constants import ANY_SOURCE, INTERNAL_TAG_BASE
+
+        comm = req.comm
+        if comm is None or not comm.group.contains(dead_world):
+            return False
+        if (req.tag is not None and req.tag >= INTERNAL_TAG_BASE
+                and not is_agree_tag(req.tag)):
+            # Internal collective traffic: a collective cannot complete
+            # once any participant died.  Fail it even when this leg
+            # binds two survivors — otherwise ranks downstream in the
+            # tree wait forever on a rank that already errored out, and
+            # the watchdog (not RankFailed) is what the user sees.
+            # Agreement traffic is exempt: ULFM requires agree to
+            # complete despite failures.
+            return True
+        if req.kind == "send":
+            return comm.world_rank(req.peer) == dead_world
+        if req.peer == ANY_SOURCE:
+            # ULFM: a pending wildcard receive raises when any failure
+            # in its communicator is detected (the sender might be dead)
+            return True
+        return comm.world_rank(req.peer) == dead_world
+
+    def ft_fail_requests(self, predicate, exc_factory) -> int:
+        """Fail every incomplete request matching *predicate* and wake
+        the rank; returns the number of requests failed."""
+        n = 0
+        for req, cancel in list(self._ft_requests()):
+            if req.complete or not predicate(req):
+                continue
+            if cancel is not None:
+                cancel()
+            req._fail(exc_factory(req))
+            n += 1
+        self._ft_wake()
+        return n
+
+    def _ft_factory(self, dead_world: int):
+        from repro.mpi.exceptions import RankFailed
+
+        def factory(req, dead=dead_world):
+            return RankFailed(
+                f"rank {req.comm.rank}: peer process failed "
+                f"(world rank {dead}, op peer={req.peer}, tag={req.tag})",
+                rank=req.comm.rank, peer=req.peer, tag=req.tag, failed=(dead,),
+            )
+
+        return factory
+
+    def ft_peer_failed(self, dead_world: int) -> None:
+        """The FT layer announces that *dead_world* has died: poison every
+        operation that depends on it with :class:`RankFailed`."""
+        self._ft_dead.add(dead_world)
+        self.ft_fail_requests(
+            lambda r: self._ft_involves(r, dead_world),
+            self._ft_factory(dead_world),
+        )
+
+    def ft_check_new(self, req: Request) -> None:
+        """Poison a *freshly posted* request that is already doomed.
+
+        The communicator pre-checks before posting, but detection or
+        revocation can fire during the device's posting overhead — the
+        announcement/revocation sweep ran before this request existed —
+        so the communicator re-checks here once the request is on the
+        wire.  Without the revocation half, a rank whose posting was
+        delayed by CPU contention slips an operation past the revoke
+        sweep and blocks forever on peers that already left for the
+        recovery path.
+        """
+        if req.complete:
+            return
+        if self._ft_revoked and req.comm is not None:
+            from repro.mpi.collectives import is_agree_tag
+            from repro.mpi.exceptions import CommRevoked
+
+            if (req.comm.context_id in self._ft_revoked
+                    and not is_agree_tag(req.tag)):
+                def factory(r):
+                    return CommRevoked(
+                        f"rank {r.comm.rank}: communicator revoked "
+                        f"(op peer={r.peer}, tag={r.tag})",
+                        rank=r.comm.rank, peer=r.peer, tag=r.tag,
+                    )
+
+                self.ft_fail_requests(lambda r, q=req: r is q, factory)
+                return
+        if not self._ft_dead:
+            return
+        for dead in sorted(self._ft_dead):
+            if self._ft_involves(req, dead):
+                self.ft_fail_requests(
+                    lambda r, q=req: r is q, self._ft_factory(dead)
+                )
+                return
+
+    def ft_context_revoked(self, context_id: int) -> None:
+        """The FT layer revoked a communicator: poison every pending
+        operation on that context with :class:`CommRevoked` — except
+        agreement traffic, which ULFM requires to work on a revoked
+        communicator."""
+        from repro.mpi.collectives import is_agree_tag
+        from repro.mpi.exceptions import CommRevoked
+
+        self._ft_revoked.add(context_id)
+
+        def doomed(req):
+            comm = req.comm
+            return (comm is not None and comm.context_id == context_id
+                    and not is_agree_tag(req.tag))
+
+        def factory(req):
+            return CommRevoked(
+                f"rank {req.comm.rank}: communicator revoked "
+                f"(op peer={req.peer}, tag={req.tag})",
+                rank=req.comm.rank, peer=req.peer, tag=req.tag,
+            )
+
+        self.ft_fail_requests(doomed, factory)
 
     # -- buffered sends ----------------------------------------------------------
     def attach_buffer(self, nbytes: int) -> None:

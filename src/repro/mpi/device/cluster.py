@@ -296,10 +296,38 @@ class StreamEndpoint(Endpoint):
                          detail={"unexpected": True, "comparisons": comparisons})
             yield from self._fulfill(req, arrival)
 
+    # ------------------------------------------------------------ fault tolerance
+    def _ft_requests(self):
+        yield from super()._ft_requests()
+        for dest in list(self.sendq):
+            q = self.sendq[dest]
+            for op in list(q):
+                def cancel(q=q, op=op):
+                    try:
+                        q.remove(op)
+                    except ValueError:
+                        pass
+
+                yield op.req, cancel
+        for cookie in list(self.pending_rdv):
+            _wire, req = self.pending_rdv[cookie]
+            yield req, (lambda c=cookie: self.pending_rdv.pop(c, None))
+        for cookie in list(self.awaiting_ack):
+            yield self.awaiting_ack[cookie], (
+                lambda c=cookie: self.awaiting_ack.pop(c, None))
+        for key in list(self.rdv_recv):
+            req, _env, _trunc = self.rdv_recv[key]
+            yield req, (lambda k=key: self.rdv_recv.pop(k, None))
+
+    def _ft_wake(self) -> None:
+        self.kick.set()
+
     # --------------------------------------------------------------- progress
     def _progress(self, block: bool):
         did = False
         for peer in list(self.conns):
+            if peer in self._ft_dead:
+                continue  # the FT layer announced this peer dead
             got = yield from self._drain_conn(peer)
             did = did or got
         issued = yield from self._issue_sends()
@@ -320,6 +348,12 @@ class StreamEndpoint(Endpoint):
         conn = self.conns[peer]
         err = getattr(conn, "error", None)
         if err is not None:
+            ft = getattr(self.sim, "ft", None)
+            if ft is not None and ft.is_crashing(peer):
+                # transport-level failure detection: retransmissions to
+                # the crashed host exhausted before the detector fired
+                ft.mark_failed(peer, cause="retransmit")
+                return False
             raise err
         st = self._rx[peer]
         did = False
@@ -357,16 +391,22 @@ class StreamEndpoint(Endpoint):
         if msg_type == MSG_CREDIT:
             return
         if msg_type == MSG_SYNC_ACK:
-            req = self.awaiting_ack.pop(env.cookie)
+            req = self.awaiting_ack.pop(env.cookie, None)
+            mid = self._obs_cookie.pop(env.cookie, None)
+            if req is None or req.complete:
+                return  # op already failed (peer death / revoke); stale ack
             req._complete(Status(tag=req.tag, count_bytes=req.datatype.size * req.count))
             if obs is not None:
                 obs.emit(self.sim.now, "dev", "send.complete", rank=self.world_rank,
-                         msg=self._obs_cookie.pop(env.cookie, None),
-                         detail={"sync": True})
+                         msg=mid, detail={"sync": True})
             return
         if msg_type == MSG_RDV_REQ:
             # the receiver asks for our rendezvous payload
-            wire, sreq = self.pending_rdv.pop(env.cookie)
+            entry = self.pending_rdv.pop(env.cookie, None)
+            if entry is None:
+                self._obs_cookie.pop(env.cookie, None)
+                return  # send already failed (peer death / revoke)
+            wire, sreq = entry
             conn = self.conns[peer]
             mid = self._obs_cookie.pop(env.cookie, None) if obs is not None else None
             if obs is not None:
@@ -374,13 +414,17 @@ class StreamEndpoint(Endpoint):
                          msg=mid, detail={"nbytes": len(wire)})
             header = self._pack_header(MSG_RDV_DATA, peer, env)
             yield from conn.send(header + wire)
-            sreq._complete(Status(tag=sreq.tag, count_bytes=len(wire)))
+            if not sreq.complete:
+                sreq._complete(Status(tag=sreq.tag, count_bytes=len(wire)))
             if obs is not None:
                 obs.emit(self.sim.now, "dev", "send.complete",
                          rank=self.world_rank, msg=mid)
             return
         if msg_type == MSG_RDV_DATA:
-            req, orig_env, truncated = self.rdv_recv.pop((peer, env.cookie))
+            rdv_entry = self.rdv_recv.pop((peer, env.cookie), None)
+            if rdv_entry is None:
+                return  # receive already failed; drop the payload
+            req, orig_env, truncated = rdv_entry
             status = Status(source=orig_env.src, tag=orig_env.tag, count_bytes=orig_env.nbytes)
             if truncated:
                 req._fail(
@@ -459,7 +503,7 @@ class StreamEndpoint(Endpoint):
     def _refresh_credits(self):
         """Explicit credit messages when a lot is owed and we are idle."""
         for peer, owed in list(self.owed.items()):
-            if owed >= self.config.credit_refresh:
+            if owed >= self.config.credit_refresh and peer not in self._ft_dead:
                 obs = self.sim.obs
                 if obs is not None:
                     obs.emit(self.sim.now, "dev", "credit.grant", rank=self.world_rank,

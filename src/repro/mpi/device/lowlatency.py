@@ -131,6 +131,8 @@ class LowLatencyEndpoint(Endpoint):
         #: synchronous sends awaiting the matched acknowledgement
         self.awaiting_ack: Dict[int, Request] = {}
         self._cookie = 0
+        #: rendezvous receives whose DMA is in flight, by (sender, cookie)
+        self.rdv_wait: Dict[Tuple[int, int], Request] = {}
         #: per-(dest, context) envelope sequence numbers (testability)
         self._seq: Dict[Tuple[int, int], int] = defaultdict(int)
         #: count of ready-mode sends that found no posted receive
@@ -252,6 +254,31 @@ class LowLatencyEndpoint(Endpoint):
         if arrival is not None:
             yield from self._fulfill(req, arrival)
 
+    # ------------------------------------------------------- fault tolerance
+    def _ft_requests(self):
+        yield from super()._ft_requests()
+        for dest in list(self.sendq):
+            q = self.sendq[dest]
+            for op in list(q):
+                def cancel(q=q, op=op):
+                    try:
+                        q.remove(op)
+                    except ValueError:
+                        pass
+
+                yield op.req, cancel
+        for cookie in list(self.pending_rdv):
+            _wire, req = self.pending_rdv[cookie]
+            yield req, (lambda c=cookie: self.pending_rdv.pop(c, None))
+        for cookie in list(self.awaiting_ack):
+            yield self.awaiting_ack[cookie], (
+                lambda c=cookie: self.awaiting_ack.pop(c, None))
+        for key in list(self.rdv_wait):
+            yield self.rdv_wait[key], (lambda k=key: self.rdv_wait.pop(k, None))
+
+    def _ft_wake(self) -> None:
+        self.kick.set()
+
     # ------------------------------------------------------------- progress
     def _deliver(self, arrival: Arrival) -> None:
         """Runs in this node's Elan receive context: queue for the SPARC."""
@@ -345,9 +372,13 @@ class LowLatencyEndpoint(Endpoint):
             sender_world, cookie = arrival.claim
             sender = self.peers[sender_world]
             endpoint = self
+            self.rdv_wait[(sender_world, cookie)] = req
 
             def on_dma(data: bytes) -> None:
                 # runs at the receiver when the DMA lands in user memory
+                endpoint.rdv_wait.pop((sender_world, cookie), None)
+                if req.complete:
+                    return  # receive already failed (peer death / revoke)
                 if truncated:
                     req._fail(
                         TruncationError(f"{env.nbytes} bytes into a {capacity}-byte receive")
@@ -374,7 +405,11 @@ class LowLatencyEndpoint(Endpoint):
     def _elan_rts(self, cookie: int, dest_world: int, on_dma) -> None:
         """Runs at the *sender's* Elan when the data request arrives:
         start the DMA with no SPARC involvement."""
-        wire, sreq = self.pending_rdv.pop(cookie)
+        entry = self.pending_rdv.pop(cookie, None)
+        if entry is None:
+            self._obs_rdv.pop(cookie, None)
+            return  # send already failed (peer death / revoke): no DMA
+        wire, sreq = entry
         endpoint = self
         obs = self.sim.obs
         mid = self._obs_rdv.pop(cookie, None) if obs is not None else None
@@ -383,6 +418,9 @@ class LowLatencyEndpoint(Endpoint):
                      msg=mid, detail={"nbytes": len(wire)})
 
         def local_done() -> None:
+            if sreq.complete:
+                endpoint.kick.set()
+                return  # send already failed before the DMA finished
             sreq._complete(Status(tag=sreq.tag, count_bytes=len(wire)))
             dobs = endpoint.sim.obs
             if dobs is not None:
@@ -398,7 +436,10 @@ class LowLatencyEndpoint(Endpoint):
 
     def _on_sync_ack(self, cookie: int) -> None:
         """Runs in Elan context at the sender: synchronous send matched."""
-        req = self.awaiting_ack.pop(cookie)
+        req = self.awaiting_ack.pop(cookie, None)
+        if req is None or req.complete:
+            self.kick.set()
+            return  # send already failed (peer death / revoke); stale ack
         req._complete(Status(tag=req.tag, count_bytes=req.datatype.size * req.count))
         obs = self.sim.obs
         if obs is not None:

@@ -104,8 +104,32 @@ class MpichEndpoint(Endpoint):
         #: set by the platform builder: world rank -> MpichEndpoint
         self.peers = []
         self._cookie = 0
+        #: incomplete requests with live tport handles (fault tolerance)
+        self._outstanding = []
         #: observability only: per-(dest, context) send sequence numbers
         self._obs_seq = {}
+
+    # ------------------------------------------------------- fault tolerance
+    def _ft_requests(self):
+        self._outstanding = [r for r in self._outstanding if not r.complete]
+        for req in list(self._outstanding):
+            yield req, (lambda r=req: self._ft_cancel(r))
+
+    def _ft_cancel(self, req: Request) -> None:
+        """Tear down a request's Elan state: withdraw its descriptors from
+        the tport's posted queue (so late traffic can never match them)
+        and fire their completion events to wake any blocked twait."""
+        state = req._device_state
+        if not isinstance(state, tuple):
+            return
+        for h in state:
+            if h is None:
+                continue
+            try:
+                self.tport.posted.remove(h)
+            except ValueError:
+                pass
+            h.done.set()
 
     # ------------------------------------------------------------------ sends
     def start_send(self, req: Request):
@@ -156,13 +180,15 @@ class MpichEndpoint(Endpoint):
                 detail={"tag": req.tag, "nbytes": len(wire), "proto": "tport"},
             )
         req._device_state = (handle, ack_handle)
+        self._outstanding.append(req)
         if req.on_complete is not None:
             # a bsend shadow: nobody will wait on it, so watch the handle
             self.sim.process(self._shadow_watcher(req, handle), name="mpich-bsend-watch")
 
     def _shadow_watcher(self, req: Request, handle: TPortHandle):
         yield handle.done.wait()
-        req._complete(Status(tag=req.tag, count_bytes=req.count))
+        if not req.complete:  # the FT layer may have failed it already
+            req._complete(Status(tag=req.tag, count_bytes=req.count))
 
     # ---------------------------------------------------------------- receives
     def start_recv(self, req: Request):
@@ -190,6 +216,7 @@ class MpichEndpoint(Endpoint):
                 detail={"source": req.peer, "tag": req.tag, "matching": "elan"},
             )
         req._device_state = (handle, None)
+        self._outstanding.append(req)
 
     # ------------------------------------------------------------------- wait
     def wait(self, reqs: Sequence[Request], mode: str = "all"):
@@ -245,9 +272,13 @@ class MpichEndpoint(Endpoint):
             return
         handle, ack_handle = req._device_state
         yield from self.tport.twait(handle)
+        if req.complete:
+            return  # the FT layer failed it while we were blocked
         if req.kind == "send":
             if ack_handle is not None:
                 yield from self.tport.twait(ack_handle)
+                if req.complete:
+                    return
             req._complete(Status(tag=req.tag, count_bytes=handle.nbytes))
             return
         # receive: decode, strip any sync cookie, ack, unpack

@@ -17,6 +17,8 @@ __all__ = [
     "CommunicatorError",
     "DatatypeError",
     "CommError",
+    "RankFailed",
+    "CommRevoked",
     "errcode_of",
 ]
 
@@ -67,6 +69,41 @@ class CommError(MPIError):
         from repro.mpi.constants import ERR_NETWORK
 
         self.errcode = ERR_NETWORK if errcode is None else errcode
+
+
+class RankFailed(CommError):
+    """A peer process has crashed (ULFM MPI_ERR_PROC_FAILED).
+
+    Raised by operations that cannot complete because a rank in the
+    communicator has failed: named sends/receives to the dead rank fail
+    outright, and wildcard (ANY_SOURCE) receives fail while the
+    communicator has unacknowledged failures (see
+    :meth:`Communicator.failure_ack`).  ``failed`` carries the world
+    ranks of the processes known dead when the error was raised.
+    """
+
+    def __init__(self, message: str, rank=None, peer=None, tag=None, failed=()):
+        from repro.mpi.constants import ERR_PROC_FAILED
+
+        super().__init__(message, rank=rank, peer=peer, tag=tag,
+                         errcode=ERR_PROC_FAILED)
+        self.failed = tuple(sorted(failed))
+
+
+class CommRevoked(CommError):
+    """The communicator has been revoked (ULFM MPI_ERR_REVOKED).
+
+    After :meth:`Communicator.revoke`, every in-flight and future
+    operation on the communicator fails with this error on every member
+    — the mechanism survivors use to interrupt ranks blocked on a dead
+    process so they can join the recovery (shrink/agree) path.
+    """
+
+    def __init__(self, message: str, rank=None, peer=None, tag=None):
+        from repro.mpi.constants import ERR_REVOKED
+
+        super().__init__(message, rank=rank, peer=peer, tag=tag,
+                         errcode=ERR_REVOKED)
 
 
 def errcode_of(exc: BaseException) -> int:

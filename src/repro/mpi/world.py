@@ -63,6 +63,15 @@ class World:
         every layer (kernel, transports, devices, MPI calls, faults).
         ``None`` (the default) disables emission entirely.  See
         ``docs/OBSERVABILITY.md``.
+    ft:
+        Opt-in ULFM-style fault tolerance: ``True`` or an
+        :class:`repro.mpi.ft.FTConfig`.  With it, a ``NodeCrash`` is
+        detected and announced to the survivors, operations touching
+        the dead rank raise :class:`RankFailed`, and the communicator
+        gains ``failure_ack``/``revoke``/``shrink``/``agree`` plus a
+        checkpoint store at ``world.ft.checkpoints``.  Without it
+        (default), a crash deadlocks peers exactly as before.  See
+        ``docs/FAULTS.md``.
     """
 
     def __init__(
@@ -78,6 +87,7 @@ class World:
         drop_fn: Any = None,
         faults: Any = None,
         obs: Any = None,
+        ft: Any = None,
     ):
         self.sim = Simulator()
         # attach before build_platform so construction-time emissions land
@@ -85,12 +95,21 @@ class World:
         self.obs = obs
         self.nprocs = nprocs
         self.faults = faults
+        self.platform_name = platform
         self.platform = build_platform(
             platform, device, nprocs, self.sim, seed, machine_params, device_config,
             host_speeds, kernel_params, drop_fn, faults,
         )
         self.endpoints = self.platform.endpoints
         self.machine = self.platform.machine
+        if ft:
+            from repro.mpi.ft import FTConfig, FTState
+
+            cfg = ft if isinstance(ft, FTConfig) else FTConfig()
+            self.ft = FTState(self, cfg)
+            self.sim.ft = self.ft
+        else:
+            self.ft = None
         if faults is not None:
             from repro.faults import apply_host_faults
 
@@ -173,27 +192,73 @@ class World:
         peek = sim.peek
         step = sim.step
         inf = float("inf")
+        # Under FT a crashed rank never finishes; once every survivor has
+        # returned the job is done — don't run out the background timers
+        # (kernel retransmissions to the dead host span simulated minutes)
+        crashed = self._crashed_ranks()
+        surv_target = (
+            sum(1 for r in ranks if r not in crashed) if crashed else nprocs + 1
+        )
         if limit == inf:
             while state["done"] < nprocs and not state["died"]:
+                if state["done"] >= surv_target and self._ft_complete(procs, ranks):
+                    break
                 if peek() == inf:  # prunes tombstones: _heap empty <=> drained
+                    if self._ft_complete(procs, ranks):
+                        break
                     raise self._watchdog(procs, ranks)
                 step()
         else:
             while state["done"] < nprocs and not state["died"]:
+                if state["done"] >= surv_target and self._ft_complete(procs, ranks):
+                    break
                 next_t = peek()
                 if next_t == inf:
+                    if self._ft_complete(procs, ranks):
+                        break
                     raise self._watchdog(procs, ranks)
                 if next_t > limit:
                     raise ConfigurationError(f"time limit {limit} µs exceeded")
                 step()
+        # Close the generators of crashed ranks now, while the event bus
+        # still attributes emissions to this run: their ``finally``
+        # blocks (the call.enter/exit tracer in particular) must not
+        # fire later from the garbage collector with a stale clock into
+        # some other world's trace.
+        for p, r in zip(procs, ranks):
+            if not p.triggered and r in crashed:
+                try:
+                    p._generator.close()
+                except Exception:  # pragma: no cover - cleanup must not mask
+                    pass
         failures = [p for p in procs if p.triggered and not p.ok]
         if failures:
             self._abort(procs, ranks, failures)
         if obs is not None:
             obs.emit(sim.now, "mpi", "world.stop", detail={"nprocs": len(procs)})
-        return [p.value for p in procs]
+        # crashed ranks never finish: their result slot is None under FT
+        return [p.value if p.triggered else None for p in procs]
 
     # -------------------------------------------------------- failure paths
+    def _crashed_ranks(self) -> frozenset:
+        """Ranks whose node is scheduled to crash (FT mode only)."""
+        if self.ft is None or self.faults is None:
+            return frozenset()
+        return frozenset(self.faults.crashed_nodes())
+
+    def _ft_complete(self, procs, ranks) -> bool:
+        """Under fault tolerance, the job is complete when every rank
+        still running is one whose node has *actually* crashed —
+        survivors all finished; the dead never will.  (A rank whose
+        crash is merely scheduled but has not fired yet is still live.)"""
+        crashed = self._crashed_ranks()
+        if not crashed or self.ft is None:
+            return False
+        return all(
+            p.triggered or (r in crashed and self.ft.is_crashing(r))
+            for p, r in zip(procs, ranks)
+        )
+
     def _abort(self, procs, ranks, failures) -> None:
         """Abort surviving ranks and re-raise the first failure with
         rank/timestamp context attached."""
@@ -242,8 +307,9 @@ class World:
         """
         lines = []
         rank_states = {}
+        crashed = self._crashed_ranks()
         for p, r in zip(procs, ranks):
-            if p.triggered:
+            if p.triggered or r in crashed:
                 continue
             endpoint = self.endpoints[r]
             try:
@@ -253,7 +319,8 @@ class World:
                 state = f"<state_snapshot failed: {exc!r}>"
             lines.append(f"  rank {r}: {state}")
         detail = "\n".join(lines)
-        stuck = [ranks[procs.index(p)] for p in procs if not p.triggered]
+        stuck = [r for p, r in zip(procs, ranks)
+                 if not p.triggered and r not in crashed]
         obs = self.sim.obs
         if obs is not None:
             obs.emit(self.sim.now, "mpi", "world.deadlock",

@@ -277,7 +277,19 @@ class RudpConnection:
 
     def _retransmit_oldest(self):
         """Short-lived process: resend the oldest unacked packet."""
-        n = min(self.mss, len(self._unacked))
+        # cap at what has actually been sent: _unacked may hold bytes the
+        # sender appended but has not yet put on the wire (it yields for
+        # the kernel charge between the two), and resending those would
+        # advance the receiver past our snd_nxt
+        n = min(self.mss, self.snd_nxt - self.snd_una, len(self._unacked))
+        if n <= 0:
+            self._arm_retx_fresh()
+            return
+        # pin the sequence number: sendto yields for the kernel charge,
+        # and an ACK landing there advances snd_una — stamping the old
+        # bytes with the new snd_una would make the receiver accept them
+        # as fresh data past our snd_nxt
+        seq = self.snd_una
         chunk = self._unacked.peek(n)
         self.retransmissions += 1
         obs = self.sim.obs
@@ -289,13 +301,13 @@ class RudpConnection:
                 rank=self.kernel.host.hostid,
                 detail={
                     "dst": self.remote_host,
-                    "seq": self.snd_una,
+                    "seq": seq,
                     "nbytes": n,
                     "attempt": self._retx_attempts,
                 },
             )
         yield from self.sock.sendto(
-            self.remote_host, self.remote_port, self._packet(self.snd_una, chunk)
+            self.remote_host, self.remote_port, self._packet(seq, chunk)
         )
         self._arm_retx_fresh()
 

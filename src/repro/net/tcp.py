@@ -318,7 +318,19 @@ class TcpConnection:
     def _retransmit_oldest(self):
         """Short-lived process: charge for and resend the oldest segment."""
         p = self.kernel.params
-        n = min(self.kernel.mss, len(self._unacked))
+        # cap at what has actually been transmitted: _unacked may hold
+        # bytes the sender appended but has not yet put on the wire (it
+        # yields for the kernel charge between the two), and resending
+        # those would advance the receiver past our snd_nxt
+        n = min(self.kernel.mss, self.snd_nxt - self.snd_una, len(self._unacked))
+        if n <= 0:
+            self._arm_retx_fresh()
+            return
+        # pin the sequence number now: an ACK arriving during the kernel
+        # charge below advances snd_una, and stamping the old bytes with
+        # the new snd_una would make the receiver accept them as fresh
+        # data past our snd_nxt
+        seq = self.snd_una
         chunk = self._unacked.peek(n)
         self.retransmissions += 1
         obs = self.sim.obs
@@ -330,14 +342,17 @@ class TcpConnection:
                 rank=self.kernel.host.hostid,
                 detail={
                     "dst": self.remote_host,
-                    "seq": self.snd_una,
+                    "seq": seq,
                     "nbytes": n,
                     "attempt": self._retx_attempts,
                 },
             )
         yield from self.kernel.charge(p.tcp_out + n * p.checksum_per_byte)
+        if self.snd_una >= seq + n:
+            self._arm_retx_fresh()
+            return  # fully acked while charging: nothing left to resend
         self._transmit(TcpSegment(
-            self.local_port, self.remote_port, self.snd_una, self.rcv_nxt,
+            self.local_port, self.remote_port, seq, self.rcv_nxt,
             data=chunk, window=p.window,
         ))
         self._arm_retx_fresh()
@@ -437,9 +452,12 @@ class TcpConnection:
     def _fast_retransmit(self):
         """Resend the oldest unacked segment without waiting for the RTO."""
         p = self.kernel.params
-        n = min(self.kernel.mss, len(self._unacked))
-        if n == 0:
+        # same transmitted-bytes cap and pinned sequence number as
+        # _retransmit_oldest
+        n = min(self.kernel.mss, self.snd_nxt - self.snd_una, len(self._unacked))
+        if n <= 0:
             return
+        seq = self.snd_una
         chunk = self._unacked.peek(n)
         self.retransmissions += 1
         self.fast_retransmissions += 1
@@ -450,12 +468,14 @@ class TcpConnection:
                 "net",
                 "seg.retx",
                 rank=self.kernel.host.hostid,
-                detail={"dst": self.remote_host, "seq": self.snd_una, "nbytes": n, "fast": True},
+                detail={"dst": self.remote_host, "seq": seq, "nbytes": n, "fast": True},
             )
         self._ack_version += 1  # restart the RTO clock
         yield from self.kernel.charge(p.tcp_out + n * p.checksum_per_byte)
+        if self.snd_una >= seq + n:
+            return  # fully acked while charging
         self._transmit(TcpSegment(
-            self.local_port, self.remote_port, self.snd_una, self.rcv_nxt,
+            self.local_port, self.remote_port, seq, self.rcv_nxt,
             data=chunk, window=p.window,
         ))
 

@@ -84,24 +84,51 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.quarantined = 0
 
     def _path(self, key: str) -> Path:
         return self.root / "objects" / key[:2] / f"{key}.json"
 
     def get(self, key: str) -> Tuple[bool, Any]:
-        """``(True, value)`` on a hit, ``(False, None)`` on a miss."""
+        """``(True, value)`` on a hit, ``(False, None)`` on a miss.
+
+        A present-but-unusable entry — unparsable JSON, a ``key`` field
+        that does not match the file name, or no ``value`` at all — is
+        *quarantined*: renamed to ``<key>.json.corrupt`` so the bad bytes
+        stay auditable without shadowing the slot on every future run.
+        """
         path = self._path(key)
         try:
             with open(path) as fh:
                 entry = json.load(fh)
-        except (OSError, ValueError):
+        except OSError:
             self.misses += 1
             return False, None
-        if entry.get("key") != key:  # truncated/corrupt write
+        except ValueError:
+            self._quarantine(path)
+            self.misses += 1
+            return False, None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("key") != key  # truncated or misfiled write
+            or "value" not in entry
+        ):
+            self._quarantine(path)
             self.misses += 1
             return False, None
         self.hits += 1
         return True, entry["value"]
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside (or delete it if even that fails)."""
+        try:
+            os.replace(path, path.with_suffix(path.suffix + ".corrupt"))
+        except OSError:
+            try:
+                os.unlink(path)
+            except OSError:  # pragma: no cover - raced by another process
+                return
+        self.quarantined += 1
 
     def put(self, key: str, kind: str, cell: Any, value: Any) -> bool:
         """Store *value*; returns False (and stores nothing) if the value

@@ -42,6 +42,7 @@ __all__ = [
     "ShardReport",
     "RunReport",
     "plan_shards",
+    "retry_backoff_s",
     "run_cells",
 ]
 
@@ -113,6 +114,47 @@ def plan_shards(n: int, workers: int) -> List[List[int]]:
     return [list(range(shard, n, workers)) for shard in range(workers)]
 
 
+#: per-attempt backoff for ``_retries`` cells: 50 ms, 100 ms, 200 ms, ...
+#: capped at 1 s — deterministic (attempt-indexed, no jitter source)
+RETRY_BACKOFF_BASE_S = 0.05
+RETRY_BACKOFF_CAP_S = 1.0
+
+
+def retry_backoff_s(attempt: int) -> float:
+    """Seconds to wait before retry *attempt* (1-based): capped doubling."""
+    return min(RETRY_BACKOFF_BASE_S * (2 ** (attempt - 1)), RETRY_BACKOFF_CAP_S)
+
+
+def _run_cell_with_retries(cell):
+    """Run one cell, honouring its opt-in ``_retries`` budget.
+
+    ``{"_retries": N}`` grants N extra attempts after a worker exception,
+    each preceded by a deterministic capped backoff, so one transiently
+    flaky cell (an OOM-killed fork, a full /tmp) doesn't abort a
+    multi-hour sweep.  The key is underscore-prefixed: retry policy is an
+    execution detail, never part of the content address, and a cell that
+    eventually succeeds returns the same value it would have serially —
+    every attempt rebuilds the same deterministic world from the spec.
+    Exhausting the budget re-raises the last exception, annotated with
+    the attempt count for the parent's :class:`CellError`.
+    """
+    retries = int(cell.get("_retries", 0) or 0)
+    attempt = 0
+    while True:
+        try:
+            return run_cell(cell)
+        except Exception as exc:  # noqa: BLE001 - re-raised in the parent
+            attempt += 1
+            if attempt > retries:
+                if retries:
+                    exc.args = (
+                        f"{exc.args[0] if exc.args else exc} "
+                        f"[failed {attempt}x, retries exhausted]",
+                    ) + exc.args[1:]
+                raise
+            time.sleep(retry_backoff_s(attempt))
+
+
 def _run_shard(spec):
     """Worker entry: run one shard's cells in order, honouring the budget."""
     shard_id, items, budget_s = spec
@@ -124,7 +166,7 @@ def _run_shard(spec):
             continue
         started = time.monotonic()
         try:
-            value = run_cell(cell)
+            value = _run_cell_with_retries(cell)
         except Exception as exc:  # noqa: BLE001 - re-raised in the parent
             out.append((index, "error", f"{type(exc).__name__}: {exc}"))
             continue

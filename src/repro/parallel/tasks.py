@@ -143,6 +143,31 @@ def _chaos_cell(cell):
     return {"row": row, "events": bus.events}
 
 
+@task("soak_cell")
+def _soak_cell(cell):
+    """One chaos-soak cell: pinned crash through ULFM recovery.
+
+    Never cached (``soak_sweep`` sets ``_nocache``): the digest of a
+    fresh run is the determinism evidence the gate compares.
+    """
+    from repro.bench.chaos import soak_cell
+
+    bus = None
+    if cell.get("_trace"):
+        from repro.obs import EventBus
+
+        bus = EventBus()
+    row = soak_cell(
+        cell["platform"], cell["device"], nprocs=cell["nprocs"],
+        victim=cell["victim"], crash_at=cell["crash_at"], n=cell["n"],
+        iters=cell["iters"], checkpoint_every=cell["checkpoint_every"],
+        seed=cell["seed"], obs=bus,
+    )
+    if bus is None:
+        return {"row": row}
+    return {"row": row, "events": bus.events}
+
+
 # ----------------------------------------------------- conformance/fuzz cells
 @task("conformance_cell")
 def _conformance_cell(cell):
@@ -219,3 +244,25 @@ def _selftest(cell):
     material = _json.dumps(cacheable_spec(cell) or cell, sort_keys=True)
     return {"digest": hashlib.sha256(material.encode()).hexdigest()[:16],
             "acc": acc}
+
+
+@task("_flaky_selftest")
+def _flaky_selftest(cell):
+    """Self-test cell that fails its first ``_fail_times`` attempts.
+
+    Attempts are counted in the scratch file named by ``_counter`` so
+    the count survives retries inside forked workers.  Every knob is an
+    underscore key, so the success value is exactly the ``_selftest``
+    digest of the visible spec — a retried run merges byte-identical to
+    a run that never flaked.  Used only by the engine's retry tests.
+    """
+    import os
+
+    fails = int(cell.get("_fail_times", 0) or 0)
+    if fails:
+        path = cell["_counter"]
+        with open(path, "a") as fh:
+            fh.write("x")
+        if os.path.getsize(path) <= fails:
+            raise RuntimeError("transient selftest failure")
+    return _selftest(cell)

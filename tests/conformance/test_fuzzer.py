@@ -188,11 +188,40 @@ def test_repro_script_replays(tmp_path):
     assert "differential" in script and f"seed {program.seed}" in script
 
 
+# ------------------------------------------------------- ULFM recovery (ft)
+def test_ft_profile_generates_recovery_programs():
+    program = generate(41, profile="ft")
+    assert validate(program) == []
+    assert program.ft is not None
+    assert all(r.kind == "ft" for r in program.rounds)
+    blob = json.dumps(program.to_dict(), sort_keys=True)
+    back = Program.from_dict(json.loads(blob))
+    assert back.to_dict() == program.to_dict()
+
+
+def test_ft_profile_recovery_is_identical_across_matrix():
+    """The differential property extends to crash recovery: every device
+    cell produces the byte-identical canonical trace of the survivors'
+    detect/revoke/shrink/agree run."""
+    result = differential(generate(43, profile="ft"))
+    assert result.ok, result.summary()
+    assert len(set(result.canons.values())) == 1
+
+
+def test_cli_fuzz_ft_profile():
+    from repro.cli import main as cli_main
+
+    buf = io.StringIO()
+    assert cli_main(["fuzz", "--seed", "42", "--profile", "ft"], out=buf) == 0
+    assert "OK" in buf.getvalue()
+
+
 # ------------------------------------------------------------------- corpus
 def test_ci_corpus_is_pinned_and_unique():
     assert len(CI_CORPUS) >= 25
     assert len(set(CI_CORPUS)) == len(CI_CORPUS)
     assert all(profile in PROFILES for _, profile in CI_CORPUS)
+    assert any(profile == "ft" for _, profile in CI_CORPUS)
 
 
 def test_run_corpus_smoke(tmp_path):

@@ -1,0 +1,237 @@
+"""ULFM fault-tolerance API: detection, ack, revoke, shrink, agree,
+and the checkpoint store.
+
+The soak gate (``test_ft_soak.py``) proves end-to-end recovery across
+the device matrix; these tests pin the individual API contracts on a
+single fast platform.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import FaultPlan, NodeCrash
+from repro.mpi import World
+from repro.mpi.constants import ERR_PROC_FAILED, ERRORS_RETURN
+from repro.mpi.exceptions import CommRevoked, MPIError, RankFailed
+from repro.mpi.ft import DETECT_DELAY, CheckpointStore, FTConfig
+
+
+def crash_plan(node, at):
+    return FaultPlan.of(NodeCrash(node=node, at=at))
+
+
+def settle(comm, until):
+    """Burn CPU until the simulated clock passes *until* µs."""
+    while comm.wtime() < until:
+        yield from comm.endpoint.host.compute(50.0)
+
+
+# ------------------------------------------------------------------ opt-in
+def test_ft_api_requires_opt_in():
+    def main(comm):
+        with pytest.raises(MPIError):
+            comm.failure_ack()
+        with pytest.raises(MPIError):
+            comm.revoke()
+        with pytest.raises(MPIError):
+            yield from comm.shrink()
+        assert not comm.is_revoked()
+        yield from comm.barrier()
+
+    World(2, platform="meiko", seed=0).run(main)
+
+
+def test_ft_config_validates():
+    with pytest.raises(ConfigurationError):
+        FTConfig(detect_delay=-1.0)
+
+
+def test_detect_delay_platform_defaults_and_override():
+    assert World(2, platform="meiko", ft=True).ft.detect_delay == \
+        DETECT_DELAY["meiko"]
+    assert World(2, platform="atm", ft=True).ft.detect_delay == \
+        DETECT_DELAY["atm"]
+    assert World(2, platform="ethernet", ft=True).ft.detect_delay == \
+        DETECT_DELAY["ethernet"]
+    custom = World(2, platform="meiko", ft=FTConfig(detect_delay=5.0))
+    assert custom.ft.detect_delay == 5.0
+
+
+# --------------------------------------------------------------- detection
+def test_detection_names_the_dead_rank_and_gates_wildcards():
+    victim, crash_at = 2, 100.0
+
+    def main(comm):
+        if comm.rank == victim:
+            yield from settle(comm, 100_000.0)
+            return "unreachable"
+        yield from settle(comm, crash_at + DETECT_DELAY["meiko"] + 50.0)
+        # the announcement is global: every survivor sees the same view
+        assert comm.world.ft.failed == {victim}
+        with pytest.raises(RankFailed) as ei:
+            yield from comm.send(b"x", dest=victim, tag=1)
+        assert victim in ei.value.failed
+        assert ei.value.errcode == ERR_PROC_FAILED
+        with pytest.raises(RankFailed):
+            yield from comm.recv(source=victim, tag=1)
+        # ULFM: wildcard receives refuse to post while failures are
+        # unacknowledged (the sender might be the dead rank)
+        with pytest.raises(RankFailed):
+            yield from comm.recv()
+        comm.failure_ack()
+        assert list(comm.get_acked().world_ranks) == [victim]
+        return "checked"
+
+    world = World(3, platform="meiko", faults=crash_plan(victim, crash_at),
+                  ft=True, seed=0)
+    res = world.run(main)
+    assert res[0] == res[1] == "checked"
+    assert res[victim] is None  # the dead rank never returns
+    assert world.ft.timeline["crash"] == pytest.approx(crash_at)
+    assert world.ft.timeline["detect"] == pytest.approx(
+        crash_at + DETECT_DELAY["meiko"])
+
+
+def test_crash_without_ft_still_deadlocks():
+    """The PR 1 semantics are pinned: no FT layer, no detection — peers
+    of a crashed rank deadlock and the watchdog reports them."""
+    from repro.errors import DeadlockError
+
+    def main(comm):
+        if comm.rank == 1:
+            yield from settle(comm, 100_000.0)
+            return
+        yield from comm.recv(source=1, tag=1)
+
+    world = World(2, platform="meiko", faults=crash_plan(1, 50.0), seed=0)
+    with pytest.raises(DeadlockError):
+        world.run(main)
+
+
+# -------------------------------------------------------------- revocation
+def test_revoke_interrupts_blocked_ranks_everywhere():
+    def main(comm):
+        if comm.rank == 0:
+            yield from settle(comm, 200.0)
+            comm.revoke()
+            assert comm.is_revoked()
+            with pytest.raises(CommRevoked):
+                yield from comm.send(b"x", dest=1, tag=1)
+            return "revoker"
+        try:
+            yield from comm.recv(source=0, tag=9)
+        except CommRevoked:
+            return "revoked"
+        return "not revoked"
+
+    world = World(3, platform="meiko", ft=True, seed=0)
+    assert world.run(main) == ["revoker", "revoked", "revoked"]
+
+
+# ----------------------------------------------------------- shrink, agree
+def test_shrink_builds_survivors_only_communicator():
+    victim = 3
+
+    def main(comm):
+        comm.set_errhandler(ERRORS_RETURN)
+        if comm.rank == victim:
+            yield from settle(comm, 100_000.0)
+            return
+        yield from settle(comm, 50.0 + DETECT_DELAY["meiko"] + 50.0)
+        comm.revoke()
+        comm.failure_ack()
+        new = yield from comm.shrink()
+        assert new.size == 3
+        assert list(new.group.world_ranks) == [0, 1, 2]  # rank order kept
+        assert new.rank == comm.rank
+        assert not new.is_revoked()
+        assert new.get_errhandler() == ERRORS_RETURN  # handler inherited
+        total = yield from new.allreduce(np.array([float(new.rank + 1)]))
+        # agree is the AND of every live member's flag
+        agreed = yield from new.agree(new.rank != 1)
+        return float(total[0]), agreed
+
+    world = World(4, platform="meiko", faults=crash_plan(victim, 50.0),
+                  ft=True, seed=0)
+    res = world.run(main)
+    assert res[victim] is None
+    assert res[:victim] == [(6.0, False)] * 3
+
+
+def test_agree_unanimous_true():
+    def main(comm):
+        return (yield from comm.agree(True))
+
+    assert World(3, platform="meiko", ft=True, seed=0).run(main) == [True] * 3
+
+
+def test_agree_survives_coordinator_death():
+    """The agreement coordinator (lowest live rank) dies mid-protocol;
+    the survivors re-elect and still decide."""
+    victim = 0
+
+    def main(comm):
+        if comm.rank == victim:
+            yield from settle(comm, 100_000.0)
+            return
+        yield from settle(comm, 50.0 + DETECT_DELAY["meiko"] + 50.0)
+        decided = yield from comm.agree(True)
+        return decided
+
+    world = World(3, platform="meiko", faults=crash_plan(victim, 50.0),
+                  ft=True, seed=0)
+    assert world.run(main) == [None, True, True]
+
+
+# ------------------------------------------------------------- checkpoints
+def test_checkpoint_store_two_phase_commit():
+    store = CheckpointStore()
+    assert store.latest_committed() is None
+    payload = np.arange(4.0)
+    store.save(4, 0, (0, payload))
+    store.save(4, 1, (2, payload[2:]))
+    with pytest.raises(ConfigurationError):
+        store.load(4)  # not committed yet
+    with pytest.raises(ConfigurationError):
+        store.commit(8)  # nothing saved for that step
+    store.commit(4)
+    store.commit(4)  # idempotent: all ranks commit after the barrier
+    assert store.latest_committed() == 4
+    payload[0] = 99.0  # saved copies must not alias live buffers
+    wave = store.load(4)
+    assert wave[0][1][0] == 0.0
+    wave[0][1][0] = -1.0  # loaded copies are private too
+    assert store.load(4)[0][1][0] == 0.0
+
+
+def test_checkpoint_store_reusable_across_worlds():
+    """FTConfig(store=...) carries committed waves into a new world —
+    the checkpoint-restart path for a full job restart."""
+    store = CheckpointStore()
+    store.save(2, 0, "state")
+    store.commit(2)
+    world = World(2, platform="meiko", ft=FTConfig(store=store))
+    assert world.ft.checkpoints is store
+    assert world.ft.checkpoints.latest_committed() == 2
+
+
+# ------------------------------------------------- recovery events/timeline
+def test_recovery_emits_typed_events_in_phase_order():
+    from repro.apps import reference_relax, survivable_relax
+    from repro.obs import EventBus
+
+    bus = EventBus()
+    world = World(4, platform="meiko", faults=crash_plan(2, 900.0),
+                  ft=True, obs=bus, seed=1)
+    res = world.run(survivable_relax, 64, 12, 4)
+    vec, info = res[0]
+    assert info["recoveries"] == 1 and info["size"] == 3
+    assert np.allclose(vec, reference_relax(64, 12))
+    kinds = {e.kind for e in bus.events if e.layer == "ft"}
+    assert {"failure.crash", "failure.detect", "comm.revoke", "comm.shrink",
+            "agree", "checkpoint.save", "checkpoint.commit",
+            "checkpoint.restore"} <= kinds
+    tl = world.ft.timeline
+    assert tl["crash"] <= tl["detect"] <= tl["revoke"] <= tl["shrink"] \
+        <= tl["agree"]

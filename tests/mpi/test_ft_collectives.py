@@ -1,0 +1,132 @@
+"""Mid-collective crash semantics across the device matrix.
+
+The interplay pinned here: ``DeadlockError`` watchdog × ``ERRORS_RETURN``
+× ``NodeCrash``.  With fault tolerance enabled, every survivor of a rank
+that dies mid-collective must get a :class:`CommError`/:class:`RankFailed`
+naming the dead rank — not a hang, and not a watchdog abort — on every
+device cell, whichever error handler is installed.  Two library
+properties make that hold:
+
+* internal collective traffic is failed on *every* survivor when any
+  participant dies (even legs binding two survivors — otherwise ranks
+  downstream in the tree wait forever on a rank that already errored
+  out, and the watchdog is what the user sees);
+* collectives raise device failures regardless of ``ERRORS_RETURN``
+  (they return data, not codes — there is no channel for a code).
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultPlan, NodeCrash
+from repro.mpi import World
+from repro.mpi.constants import ERRORS_ARE_FATAL, ERRORS_RETURN
+from repro.mpi.exceptions import CommError, RankFailed
+
+VICTIM = 2
+CRASH_AT = 900.0
+
+
+def crashing_collective(handler, collective):
+    def main(comm):
+        comm.set_errhandler(handler)
+        try:
+            for _ in range(400):
+                if collective == "allreduce":
+                    yield from comm.allreduce(np.ones(4))
+                else:
+                    yield from comm.barrier()
+        except CommError as exc:
+            dead = tuple(getattr(exc, "failed", ()) or ())
+            if not dead and exc.peer is not None:
+                dead = (comm.world_rank(exc.peer),)
+            return type(exc).__name__, dead
+        return "completed", ()
+
+    return main
+
+
+@pytest.mark.parametrize("handler", [ERRORS_ARE_FATAL, ERRORS_RETURN])
+def test_mid_collective_crash_names_dead_rank_everywhere(all_devices, handler):
+    platform, device = all_devices
+    world = World(
+        4, platform=platform, device=device, seed=3,
+        faults=FaultPlan.of(NodeCrash(node=VICTIM, at=CRASH_AT)), ft=True,
+    )
+    # must complete — a DeadlockError here is the bug this test pins
+    res = world.run(crashing_collective(handler, "allreduce"))
+    assert res[VICTIM] is None
+    for rank, outcome in enumerate(res):
+        if rank == VICTIM:
+            continue
+        name, dead = outcome
+        assert name in ("RankFailed", "CommError"), (rank, outcome)
+        assert VICTIM in dead, (rank, outcome)
+
+
+def test_mid_barrier_crash_names_dead_rank(all_devices):
+    platform, device = all_devices
+    world = World(
+        4, platform=platform, device=device, seed=5,
+        faults=FaultPlan.of(NodeCrash(node=VICTIM, at=CRASH_AT)), ft=True,
+    )
+    res = world.run(crashing_collective(ERRORS_ARE_FATAL, "barrier"))
+    assert res[VICTIM] is None
+    for rank, outcome in enumerate(res):
+        if rank == VICTIM:
+            continue
+        name, dead = outcome
+        assert name in ("RankFailed", "CommError")
+        assert VICTIM in dead
+
+
+def test_collective_entry_with_known_dead_member_fails_fast():
+    """A collective started after detection raises immediately — no rank
+    starts a tree exchange its peers will never finish."""
+
+    def main(comm):
+        if comm.rank == VICTIM:
+            while True:
+                yield from comm.endpoint.host.compute(100.0)
+        while comm.wtime() < 200.0:  # crash at 50, meiko detect at 110
+            yield from comm.endpoint.host.compute(50.0)
+        with pytest.raises(RankFailed) as ei:
+            yield from comm.allreduce(np.ones(2))
+        assert VICTIM in ei.value.failed
+        return "failed-fast"
+
+    world = World(4, platform="meiko", seed=0,
+                  faults=FaultPlan.of(NodeCrash(node=VICTIM, at=50.0)), ft=True)
+    res = world.run(main)
+    assert [r for i, r in enumerate(res) if i != VICTIM] == ["failed-fast"] * 3
+
+
+def test_errhandler_restored_after_collective():
+    """Collectives temporarily force fatal semantics internally; the
+    installed handler must be back in place for the point-to-point calls
+    that follow — on the happy path and after a failure."""
+
+    def happy(comm):
+        comm.set_errhandler(ERRORS_RETURN)
+        yield from comm.allreduce(np.ones(2))
+        return comm.get_errhandler()
+
+    res = World(2, platform="meiko", seed=0).run(happy)
+    assert res == [ERRORS_RETURN, ERRORS_RETURN]
+
+    def unhappy(comm):
+        comm.set_errhandler(ERRORS_RETURN)
+        if comm.rank == VICTIM:
+            yield from comm.endpoint.host.compute(100_000.0)
+            return None
+        with pytest.raises(CommError):
+            for _ in range(400):
+                yield from comm.allreduce(np.ones(2))
+        return comm.get_errhandler()
+
+    world = World(4, platform="meiko", seed=1,
+                  faults=FaultPlan.of(NodeCrash(node=VICTIM, at=CRASH_AT)),
+                  ft=True)
+    res = world.run(unhappy)
+    assert [r for i, r in enumerate(res) if i != VICTIM] == \
+        [ERRORS_RETURN] * 3

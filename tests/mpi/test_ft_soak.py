@@ -1,0 +1,104 @@
+"""The chaos-soak gate: pinned mid-run crash through ULFM recovery.
+
+The acceptance scenario for survivable MPI: 8 ranks, rank 3 crashes at
+t=900 µs mid-relaxation, and on **every** device cell the survivors
+detect, revoke, shrink, agree, restore the last committed checkpoint,
+and finish with the right answer — with a byte-identical recovery
+trace (``trace_sha``) across repeated seeded runs.  This is what the
+``chaos-soak`` CI job runs via ``repro chaos --soak``.
+"""
+
+import io
+import re
+
+import pytest
+
+from repro.bench.chaos import format_soak, soak_cell, soak_sweep
+from repro.mpi.ft import DETECT_DELAY
+
+PHASES = ("crash", "detect", "revoke", "shrink", "agree")
+
+
+def test_soak_cell_recovers(all_devices):
+    platform, device = all_devices
+    row = soak_cell(platform, device)
+    assert row["outcome"] == "ok", row["diagnostic"]
+    assert row["recoveries"] >= 1
+    assert row["survivors"] == 7  # 8 ranks, one dead
+    tl = row["timeline"]
+    assert set(PHASES) <= set(tl)
+    assert tl["crash"] <= tl["detect"] <= tl["revoke"] <= tl["shrink"] \
+        <= tl["agree"]
+    # detection latency is the platform's failure-detector delay
+    assert row["detect_us"] == pytest.approx(DETECT_DELAY[platform])
+    assert row["recover_us"] > 0
+    assert re.fullmatch(r"[0-9a-f]{64}", row["trace_sha"])
+
+
+def test_soak_cell_is_deterministic(all_devices):
+    platform, device = all_devices
+    assert soak_cell(platform, device) == soak_cell(platform, device)
+
+
+def test_soak_sweep_gate():
+    """The gate itself: every cell of the device matrix recovers, and
+    every repetition reproduces the recovery trace byte-for-byte."""
+    rows = soak_sweep(repeat=2)
+    assert len(rows) == 6
+    assert len({r["cell"] for r in rows}) == 6
+    for row in rows:
+        assert row["outcome"] == "ok", (row["cell"], row["diagnostic"])
+        assert row["deterministic"], row["cell"]
+
+
+def test_soak_sweep_parallel_matches_serial():
+    cells = [("meiko", "lowlatency"), ("atm", "udp")]
+    serial = soak_sweep(cells=cells, repeat=1)
+    par = soak_sweep(cells=cells, repeat=1, workers=2)
+    assert par == serial
+
+
+def test_format_soak_renders_every_cell():
+    rows = soak_sweep(cells=[("meiko", "lowlatency")], repeat=1)
+    text = format_soak(rows)
+    assert "meiko-lowlatency" in text
+    assert "ok" in text
+    assert rows[0]["trace_sha"][:12] in text
+
+
+def test_traced_sweep_exports_a_valid_chrome_trace(tmp_path):
+    """Balanced B/E spans even though the victim's generator dies
+    mid-call: its open spans must be closed inside its own run, not
+    leak from the garbage collector into a later cell's trace."""
+    import json
+
+    from repro.obs import EventBus
+    from repro.obs.export import write_trace
+    from repro.obs.schema import validate_chrome_trace
+
+    bus = EventBus()
+    soak_sweep(cells=[("meiko", "lowlatency"), ("meiko", "mpich")],
+               repeat=1, obs=bus)
+    path = tmp_path / "soak.json"
+    write_trace(bus, str(path))
+    assert validate_chrome_trace(json.loads(path.read_text())) == []
+
+
+def test_cli_soak_smoke(tmp_path):
+    from repro.cli import main
+
+    trace = tmp_path / "soak-trace.json"
+    out = io.StringIO()
+    rc = main(["chaos", "--soak", "--cells", "meiko-lowlatency",
+               "--trace", str(trace)], out=out)
+    assert rc == 0
+    assert "meiko-lowlatency" in out.getvalue()
+    assert trace.exists()
+
+
+def test_cli_soak_fails_loudly_on_bad_cell():
+    from repro.cli import main
+
+    rc = main(["chaos", "--soak", "--cells", "nonexistent-cell"],
+              out=io.StringIO())
+    assert rc != 0

@@ -181,3 +181,35 @@ def test_mtu_enforced_by_nic():
     medium.attach(nic)
     with pytest.raises(NetworkError):
         nic.send(1, 2000, None)
+
+
+def test_nic_survives_excessive_collision_abort(monkeypatch):
+    """An excessive-collision abort drops *that frame* only: the tx
+    worker keeps draining the queue (a dead worker mutes the station
+    forever, which under fault storms turned crashes into deadlocks)."""
+    from repro.hw.ethernet import EthernetNic
+
+    sim = Simulator()
+    medium = Medium(sim)
+    host = Host(sim, 0, seed=1)
+    nic = EthernetNic(host, medium)
+    medium.attach(nic)
+    peer = StubNic(1)
+    medium.attach(peer)
+
+    real_transmit = medium.transmit
+    calls = []
+
+    def flaky_transmit(frame, rng):
+        calls.append(frame.payload)
+        if len(calls) == 1:
+            raise NetworkError("excessive collisions")
+            yield  # pragma: no cover - makes this a generator
+        yield from real_transmit(frame, rng)
+
+    monkeypatch.setattr(medium, "transmit", flaky_transmit)
+    nic.send(1, 100, "aborted")
+    nic.send(1, 100, "delivered")
+    sim.run()
+    assert nic.tx_aborts == 1
+    assert [f.payload for f in peer.received] == ["delivered"]

@@ -52,6 +52,53 @@ def test_corrupt_entry_is_a_miss(cache):
     assert cache.get(key) == (False, None)
 
 
+def test_corrupt_entry_is_quarantined_not_left_in_place(cache):
+    key = cell_key("_selftest", {"i": 0})
+    cache.put(key, "_selftest", {"i": 0}, "ok")
+    path = cache._path(key)
+    path.write_text("{not json")
+    assert cache.get(key) == (False, None)
+    assert cache.quarantined == 1
+    # the bad bytes moved aside for the audit trail, slot freed
+    assert not path.exists()
+    aside = path.with_suffix(path.suffix + ".corrupt")
+    assert aside.read_text() == "{not json"
+    # the freed slot is immediately reusable
+    assert cache.put(key, "_selftest", {"i": 0}, "again")
+    assert cache.get(key) == (True, "again")
+
+
+def test_wrong_key_entry_is_quarantined(cache):
+    key_a = cell_key("_selftest", {"i": 1})
+    key_b = cell_key("_selftest", {"i": 2})
+    cache.put(key_a, "_selftest", {"i": 1}, "a")
+    # misfile A's (valid) bytes into B's slot
+    path_b = cache._path(key_b)
+    path_b.parent.mkdir(parents=True, exist_ok=True)
+    path_b.write_text(cache._path(key_a).read_text())
+    assert cache.get(key_b) == (False, None)
+    assert cache.quarantined == 1
+    assert not path_b.exists()
+    assert path_b.with_suffix(path_b.suffix + ".corrupt").exists()
+    # the correctly-filed entry is untouched
+    assert cache.get(key_a) == (True, "a")
+
+
+def test_entry_without_value_is_quarantined(cache):
+    key = cell_key("_selftest", {"i": 0})
+    path = cache._path(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps({"key": key, "kind": "_selftest"}))
+    assert cache.get(key) == (False, None)
+    assert cache.quarantined == 1
+    assert not path.exists()
+
+
+def test_plain_miss_is_not_quarantine(cache):
+    assert cache.get(cell_key("_selftest", {"i": 7})) == (False, None)
+    assert cache.quarantined == 0
+
+
 def test_unserializable_value_is_rejected(cache):
     key = cell_key("_selftest", {"i": 0})
     assert not cache.put(key, "_selftest", {"i": 0}, object())

@@ -110,6 +110,53 @@ def test_cell_error_carries_the_cell():
     assert excinfo.value.cell == {"kind": "no_such_task", "x": 1}
 
 
+# ----------------------------------------------------------------- retries
+def _flaky(tmp_path, i, fail_times, retries):
+    return {"kind": "_flaky_selftest", "i": i, "_fail_times": fail_times,
+            "_counter": str(tmp_path / f"attempts{i}"), "_retries": retries}
+
+
+def test_retries_recover_transient_failures(tmp_path):
+    flaky = [_flaky(tmp_path, i, fail_times=2, retries=3) for i in range(3)]
+    clean = [{"kind": "_flaky_selftest", "i": i} for i in range(3)]
+    report = run_cells(flaky, workers=2, cache=False)
+    serial = run_cells(clean, workers=1, cache=False)
+    # byte-identical to the never-flaked serial run on success
+    assert report.results == serial.results
+    assert report.executed == 3
+
+
+def test_retries_exhausted_surface_cell_error(tmp_path):
+    cells = [_flaky(tmp_path, 0, fail_times=99, retries=2)]
+    with pytest.raises(CellError) as excinfo:
+        run_cells(cells, workers=1, cache=False)
+    assert "retries exhausted" in str(excinfo.value)
+    # 1 initial attempt + 2 retries, no more
+    assert (tmp_path / "attempts0").stat().st_size == 3
+
+
+def test_no_retries_without_opt_in(tmp_path):
+    cell = _flaky(tmp_path, 0, fail_times=1, retries=0)
+    with pytest.raises(CellError):
+        run_cells([cell], workers=1, cache=False)
+    assert (tmp_path / "attempts0").stat().st_size == 1
+
+
+def test_retry_backoff_is_deterministic_and_capped():
+    from repro.parallel.engine import retry_backoff_s
+
+    assert [retry_backoff_s(a) for a in range(1, 7)] == \
+        [0.05, 0.1, 0.2, 0.4, 0.8, 1.0]
+    assert retry_backoff_s(40) == 1.0
+
+
+def test_retries_do_not_perturb_the_cache_key():
+    from repro.parallel.tasks import cacheable_spec
+
+    assert cacheable_spec({"kind": "k", "i": 0, "_retries": 3}) == \
+        {"kind": "k", "i": 0}
+
+
 # ----------------------------------------------- traced sweeps (obs merge)
 def _traced_chaos_sweep(workers, trace_path):
     from repro.bench.chaos import chaos_sweep
