@@ -21,6 +21,12 @@ workloads exercise the kernel's hot paths from different directions:
     timer (the 200 ms default RTO) that is cancelled microseconds later
     when the operation completes.  Before cancellable timers, each of
     those timers sat in the heap until it fired dead.
+``ring_1k``
+    A 1024-rank token ring on the low-latency Meiko device — scheduling
+    breadth: a thousand suspended process generators, wide matching
+    state, and a strictly serialized dependency chain, so throughput is
+    dominated by wake-one-resume-one kernel latency rather than batch
+    drains.
 
 ``run_suite`` returns one record per workload (events scheduled,
 wall-clock seconds, events per second) ready to be serialized as
@@ -40,13 +46,17 @@ __all__ = [
 ]
 
 #: conservative events-per-second floors (full workloads, slow-CI safe);
-#: quick mode halves them.  Measured on the reference box: solver ~171k,
-#: nbody ~168k, chaos ~180k, timer_churn ~1.3M events/s.
+#: quick mode halves them.  Raised for the slot-dispatch/pooling kernel:
+#: measured full-mode on the dev box solver ~235k, nbody ~148k, chaos
+#: ~190k, timer_churn ~820k, ring_1k ~215k events/s; floors sit at
+#: roughly half of that for runner headroom (REPRO_BENCH_FLOOR_SLACK
+#: scales them further on shared runners).
 FLOORS = {
-    "solver": 75_000,
-    "nbody": 60_000,
-    "chaos": 60_000,
-    "timer_churn": 250_000,
+    "solver": 120_000,
+    "nbody": 80_000,
+    "chaos": 85_000,
+    "timer_churn": 400_000,
+    "ring_1k": 100_000,
 }
 
 
@@ -125,6 +135,29 @@ def _chaos(quick: bool) -> int:
     return world.sim._seq
 
 
+def _ring_1k(quick: bool) -> int:
+    from repro.mpi import World
+
+    world = World(1024, platform="meiko", device="lowlatency")
+    laps = 1 if quick else 2
+
+    def main(comm):
+        token = bytes(8)
+        nxt = (comm.rank + 1) % comm.size
+        prev = (comm.rank - 1) % comm.size
+        for _ in range(laps):
+            if comm.rank == 0:
+                yield from comm.send(token, dest=nxt, tag=7)
+                token, _ = yield from comm.recv(source=prev, tag=7)
+            else:
+                token, _ = yield from comm.recv(source=prev, tag=7)
+                yield from comm.send(token, dest=nxt, tag=7)
+        return comm.wtime()
+
+    world.run(main)
+    return world.sim._seq
+
+
 def _timer_churn(quick: bool) -> int:
     from repro.sim import Simulator
 
@@ -152,6 +185,7 @@ WORKLOADS: Dict[str, Callable[[bool], int]] = {
     "nbody": _nbody,
     "chaos": _chaos,
     "timer_churn": _timer_churn,
+    "ring_1k": _ring_1k,
 }
 
 

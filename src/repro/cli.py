@@ -182,6 +182,18 @@ def build_parser() -> argparse.ArgumentParser:
                     help="comma-separated message sizes in bytes")
     _add_trace_args(ph)
 
+    pf = sub.add_parser("perf", help="simulator-kernel performance workloads")
+    pf.add_argument("--workload", default="solver",
+                    help="kernel_perf workload name, or 'all' (default: solver)")
+    pf.add_argument("--quick", action="store_true", help="reduced problem sizes")
+    pf.add_argument("--repeats", type=int, default=3, help="best-of repetitions")
+    pf.add_argument("--profile", action="store_true",
+                    help="run under cProfile and print the hottest functions")
+    pf.add_argument("--top", type=int, default=25,
+                    help="rows of profile output (with --profile)")
+    pf.add_argument("--profile-out", default=None, metavar="PATH",
+                    help="also dump raw cProfile stats to PATH (with --profile)")
+
     fz = sub.add_parser("fuzz", help="differential MPI conformance fuzzer")
     fz.add_argument("--seed", type=int, default=None,
                     help="generate and check one program from this seed")
@@ -503,6 +515,49 @@ def cmd_phases(args, out) -> int:
     return 0
 
 
+def cmd_perf(args, out) -> int:
+    """Run kernel-perf workloads, optionally under cProfile.
+
+    ``--profile`` wraps the selected workload(s) in a profiler and
+    prints the top cumulative-time hot spots — the same view used to
+    drive the kernel's slot-dispatch and pooling optimisations.
+    """
+    from repro.bench.kernel_perf import WORKLOADS, run_workload
+
+    if args.workload == "all":
+        names = list(WORKLOADS)
+    elif args.workload in WORKLOADS:
+        names = [args.workload]
+    else:
+        print(f"unknown workload {args.workload!r}; choose from "
+              f"{', '.join(WORKLOADS)} or 'all'", file=out)
+        return 2
+    if args.profile:
+        import cProfile
+        import pstats
+
+        for name in names:  # warm imports so they don't dominate the profile
+            WORKLOADS[name](True)
+        profiler = cProfile.Profile()
+        profiler.enable()
+        for name in names:
+            WORKLOADS[name](args.quick)
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=out).sort_stats("cumulative")
+        print(f"profile: {', '.join(names)} "
+              f"({'quick' if args.quick else 'full'} mode)", file=out)
+        stats.print_stats(args.top)
+        if args.profile_out:
+            stats.dump_stats(args.profile_out)
+            print(f"raw profile stats -> {args.profile_out}", file=out)
+        return 0
+    for name in names:
+        rec = run_workload(name, quick=args.quick, repeats=args.repeats)
+        print(f"{name:<12} {rec['events']:>8} events  {rec['wall_s']:>9.4f} s  "
+              f"{rec['events_per_sec']:>9} ev/s", file=out)
+    return 0
+
+
 def cmd_fuzz(args, out) -> int:
     from repro.conformance.corpus import run_corpus
     from repro.conformance.executor import check_faulty, differential
@@ -574,6 +629,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "app": cmd_app,
         "chaos": cmd_chaos,
         "phases": cmd_phases,
+        "perf": cmd_perf,
         "fuzz": cmd_fuzz,
         "sweep": cmd_sweep,
     }[args.command]

@@ -54,6 +54,7 @@ __all__ = [
     "DROP",
     "DUPLICATE",
     "CORRUPT",
+    "BatchedRandom",
     "FaultRule",
     "PacketLoss",
     "PacketDuplication",
@@ -235,6 +236,53 @@ _PACKET_RULES = (PacketLoss, PacketDuplication, PacketCorruption, LinkDown, Node
 _HOST_RULES = (NodeCrash, NodePause, NodeSlow)
 
 
+class BatchedRandom:
+    """Uniform floats served from a pre-drawn block (refilled on
+    exhaustion) over an underlying ``random.Random``.
+
+    **Draw-order contract.**  The block is filled by *consecutive*
+    ``Random.random()`` calls and consumed strictly in order, so the
+    sequence of values a consumer observes is byte-identical to calling
+    ``random()``/``uniform()`` directly — ``uniform(a, b)`` uses the
+    same ``a + (b - a) * random()`` formula as the stdlib.  The
+    determinism goldens depend on this.
+
+    The contract only holds if **every** consumer of the underlying
+    ``Random`` instance draws through this one wrapper, and only draws
+    floats.  A consumer of raw bits (``randrange``/``getrandbits``,
+    e.g. the Ethernet medium's binary-exponential backoff) consumes
+    Mersenne-Twister words in a different pattern than ``random()``;
+    pre-drawing floats past such a call would reorder the underlying
+    stream and change every subsequent value.  Streams with a raw-bits
+    consumer must therefore stay unbatched
+    (:meth:`repro.hw.node.Host.jitter_stream` enforces this for the
+    per-host streams).
+    """
+
+    __slots__ = ("_rng", "_batch", "_i")
+
+    #: floats drawn per refill
+    BATCH = 256
+
+    def __init__(self, rng: random.Random):
+        self._rng = rng
+        self._batch: List[float] = []
+        self._i = 0
+
+    def random(self) -> float:
+        i = self._i
+        batch = self._batch
+        if i >= len(batch):
+            r = self._rng.random
+            self._batch = batch = [r() for _ in range(self.BATCH)]
+            i = 0
+        self._i = i + 1
+        return batch[i]
+
+    def uniform(self, a: float, b: float) -> float:
+        return a + (b - a) * self.random()
+
+
 @dataclass(frozen=True)
 class FaultPlan:
     """An ordered, immutable collection of fault rules.
@@ -314,6 +362,17 @@ class FaultInjector:
         self.rng = random.Random(
             ((seed & 0xFFFFFFFF) * 0x9E3779B1) ^ zlib.crc32(f"repro.faults/{fabric}".encode())
         )
+        # decide() is called for every delivery unit; the injector's
+        # stream is private and float-only, so it is always batchable
+        self._draw = BatchedRandom(self.rng)
+        #: per-rule dispatch, precomputed: (deterministic?, action)
+        self._fate: List[Tuple[bool, str]] = [
+            (True, DROP) if isinstance(r, (LinkDown, NodeCrash))
+            else (False, DROP) if isinstance(r, PacketLoss)
+            else (False, CORRUPT) if isinstance(r, PacketCorruption)
+            else (False, DUPLICATE)
+            for r in self.rules
+        ]
         #: events fired per rule (parallel to ``self.rules``)
         self.rule_events: List[int] = [0] * len(self.rules)
         self.decisions = 0
@@ -325,22 +384,20 @@ class FaultInjector:
         """The fate of one delivery: DELIVER, DROP, DUPLICATE or CORRUPT."""
         now = self.sim.now
         self.decisions += 1
+        events = self.rule_events
+        fabric = self.fabric
         for i, rule in enumerate(self.rules):
-            if rule.max_events is not None and self.rule_events[i] >= rule.max_events:
+            if rule.max_events is not None and events[i] >= rule.max_events:
                 continue
-            if not rule.in_scope(self.fabric, src, dst, now):
+            if not rule.in_scope(fabric, src, dst, now):
                 continue
-            if isinstance(rule, (LinkDown, NodeCrash)):
-                return self._fire(i, DROP, src, dst, nbytes)
-            # probabilistic rules share one deterministic stream
-            if self.rng.random() >= rule.probability:
+            deterministic, action = self._fate[i]
+            if deterministic:
+                return self._fire(i, action, src, dst, nbytes)
+            # probabilistic rules share one deterministic (batched) stream
+            if self._draw.random() >= rule.probability:
                 continue
-            if isinstance(rule, PacketLoss):
-                return self._fire(i, DROP, src, dst, nbytes)
-            if isinstance(rule, PacketCorruption):
-                return self._fire(i, CORRUPT, src, dst, nbytes)
-            if isinstance(rule, PacketDuplication):
-                return self._fire(i, DUPLICATE, src, dst, nbytes)
+            return self._fire(i, action, src, dst, nbytes)
         return DELIVER
 
     def _fire(self, index: int, action: str, src: int, dst: int, nbytes: int) -> str:

@@ -24,6 +24,9 @@ class EthernetNic:
         self.host = host
         self.sim = host.sim
         self.medium = medium
+        # backoff draws randrange from host.rng: pin the host's jitter
+        # stream to the raw Random (no float batching, see Host.claim_raw_rng)
+        host.claim_raw_rng()
         self.addr = host.hostid if addr is None else addr
         #: set by the protocol stack: called with each received Frame
         self.rx_handler: Optional[Callable[[Frame], None]] = None

@@ -279,5 +279,5 @@ class MeikoNode(Host):
 
     def wait_event(self, event: HwEvent):
         """SPARC wait on a hardware event (charges the wake/poll cost)."""
-        yield event.wait()
+        yield event.wait1()
         yield from self.cpu.execute(self.params.event_poll)

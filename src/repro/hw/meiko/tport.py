@@ -155,7 +155,7 @@ class TPort:
 
     def twait(self, handle: TPortHandle):
         """Wait for a handle; charges the SPARC↔Elan completion sync."""
-        yield handle.done.wait()
+        yield handle.done.wait1()
         yield from self.node.cpu.execute(self.params.sparc_elan_sync)
 
     def tcancel(self, handle: TPortHandle):
@@ -174,7 +174,7 @@ class TPort:
             done.set()
 
         self.node.issue(ElanCallCommand(scan, debug="tport-cancel"))
-        yield done.wait()
+        yield done.wait1()
         yield from self.node.cpu.execute(self.params.sparc_elan_sync)
         return holder["ok"]
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 import random
 from typing import Optional
 
-from repro.sim import Resource, Simulator
+from repro.sim import Resource, SimulationError, Simulator
 
 __all__ = ["Processor", "Host"]
 
@@ -57,7 +57,26 @@ class Processor:
             raise ValueError(f"negative execution cost {cost!r}")
         scaled = cost / self.speed
         self.busy_time += scaled
-        yield from self._res.use(scaled)
+        # Uncontended fast path inlined from Resource.use: same grant
+        # event + hold timeout (identical event count and ordering), on
+        # pooled records, without the extra delegating generator frame.
+        res = self._res
+        if res._in_use < res.capacity and not res._queue:
+            res._in_use += 1
+            sim = res.sim
+            try:
+                yield sim.event1().succeed(None)
+                yield sim.timeout1(scaled)
+            finally:
+                if res._queue:
+                    nxt = res._queue.popleft()
+                    nxt.succeed(nxt)
+                else:
+                    if res._in_use <= 0:
+                        raise SimulationError(f"over-release of resource {res.name!r}")
+                    res._in_use -= 1
+            return
+        yield from res.use(scaled)
 
     def request(self):
         return self._res.request()
@@ -91,6 +110,10 @@ class Host:
         self.name = name or f"host{hostid}"
         self.cpu = Processor(sim, name=f"{self.name}.cpu", speed=speed)
         self.rng = random.Random((seed << 16) ^ (hostid * 2654435761 % 2**32))
+        #: raw-bits consumers of self.rng (Ethernet backoff draws via
+        #: randrange); when non-zero jitter_stream() must stay unbatched
+        self._rng_bits_users = 0
+        self._jitter_cache: Optional[tuple] = None
         #: attachment point for NICs / protocol stacks, filled in by builders
         self.nic = None
         self.stack = None
@@ -98,6 +121,40 @@ class Host:
     def wtime(self) -> float:
         """Wall-clock time on this host (the global simulated clock), µs."""
         return self.sim.now
+
+    def claim_raw_rng(self) -> random.Random:
+        """Register a raw-bits consumer of this host's RNG stream.
+
+        Components drawing via ``randrange``/``getrandbits`` (the
+        Ethernet NIC's binary-exponential backoff) must call this at
+        build time, before any draws: it pins :meth:`jitter_stream` to
+        the raw ``Random`` so float batching cannot reorder the
+        Mersenne word stream (see
+        :class:`repro.faults.BatchedRandom`).
+        """
+        self._rng_bits_users += 1
+        self._jitter_cache = None
+        return self.rng
+
+    def jitter_stream(self):
+        """The stream for float-only jitter draws (transport RTO jitter).
+
+        A :class:`repro.faults.BatchedRandom` over ``self.rng`` when no
+        raw-bits consumer shares the host stream, the raw ``Random``
+        otherwise — the observed draw values are byte-identical either
+        way.
+        """
+        cache = self._jitter_cache
+        if cache is not None and cache[0] is self.rng:
+            return cache[1]
+        if self._rng_bits_users:
+            stream = self.rng
+        else:
+            from repro.faults import BatchedRandom
+
+            stream = BatchedRandom(self.rng)
+        self._jitter_cache = (self.rng, stream)
+        return stream
 
     def compute(self, total: float, quantum: Optional[float] = None):
         """Generator: perform *total* µs of application computation.

@@ -120,6 +120,12 @@ BOR = Op("MPI_BOR", np.bitwise_or)
 
 
 # --------------------------------------------------------------------- bcast
+def _just(value):
+    """Generator returning *value* without yielding (0-event no-op)."""
+    return value
+    yield  # pragma: no cover - makes this a generator function
+
+
 def bcast(comm, buf, root: int, count: int, datatype, style=None):
     """Broadcast *buf* from *root*; returns the (filled) buffer.
 
@@ -130,20 +136,27 @@ def bcast(comm, buf, root: int, count: int, datatype, style=None):
     * ``binomial`` (MPICH): log₂P point-to-point rounds;
     * ``linear`` (TCP/UDP cluster): root sends to each rank in turn
       ("a succession of point-to-point messages").
+
+    Plain dispatcher (not a generator function): it hands back the
+    innermost generator so the hot hardware path runs without a
+    delegating frame per resume.
     """
     # drawn unconditionally (even for the hardware path and size 1) so
     # every member's _coll_seq advances identically per collective call
     tag = _coll_tag(comm, TAG_BCAST)
     if comm.size == 1:
-        return buf
+        return _just(buf)
     if style is None:
         style = comm.endpoint.bcast_style
     if style == "hardware":
         gen = comm.endpoint.bcast_hw(comm, buf, count, datatype, root)
         if gen is not None:
-            yield from gen
-            return buf
+            return gen
         style = "binomial"
+    return _bcast_ptp(comm, buf, root, count, datatype, tag, style)
+
+
+def _bcast_ptp(comm, buf, root: int, count: int, datatype, tag: int, style):
     if style == "linear":
         if comm.rank == root:
             for r in range(comm.size):

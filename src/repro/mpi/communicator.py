@@ -188,15 +188,21 @@ class Communicator:
         return count, datatype
 
     def _traced(self, name: str, gen, peer=None, tag=None):
-        """Generator: run *gen*, bracketing it with ``mpi``-layer
+        """Run *gen*, bracketing it with ``mpi``-layer
         ``call.enter``/``call.exit`` events when tracing is on.
 
-        The exit event fires even when the call raises, so Chrome-trace
-        B/E pairs stay balanced across device failures.
+        Not a generator itself: with tracing off it returns *gen*
+        untouched, so ``yield from self._traced(...)`` delegates straight
+        to the implementation generator with no wrapper frame on the
+        critical path.  The exit event fires even when the call raises,
+        so Chrome-trace B/E pairs stay balanced across device failures.
         """
         obs = self.endpoint.sim.obs
         if obs is None:
-            return (yield from gen)
+            return gen
+        return self._traced_gen(name, gen, peer, tag, obs)
+
+    def _traced_gen(self, name, gen, peer, tag, obs):
         sim = self.endpoint.sim
         detail = {"call": name}
         if peer is not None:
@@ -289,12 +295,19 @@ class Communicator:
         return req
 
     def _blocking_send(self, buf, dest, tag, count, datatype, mode):
-        """Shared body of the blocking sends: SUCCESS or an error code."""
+        """Shared body of the blocking sends: SUCCESS or an error code.
+
+        Calls the isend/wait *implementations* through :meth:`_traced`
+        directly: traced runs still see the nested isend/wait call
+        events, untraced runs skip the public-wrapper frames.
+        """
         try:
-            req = yield from self.isend(buf, dest, tag, count, datatype, mode)
+            req = yield from self._traced(
+                "isend", self._isend_impl(buf, dest, tag, count, datatype, mode),
+                peer=dest, tag=tag)
         except (NetworkError, CommError) as exc:
             return self._device_error(exc, peer=dest, tag=tag)
-        status = yield from self.wait(req)
+        status = yield from self._traced("wait", self._wait_impl(req))
         return SUCCESS if status is None else status.error
 
     def send(self, buf, dest, tag: int = 0, count=None, datatype=None):
@@ -367,13 +380,15 @@ class Communicator:
 
     def _recv_impl(self, source, tag, buf, count, datatype):
         try:
-            req = yield from self.irecv(source, tag, buf, count, datatype)
+            req = yield from self._traced(
+                "irecv", self._irecv_impl(source, tag, buf, count, datatype),
+                peer=source, tag=tag)
         except (NetworkError, CommError) as exc:
             code = self._device_error(exc, peer=source, tag=tag)
             status = Status(source=source, tag=tag)
             status.error = code
             return None, status
-        status = yield from self.wait(req)
+        status = yield from self._traced("wait", self._wait_impl(req))
         if status is not None and status.error != SUCCESS:
             return None, status
         return (req.data if buf is None else buf), status
@@ -404,9 +419,13 @@ class Communicator:
     def _sendrecv_impl(
         self, sendbuf, dest, recvbuf, source, sendtag, recvtag, count, datatype
     ):
-        rreq = yield from self.irecv(source, recvtag, recvbuf)
-        sreq = yield from self.isend(sendbuf, dest, sendtag, count, datatype)
-        yield from self.waitall([sreq, rreq])
+        rreq = yield from self._traced(
+            "irecv", self._irecv_impl(source, recvtag, recvbuf, None, None),
+            peer=source, tag=recvtag)
+        sreq = yield from self._traced(
+            "isend", self._isend_impl(sendbuf, dest, sendtag, count, datatype, MODE_STANDARD),
+            peer=dest, tag=sendtag)
+        yield from self._traced("waitall", self._waitall_impl([sreq, rreq]))
         return (rreq.data if recvbuf is None else recvbuf), rreq.status
 
     def sendrecv_replace(
@@ -687,7 +706,23 @@ class Communicator:
         surface as :class:`CommError` / :class:`RankFailed` /
         :class:`CommRevoked`, whatever the installed handler; the
         handler is restored for the point-to-point calls that follow.
+
+        Not a generator itself: on the common path (handler already
+        fatal, no FT state, no tracing) the handler swap and the FT
+        entry check are both no-ops, so the body generator is returned
+        bare — no wrapper frame.  Any other configuration takes the
+        original wrapper, which defers the FT entry check to first
+        resume (traced failures must fire inside the call bracket).
         """
+        if (
+            self.errhandler == ERRORS_ARE_FATAL
+            and self._ft() is None
+            and self.endpoint.sim.obs is None
+        ):
+            return gen
+        return self._coll_fatal_gen(gen)
+
+    def _coll_fatal_gen(self, gen):
         self._ft_check_collective()
         prev = self.errhandler
         self.errhandler = ERRORS_ARE_FATAL
@@ -728,12 +763,10 @@ class Communicator:
         """
         self._check_rank(root, "root")
         count, datatype = self._resolve(buf, count, datatype)
-        return (
-            yield from self._traced(
-                "bcast",
-                self._coll_fatal(_coll.bcast(self, buf, root, count, datatype, style=style)),
-                peer=root,
-            )
+        return self._traced(
+            "bcast",
+            self._coll_fatal(_coll.bcast(self, buf, root, count, datatype, style=style)),
+            peer=root,
         )
 
     def barrier(self):

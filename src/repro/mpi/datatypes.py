@@ -59,10 +59,17 @@ class Datatype:
     name: str
 
     # -- derived quantities ------------------------------------------------
+    # Datatypes are immutable after construction, so the derived
+    # quantities and offset maps are cached per instance (offsets() sits
+    # on the per-message pack/unpack path).
     @property
     def size(self) -> int:
         """Bytes of message data per item of this type."""
-        return len(self._elem_offsets) * self.basic.itemsize
+        d = self.__dict__
+        sz = d.get("_size")
+        if sz is None:
+            sz = d["_size"] = len(self._elem_offsets) * self.basic.itemsize
+        return sz
 
     @property
     def extent(self) -> int:
@@ -72,19 +79,36 @@ class Datatype:
     @property
     def contiguous(self) -> bool:
         """True if items pack with no gather (straight memory copy)."""
-        n = len(self._elem_offsets)
-        return bool(
-            np.array_equal(self._elem_offsets, np.arange(n)) and self.extent_elems == n
-        )
+        d = self.__dict__
+        c = d.get("_contig")
+        if c is None:
+            n = len(self._elem_offsets)
+            c = d["_contig"] = bool(
+                np.array_equal(self._elem_offsets, np.arange(n))
+                and self.extent_elems == n
+            )
+        return c
 
     def offsets(self, count: int) -> np.ndarray:
-        """Flat basic-element offsets covered by *count* items."""
+        """Flat basic-element offsets covered by *count* items.
+
+        The returned array is cached (and marked read-only): do not
+        mutate it.
+        """
+        cache = self.__dict__.setdefault("_offs_cache", {})
+        offs = cache.get(count)
+        if offs is not None:
+            return offs
         if count < 0:
             raise DatatypeError(f"negative count {count}")
         if count == 0:
-            return np.empty(0, dtype=np.intp)
-        base = np.arange(count, dtype=np.intp) * self.extent_elems
-        return (base[:, None] + self._elem_offsets[None, :]).ravel()
+            offs = np.empty(0, dtype=np.intp)
+        else:
+            base = np.arange(count, dtype=np.intp) * self.extent_elems
+            offs = (base[:, None] + self._elem_offsets[None, :]).ravel()
+        offs.flags.writeable = False
+        cache[count] = offs
+        return offs
 
     # -- buffer access -------------------------------------------------------
     def _as_flat_array(self, buf: BufferLike, writable: bool) -> np.ndarray:
@@ -111,6 +135,17 @@ class Datatype:
 
     def pack(self, buf: BufferLike, count: int) -> bytes:
         """Gather *count* items from *buf* into wire bytes."""
+        if count > 0 and self.contiguous and type(buf) is np.ndarray:
+            # contiguous fast path: straight slice, no index gather
+            if buf.dtype == self.basic.np_dtype:
+                n = count * self.extent_elems
+                flat = buf.reshape(-1)
+                if n > flat.size:
+                    raise DatatypeError(
+                        f"pack of {count} x {self.name} needs {n} elements, "
+                        f"buffer has {flat.size}"
+                    )
+                return flat[:n].tobytes()
         offs = self.offsets(count)
         flat = self._as_flat_array(buf, writable=False)
         if len(offs) and (offs.max() >= flat.size):
@@ -122,6 +157,24 @@ class Datatype:
 
     def unpack(self, data: bytes, buf: BufferLike, count: int) -> None:
         """Scatter wire bytes into *buf* as *count* items."""
+        if count > 0 and self.contiguous and type(buf) is np.ndarray:
+            # contiguous fast path: straight slice, no index scatter
+            if buf.dtype == self.basic.np_dtype and buf.flags.writeable:
+                n = count * self.extent_elems
+                expected = n * self.basic.itemsize
+                if len(data) != expected:
+                    raise DatatypeError(
+                        f"unpack of {count} x {self.name} expects {expected} bytes, "
+                        f"got {len(data)}"
+                    )
+                flat = buf.reshape(-1)
+                if n > flat.size:
+                    raise DatatypeError(
+                        f"unpack of {count} x {self.name} needs {n} elements, "
+                        f"buffer has {flat.size}"
+                    )
+                flat[:n] = np.frombuffer(data, dtype=self.basic.np_dtype)
+                return
         offs = self.offsets(count)
         expected = len(offs) * self.basic.itemsize
         if len(data) != expected:

@@ -149,6 +149,18 @@ class Endpoint:
         """
         if mode not in ("all", "any"):
             raise MPIError(f"wait mode must be 'all' or 'any', got {mode!r}")
+        if len(reqs) == 1:
+            # Single-request fast path (the vast majority of waits):
+            # "all" and "any" coincide, so skip the per-pass list scans.
+            r0 = reqs[0]
+            while not r0.complete:
+                did = yield from self._progress(block=False)
+                if r0.complete:
+                    break
+                if not did:
+                    yield from self._progress(block=True)
+            r0.raise_if_failed()
+            return
         while not self._satisfied(reqs, mode):
             did = yield from self._progress(block=False)
             if self._satisfied(reqs, mode):

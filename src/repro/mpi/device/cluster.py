@@ -334,7 +334,7 @@ class StreamEndpoint(Endpoint):
         did = did or issued
         yield from self._refresh_credits()
         if block and not did:
-            yield self.kick.wait()
+            yield self.kick.wait1()
             return True
         return did
 

@@ -292,14 +292,15 @@ class LowLatencyEndpoint(Endpoint):
 
     def _progress(self, block: bool):
         did = False
-        while self.arrivals:
-            arrival = self.arrivals.popleft()
-            yield from self._handle_arrival(arrival)
+        arrivals = self.arrivals
+        while arrivals:
+            yield from self._handle_arrival(arrivals.popleft())
             did = True
-        issued = yield from self._issue_sends()
-        did = did or issued
+        if self.sendq:  # _issue_sends drops empty per-dest deques
+            issued = yield from self._issue_sends()
+            did = did or issued
         if block and not did:
-            yield self.kick.wait()
+            yield self.kick.wait1()
             yield from self.node.cpu.execute(self.node.params.event_poll)
             return True
         return did
@@ -534,4 +535,4 @@ class LowLatencyEndpoint(Endpoint):
             req = Request("recv", comm, buf, count, datatype, root, _BCAST_TAG)
             yield from self.start_recv(req)
             yield from self.wait([req])
-        return None
+        return buf

@@ -186,7 +186,7 @@ class MpichEndpoint(Endpoint):
             self.sim.process(self._shadow_watcher(req, handle), name="mpich-bsend-watch")
 
     def _shadow_watcher(self, req: Request, handle: TPortHandle):
-        yield handle.done.wait()
+        yield handle.done.wait1()
         if not req.complete:  # the FT layer may have failed it already
             req._complete(Status(tag=req.tag, count_bytes=req.count))
 
@@ -398,7 +398,7 @@ class MpichEndpoint(Endpoint):
         from repro.hw.meiko.node import ElanCallCommand
 
         node.issue(ElanCallCommand(scan, debug="tport-probe"))
-        yield done.wait()
+        yield done.wait1()
         yield from node.cpu.execute(node.params.sparc_elan_sync)
         return holder.get("hit")
 

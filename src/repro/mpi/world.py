@@ -19,7 +19,7 @@ from repro.errors import ConfigurationError, DeadlockError
 from repro.mpi.communicator import Communicator
 from repro.mpi.group import Group
 from repro.platforms import build_platform
-from repro.sim import Simulator
+from repro.sim import Simulator, StopRun
 
 __all__ = ["World"]
 
@@ -181,13 +181,6 @@ class World:
         # check is two counter reads instead of two O(nprocs) scans.
         state = {"done": 0, "died": False}
 
-        def _on_done(event, state=state):
-            state["done"] += 1
-            if not event._ok:
-                state["died"] = True
-
-        for p in procs:
-            p.add_callback(_on_done)
         nprocs = len(procs)
         peek = sim.peek
         step = sim.step
@@ -199,7 +192,33 @@ class World:
         surv_target = (
             sum(1 for r in ranks if r not in crashed) if crashed else nprocs + 1
         )
-        if limit == inf:
+        if limit == inf and not crashed:
+            # Fast path: no per-event supervision needed.  The completion
+            # callback stops sim.run() from inside the loop (StopRun);
+            # the heap draining without all ranks done is a deadlock.
+            def _on_done(event, state=state):
+                state["done"] += 1
+                if not event._ok:
+                    state["died"] = True
+                    raise StopRun
+                if state["done"] >= nprocs:
+                    raise StopRun
+
+            for p in procs:
+                p.add_callback(_on_done)
+            sim.run()
+            if state["done"] < nprocs and not state["died"]:
+                if peek() == inf and not self._ft_complete(procs, ranks):
+                    raise self._watchdog(procs, ranks)
+        elif limit == inf:
+
+            def _on_done(event, state=state):
+                state["done"] += 1
+                if not event._ok:
+                    state["died"] = True
+
+            for p in procs:
+                p.add_callback(_on_done)
             while state["done"] < nprocs and not state["died"]:
                 if state["done"] >= surv_target and self._ft_complete(procs, ranks):
                     break
@@ -209,6 +228,14 @@ class World:
                     raise self._watchdog(procs, ranks)
                 step()
         else:
+
+            def _on_done(event, state=state):
+                state["done"] += 1
+                if not event._ok:
+                    state["died"] = True
+
+            for p in procs:
+                p.add_callback(_on_done)
             while state["done"] < nprocs and not state["died"]:
                 if state["done"] >= surv_target and self._ft_complete(procs, ranks):
                     break

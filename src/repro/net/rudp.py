@@ -132,7 +132,7 @@ class RudpConnection:
                         rank=self.kernel.host.hostid,
                         detail={"port": self.sock.port, "used": used, "pending": total - offset},
                     )
-                yield self._space.wait()
+                yield self._space.wait1()
                 continue
             take = min(sndbuf - used, total - offset)
             if offset == 0 and take == total:
@@ -159,7 +159,7 @@ class RudpConnection:
                 raise ConnectionClosed(
                     f"peer closed with {len(self._rcvbuf)} of {n} bytes buffered"
                 )
-            yield self._readable.wait()
+            yield self._readable.wait1()
         return self._rcvbuf.take(n)
 
     def close(self) -> None:
@@ -172,7 +172,7 @@ class RudpConnection:
 
     def _sender(self):
         while True:
-            yield self._send_kick.wait()
+            yield self._send_kick.wait1()
             if self.error is not None:
                 return
             while self._unsent:
@@ -250,7 +250,9 @@ class RudpConnection:
         p = self.kernel.params
         rto = min(self.rto * p.rto_backoff**self._retx_attempts, p.rto_max)
         if p.retx_jitter:
-            rto *= 1.0 + p.retx_jitter * self.kernel.host.rng.uniform(-1.0, 1.0)
+            # jitter_stream: batched floats when the host RNG has no
+            # raw-bits consumer, the raw stream otherwise (same values)
+            rto *= 1.0 + p.retx_jitter * self.kernel.host.jitter_stream().uniform(-1.0, 1.0)
         self._retx_epoch = self._ack_version
         self._retx_deadline = self.sim.now + rto
         self._retx_timer = self.sim.call_later(rto, self._on_retx_timer)

@@ -147,7 +147,7 @@ class TcpConnection:
                         rank=self.kernel.host.hostid,
                         detail={"port": self.local_port, "used": used, "pending": total - offset},
                     )
-                yield self._space.wait()
+                yield self._space.wait1()
                 continue
             take = min(p.sndbuf - used, total - offset)
             if offset == 0 and take == total:
@@ -171,7 +171,7 @@ class TcpConnection:
                 raise ConnectionClosed(
                     f"peer closed with {len(self._rcvbuf)} of {n} bytes buffered"
                 )
-            yield self._readable.wait()
+            yield self._readable.wait1()
         yield from self.kernel.syscall_read(n)
         return self._rcvbuf.take(n)
 
@@ -186,7 +186,7 @@ class TcpConnection:
     def wait_established(self):
         """Generator: block until the handshake completes."""
         while self.state != ESTABLISHED:
-            yield self._established.wait()
+            yield self._established.wait1()
 
     # ------------------------------------------------------------ internals
     def _transmit(self, seg: TcpSegment) -> None:
@@ -212,7 +212,7 @@ class TcpConnection:
         p = self.kernel.params
         mss = self.kernel.mss
         while True:
-            yield self._send_kick.wait()
+            yield self._send_kick.wait1()
             if self.error is not None:
                 return
             while self._unsent and self.state == ESTABLISHED:
@@ -289,7 +289,9 @@ class TcpConnection:
         p = self.kernel.params
         rto = min(p.rto * p.rto_backoff**self._retx_attempts, p.rto_max)
         if p.retx_jitter:
-            rto *= 1.0 + p.retx_jitter * self.kernel.host.rng.uniform(-1.0, 1.0)
+            # jitter_stream: batched floats when the host RNG has no
+            # raw-bits consumer, the raw stream otherwise (same values)
+            rto *= 1.0 + p.retx_jitter * self.kernel.host.jitter_stream().uniform(-1.0, 1.0)
         self._retx_epoch = self._ack_version
         self._retx_deadline = self.sim.now + rto
         self._retx_timer = self.sim.call_later(rto, self._on_retx_timer)

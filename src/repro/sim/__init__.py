@@ -28,6 +28,7 @@ from repro.sim.core import (
     AllOf,
     Interrupt,
     SimulationError,
+    StopRun,
 )
 from repro.sim.resources import Resource, Store, PriorityStore
 from repro.sim.trace import Tracer, TraceRecord
@@ -43,6 +44,7 @@ __all__ = [
     "AllOf",
     "Interrupt",
     "SimulationError",
+    "StopRun",
     "Resource",
     "Store",
     "PriorityStore",

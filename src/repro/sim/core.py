@@ -16,16 +16,45 @@ standard library.  It provides:
 * :class:`AnyOf` / :class:`AllOf` -- condition events;
 * :class:`Interrupt` -- asynchronous interruption of a process.
 
+Hot-loop architecture (see docs/PERF.md "Kernel architecture")
+--------------------------------------------------------------
+The run loop is compiled down to plain-list and tuple operations:
+
+* **Kind dispatch.** Every event class carries a class-level ``_kind``
+  tag (`K_EVENT`/`K_TIMEOUT`/`K_PROCESS`); the loop branches on the tag
+  instead of ``type()``/``isinstance`` checks, so the only polymorphic
+  call left per event is the waiter callback itself.
+* **Dual loops, obs hoisted.** :meth:`Simulator.run` dispatches once on
+  ``self.obs`` to either :meth:`_run_fast` (tracing disabled: zero obs
+  attribute loads per event) or :meth:`_run_traced` (identical event
+  order, with bus emissions).  Tracing provably cannot perturb the
+  simulation because both loops drive the same inlined fire sequence.
+* **Record pooling.** Internal single-waiter records (the timeouts
+  behind :meth:`repro.sim.resources.Resource.use`, the wakeup events
+  behind :class:`repro.sim.notify.Notify`) come from per-simulator free
+  lists via :meth:`Simulator.timeout1` / :meth:`Simulator.event1` and
+  are recycled the moment their callbacks have run.  Public
+  :meth:`Simulator.timeout` / :meth:`Simulator.event` handles are never
+  pooled -- callers may retain them, put them in conditions, or cancel
+  them late.  Set ``REPRO_SIM_POOL=0`` to disable recycling (records
+  are then ordinary garbage); event order is identical either way.
+* **Inlined scheduling.**  ``succeed``/``fail``/``Timeout()`` push the
+  heap entry directly instead of funnelling through :meth:`_schedule`.
+
 Determinism
 -----------
 Events scheduled for the same simulated time fire in (priority,
 sequence-number) order, where the sequence number is assigned at
 scheduling time.  Given identical inputs and seeds, every run of a
-simulation produces the identical event order.
+simulation produces the identical event order.  None of the machinery
+above may change how sequence numbers are allocated: pooling recycles
+*records*, never sequence numbers, and both run loops drain batches in
+exactly the order the heap yields them.
 """
 
 from __future__ import annotations
 
+import os
 from heapq import heapify, heappush, heappop
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
@@ -33,6 +62,7 @@ __all__ = [
     "URGENT",
     "NORMAL",
     "SimulationError",
+    "StopRun",
     "Interrupt",
     "Event",
     "Timeout",
@@ -52,9 +82,30 @@ NORMAL = 1
 
 _PENDING = object()
 
+#: Event-kind tags: class-level dispatch constants read by the run loop
+#: (and by the tracer to classify timer fires) instead of type checks.
+K_EVENT = 0
+K_TIMEOUT = 1
+K_PROCESS = 2
+
+#: Free lists stop growing past this many recycled records apiece.
+_POOL_CAP = 4096
+
 
 class SimulationError(Exception):
     """Raised for misuse of the kernel (double trigger, bad yield, ...)."""
+
+
+class StopRun(BaseException):
+    """Raised by an event callback to stop :meth:`Simulator.run` early.
+
+    The run loop swallows it and returns with the clock at the stopping
+    event's timestamp; remaining same-time events stay queued.  Derives
+    from ``BaseException`` so protocol code catching ``Exception`` can
+    never absorb it.  Only raise it from plain callbacks driven by
+    ``run()`` -- raising it inside a process generator or under
+    :meth:`Simulator.step` propagates to the caller instead.
+    """
 
 
 class Interrupt(Exception):
@@ -79,6 +130,11 @@ class Event:
     """
 
     __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled", "_defused", "_cancelled")
+
+    #: kind tag for the run loop's dispatch (overridden by subclasses)
+    _kind = K_EVENT
+    #: free-list tag: 0 = never recycled, 1 = timeout pool, 2 = event pool
+    _pooled = 0
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
@@ -105,7 +161,7 @@ class Event:
     @property
     def ok(self) -> bool:
         """True if the event succeeded.  Only valid once triggered."""
-        if not self.triggered:
+        if self._value is _PENDING:
             raise SimulationError("event is still pending")
         return bool(self._ok)
 
@@ -119,22 +175,28 @@ class Event:
     # -- triggering -----------------------------------------------------
     def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
         """Mark the event successful and schedule it to fire *now*."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.sim._schedule(self, 0.0, priority)
+        self._scheduled = True
+        sim = self.sim
+        sim._seq = seq = sim._seq + 1
+        heappush(sim._heap, (sim._now, priority, seq, self))
         return self
 
     def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
         """Mark the event failed; waiters get *exception* thrown into them."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} has already been triggered")
         if not isinstance(exception, BaseException):
             raise TypeError(f"fail() needs an exception, got {exception!r}")
         self._ok = False
         self._value = exception
-        self.sim._schedule(self, 0.0, priority)
+        self._scheduled = True
+        sim = self.sim
+        sim._seq = seq = sim._seq + 1
+        heappush(sim._heap, (sim._now, priority, seq, self))
         return self
 
     def defuse(self) -> None:
@@ -181,14 +243,22 @@ class Timeout(Event):
 
     __slots__ = ("delay",)
 
+    _kind = K_TIMEOUT
+
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
-        super().__init__(sim)
-        self.delay = delay
-        self._ok = True
+        # flat init: one attribute store per slot, no super() chain
+        self.sim = sim
+        self.callbacks = []
         self._value = value
-        self.sim._schedule(self, delay, NORMAL)
+        self._ok = True
+        self._scheduled = True
+        self._defused = False
+        self._cancelled = False
+        self.delay = delay
+        sim._seq = seq = sim._seq + 1
+        heappush(sim._heap, (sim._now + delay, NORMAL, seq, self))
 
     def cancel(self) -> bool:
         """Withdraw the timer before it fires.  Returns True on success.
@@ -215,17 +285,41 @@ class Timeout(Event):
         return True
 
 
+class _PooledTimeout(Timeout):
+    """A :class:`Timeout` allocated by :meth:`Simulator.timeout1`.
+
+    Identical behaviour; the tag routes the record back to the
+    simulator's timeout free list once its callbacks have run.
+    """
+
+    __slots__ = ()
+
+    _pooled = 1
+
+
+class _PooledEvent(Event):
+    """An :class:`Event` allocated by :meth:`Simulator.event1`."""
+
+    __slots__ = ()
+
+    _pooled = 2
+
+
 class _Initialize(Event):
     """Internal event used to start a freshly created process."""
 
     __slots__ = ()
 
     def __init__(self, sim: "Simulator", process: "Process"):
-        super().__init__(sim)
-        self._ok = True
+        self.sim = sim
+        self.callbacks = [process._resume_cb]
         self._value = None
-        self.callbacks.append(process._resume_cb)
-        self.sim._schedule(self, 0.0, URGENT)
+        self._ok = True
+        self._scheduled = True
+        self._defused = False
+        self._cancelled = False
+        sim._seq = seq = sim._seq + 1
+        heappush(sim._heap, (sim._now, URGENT, seq, self))
 
 
 class Process(Event):
@@ -238,6 +332,8 @@ class Process(Event):
     """
 
     __slots__ = ("_generator", "_target", "name", "_resume_cb", "_send", "_throw")
+
+    _kind = K_PROCESS
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
@@ -289,6 +385,7 @@ class Process(Event):
     def _resume(self, event: Event) -> None:
         sim = self.sim
         send = self._send
+        resume_cb = self._resume_cb
         sim._active_process = self
         self._target = None
         while True:
@@ -303,7 +400,9 @@ class Process(Event):
                 sim._active_process = None
                 self._ok = True
                 self._value = exc.value
-                sim._schedule(self, 0.0, NORMAL)
+                self._scheduled = True
+                sim._seq = seq = sim._seq + 1
+                heappush(sim._heap, (sim._now, NORMAL, seq, self))
                 obs = sim.obs
                 if obs is not None:
                     obs.emit(sim._now, "sim", "process.exit",
@@ -313,27 +412,36 @@ class Process(Event):
                 sim._active_process = None
                 self._ok = False
                 self._value = exc
-                sim._schedule(self, 0.0, NORMAL)
+                self._scheduled = True
+                sim._seq = seq = sim._seq + 1
+                heappush(sim._heap, (sim._now, NORMAL, seq, self))
                 obs = sim.obs
                 if obs is not None:
                     obs.emit(sim._now, "sim", "process.exit",
                              detail={"name": self.name, "ok": False})
                 return
 
-            if not isinstance(target, Event):
+            # Duck-typed Event check: every kernel event has a
+            # `callbacks` slot, nothing else a process may yield does
+            # (zero-cost try/except replaces isinstance here).
+            try:
+                cbs = target.callbacks
+            except AttributeError:
                 exc = SimulationError(
                     f"process {self.name!r} yielded {target!r}; processes must yield Events"
                 )
                 sim._active_process = None
                 self._ok = False
                 self._value = exc
-                sim._schedule(self, 0.0, NORMAL)
+                self._scheduled = True
+                sim._seq = seq = sim._seq + 1
+                heappush(sim._heap, (sim._now, NORMAL, seq, self))
                 return
-            if target.callbacks is None:
+            if cbs is None:
                 # Already fired: loop and deliver immediately.
                 event = target
                 continue
-            target.callbacks.append(self._resume_cb)
+            cbs.append(resume_cb)
             self._target = target
             sim._active_process = None
             return
@@ -363,7 +471,7 @@ class _Condition(Event):
         Uses *processed* (callbacks ran), not merely *triggered*:
         a Timeout is triggered from creation but has not yet occurred.
         """
-        return {ev: ev._value for ev in self.events if ev.processed and ev._ok}
+        return {ev: ev._value for ev in self.events if ev.callbacks is None and ev._ok}
 
     def _check(self, event: Event) -> None:
         if self.triggered:
@@ -411,9 +519,14 @@ class Simulator:
     >>> sim.run()
     >>> p.value
     3.0
+
+    ``pool`` controls record recycling for the internal
+    :meth:`timeout1`/:meth:`event1` fast paths; the default follows the
+    ``REPRO_SIM_POOL`` environment variable (on unless set to ``0``).
+    Event order is identical with pooling on or off.
     """
 
-    def __init__(self):
+    def __init__(self, pool: Optional[bool] = None):
         self._now = 0.0
         self._heap: List = []
         self._seq = 0
@@ -423,6 +536,12 @@ class Simulator:
         #: optional :class:`repro.obs.EventBus`; None keeps every
         #: emission site to a single attribute load + None check
         self.obs = None
+        if pool is None:
+            pool = os.environ.get("REPRO_SIM_POOL", "1") != "0"
+        self._pool_on = bool(pool)
+        #: free lists of recycled records (see timeout1/event1)
+        self._tpool: List[Timeout] = []
+        self._epool: List[Event] = []
 
     @property
     def now(self) -> float:
@@ -442,6 +561,54 @@ class Simulator:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """An event firing *delay* microseconds from now."""
         return Timeout(self, delay, value)
+
+    def timeout1(self, delay: float, value: Any = None) -> Timeout:
+        """A pooled one-shot timeout for internal hot paths.
+
+        Pool contract (see docs/PERF.md): the caller yields the returned
+        event exactly once and then drops every reference.  The record
+        is recycled into a free list the moment its callbacks have run,
+        so it must never be retained across a suspension, given a second
+        waiter, placed in an :class:`AnyOf`/:class:`AllOf`, or cancelled
+        after it fired.  Use :meth:`timeout` for anything user-visible.
+        """
+        if self._pool_on:
+            pool = self._tpool
+            if pool:
+                if delay < 0:
+                    raise ValueError(f"negative delay {delay!r}")
+                t = pool.pop()
+                t.callbacks = []
+                t._value = value
+                t._scheduled = True
+                t._defused = False
+                t._cancelled = False
+                t.delay = delay
+                self._seq = seq = self._seq + 1
+                heappush(self._heap, (self._now + delay, NORMAL, seq, t))
+                return t
+            return _PooledTimeout(self, delay, value)
+        return Timeout(self, delay, value)
+
+    def event1(self) -> Event:
+        """A pooled pending event for internal hot paths.
+
+        Same contract as :meth:`timeout1`.  An event1 that is abandoned
+        before firing is simply garbage (it never reaches the pool).
+        """
+        if self._pool_on:
+            pool = self._epool
+            if pool:
+                ev = pool.pop()
+                ev.callbacks = []
+                ev._value = _PENDING
+                ev._ok = None
+                ev._scheduled = False
+                ev._defused = False
+                ev._cancelled = False
+                return ev
+            return _PooledEvent(self)
+        return Event(self)
 
     def call_later(self, delay: float, fn: Callable[[Event], None]) -> Timeout:
         """Schedule ``fn(event)`` to run *delay* microseconds from now.
@@ -492,6 +659,15 @@ class Simulator:
             heapify(heap)
             self._dead = 0
 
+    def _recycle(self, ev: Event) -> None:
+        """Return a pooled record to its free list (drops the payload ref)."""
+        k = ev._pooled
+        if k:
+            ev._value = None
+            pool = self._tpool if k == 1 else self._epool
+            if len(pool) < _POOL_CAP:
+                pool.append(ev)
+
     # -- running --------------------------------------------------------
     def step(self) -> None:
         """Fire the next scheduled live event, advancing the clock.
@@ -505,14 +681,16 @@ class Simulator:
             t, _prio, _seq, event = heappop(heap)
             if event._cancelled:
                 self._dead -= 1
+                self._recycle(event)
                 continue
             if t < self._now:  # pragma: no cover - defensive
                 raise SimulationError("time went backwards")
             self._now = t
             obs = self.obs
-            if obs is not None and type(event) is Timeout:
+            if obs is not None and event._kind == K_TIMEOUT:
                 obs.emit(t, "sim", "timer.fire", detail={"delay": event.delay})
             event._fire()
+            self._recycle(event)
             return
         raise SimulationError("step() on an empty event queue")
 
@@ -524,8 +702,9 @@ class Simulator:
         """
         heap = self._heap
         while heap and heap[0][3]._cancelled:
-            heappop(heap)
+            _t, _prio, _seq, dead = heappop(heap)
             self._dead -= 1
+            self._recycle(dead)
         return heap[0][0] if heap else _INF
 
     def run(self, until: Optional[float] = None) -> None:
@@ -536,34 +715,110 @@ class Simulator:
 
         The loop drains all events that share a timestamp in one batch:
         the horizon check and clock write happen once per distinct
-        timestamp, not once per event.
+        timestamp, not once per event.  A callback raising
+        :class:`StopRun` returns immediately (remaining events stay
+        queued).
         """
         if until is not None and until < self._now:
             raise ValueError(f"until={until!r} is in the past (now={self._now!r})")
+        if self.obs is not None:
+            self._run_traced(until)
+        else:
+            self._run_fast(until)
+
+    def _run_fast(self, until: Optional[float]) -> None:
+        # The hot loop: no obs loads, no method calls besides heappop and
+        # the waiter callbacks, kind/pool dispatch on class-level ints.
+        heap = self._heap
+        pop = heappop
+        tpool = self._tpool
+        epool = self._epool
+        horizon = _INF if until is None else until
+        try:
+            while heap:
+                entry = heap[0]
+                ev = entry[3]
+                if ev._cancelled:
+                    pop(heap)
+                    self._dead -= 1
+                    k = ev._pooled
+                    if k:
+                        ev._value = None
+                        pool = tpool if k == 1 else epool
+                        if len(pool) < _POOL_CAP:
+                            pool.append(ev)
+                    continue
+                t = entry[0]
+                if t > horizon:
+                    self._now = until
+                    return
+                self._now = t
+                # same-timestamp batch drain (includes events the fired
+                # events schedule for this same instant)
+                while heap and heap[0][0] == t:
+                    ev = pop(heap)[3]
+                    if ev._cancelled:
+                        self._dead -= 1
+                    else:
+                        cbs = ev.callbacks
+                        ev.callbacks = None
+                        if cbs:
+                            # single-waiter wakeup fast path
+                            if len(cbs) == 1:
+                                cbs[0](ev)
+                            else:
+                                for fn in cbs:
+                                    fn(ev)
+                        elif ev._ok is False and not ev._defused:
+                            raise ev._value
+                    k = ev._pooled
+                    if k:
+                        ev._value = None
+                        pool = tpool if k == 1 else epool
+                        if len(pool) < _POOL_CAP:
+                            pool.append(ev)
+        except StopRun:
+            return
+        if until is not None:
+            self._now = until
+
+    def _run_traced(self, until: Optional[float]) -> None:
+        # Identical drain order to _run_fast, plus bus emissions.
         heap = self._heap
         pop = heappop
         obs = self.obs
-        while heap:
-            entry = heap[0]
-            if entry[3]._cancelled:
-                pop(heap)
-                self._dead -= 1
-                continue
-            t = entry[0]
-            if until is not None and t > until:
-                self._now = until
-                return
-            self._now = t
-            # same-timestamp batch drain (includes events the fired
-            # events schedule for this same instant)
-            while heap and heap[0][0] == t:
-                event = pop(heap)[3]
-                if event._cancelled:
+        horizon = _INF if until is None else until
+        try:
+            while heap:
+                entry = heap[0]
+                ev = entry[3]
+                if ev._cancelled:
+                    pop(heap)
                     self._dead -= 1
-                else:
-                    if obs is not None and type(event) is Timeout:
-                        obs.emit(t, "sim", "timer.fire", detail={"delay": event.delay})
-                    event._fire()
+                    self._recycle(ev)
+                    continue
+                t = entry[0]
+                if t > horizon:
+                    self._now = until
+                    return
+                self._now = t
+                while heap and heap[0][0] == t:
+                    ev = pop(heap)[3]
+                    if ev._cancelled:
+                        self._dead -= 1
+                    else:
+                        if ev._kind == K_TIMEOUT:
+                            obs.emit(t, "sim", "timer.fire", detail={"delay": ev.delay})
+                        cbs = ev.callbacks
+                        ev.callbacks = None
+                        if cbs:
+                            for fn in cbs:
+                                fn(ev)
+                        elif ev._ok is False and not ev._defused:
+                            raise ev._value
+                    self._recycle(ev)
+        except StopRun:
+            return
         if until is not None:
             self._now = until
 

@@ -51,6 +51,24 @@ class Notify:
             self._waiters.append(ev)
         return ev
 
+    def wait1(self) -> Event:
+        """Pooled :meth:`wait` for internal hot paths.
+
+        The returned event comes from the simulator's record pool
+        (:meth:`repro.sim.Simulator.event1`): yield it exactly once and
+        drop it.  Never put a ``wait1`` event into an
+        :class:`~repro.sim.AnyOf`/:class:`~repro.sim.AllOf` or read it
+        after it fired — use :meth:`wait` for those (the transports'
+        RTO races do).  ``cancel_wait`` is safe on either kind.
+        """
+        ev = self.sim.event1()
+        if self._count > 0:
+            self._count -= 1
+            ev.succeed(None)
+        else:
+            self._waiters.append(ev)
+        return ev
+
     def cancel_wait(self, ev: Event) -> bool:
         """Withdraw a not-yet-fired wait.  True if it was still queued."""
         try:

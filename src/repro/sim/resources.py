@@ -23,20 +23,30 @@ from __future__ import annotations
 
 from heapq import heappush, heappop
 from collections import deque
-from typing import Any, Deque, List, Optional
+from typing import Any, Deque, List, Optional, Tuple
 
-from repro.sim.core import Event, SimulationError, Simulator
+from repro.sim.core import Event, _PENDING, SimulationError, Simulator
 
 __all__ = ["Request", "Resource", "Store", "PriorityStore"]
 
 
 class Request(Event):
-    """A pending claim on a :class:`Resource` (fires when granted)."""
+    """A pending claim on a :class:`Resource` (fires when granted).
+
+    Requests are handles the caller retains across the hold (``release``
+    takes the request back), so they are never pooled.
+    """
 
     __slots__ = ("resource",)
 
     def __init__(self, resource: "Resource"):
-        super().__init__(resource.sim)
+        self.sim = resource.sim
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = None
+        self._scheduled = False
+        self._defused = False
+        self._cancelled = False
         self.resource = resource
 
 
@@ -103,12 +113,32 @@ class Resource:
         The release is in a ``finally`` that also covers the acquisition
         wait, so an exception thrown into the generator at any point
         (interrupt, failure) returns or cancels the claim.
+
+        The uncontended path runs entirely on pooled records: the grant
+        is a pooled event scheduled exactly where a Request grant would
+        be (identical event count and sequence numbering — determinism
+        depends on it), the hold a pooled timeout.
         """
+        sim = self.sim
+        if self._in_use < self.capacity and not self._queue:
+            self._in_use += 1
+            try:
+                yield sim.event1().succeed(None)
+                yield sim.timeout1(hold_time)
+            finally:
+                if self._queue:
+                    nxt = self._queue.popleft()
+                    nxt.succeed(nxt)
+                else:
+                    if self._in_use <= 0:
+                        raise SimulationError(f"over-release of resource {self.name!r}")
+                    self._in_use -= 1
+            return
         req = self.request()
         released = False
         try:
             yield req
-            yield self.sim.timeout(hold_time)
+            yield sim.timeout1(hold_time)
             self.release(req)
             released = True
         finally:
@@ -116,23 +146,16 @@ class Resource:
                 self.release(req)
 
 
-class _StoreGet(Event):
-    __slots__ = ()
-
-
-class _StorePut(Event):
-    __slots__ = ("item",)
-
-    def __init__(self, sim: Simulator, item: Any):
-        super().__init__(sim)
-        self.item = item
-
-
 class Store:
     """A FIFO buffer of items with blocking ``put`` (if bounded) and ``get``.
 
     ``put(item)`` returns an event firing when the item has been
     accepted; ``get()`` returns an event firing with the next item.
+
+    Both handles come from the simulator's record pool: yield them once
+    and drop them (every caller in the tree does — they are the NIC
+    rx/tx and co-processor command queues, the hottest store traffic in
+    the simulation).
     """
 
     def __init__(self, sim: Simulator, capacity: float = float("inf"), name: str = ""):
@@ -142,8 +165,9 @@ class Store:
         self.capacity = capacity
         self.name = name
         self.items: Deque[Any] = deque()
-        self._getters: Deque[_StoreGet] = deque()
-        self._putters: Deque[_StorePut] = deque()
+        self._getters: Deque[Event] = deque()
+        #: queued put handles ride with their item: (event, item)
+        self._putters: Deque[Tuple[Event, Any]] = deque()
 
     def __len__(self) -> int:
         return len(self.items)
@@ -158,21 +182,23 @@ class Store:
     def _do_get(self) -> Any:
         return self.items.popleft()
 
-    def put(self, item: Any) -> _StorePut:
-        ev = _StorePut(self.sim, item)
+    def put(self, item: Any) -> Event:
+        ev = self.sim.event1()
         if len(self.items) < self.capacity:
             self._do_put(item)
             ev.succeed(None)
-            self._wake_getters()
+            if self._getters:
+                self._wake_getters()
         else:
-            self._putters.append(ev)
+            self._putters.append((ev, item))
         return ev
 
-    def get(self) -> _StoreGet:
-        ev = _StoreGet(self.sim)
+    def get(self) -> Event:
+        ev = self.sim.event1()
         if self.items:
             ev.succeed(self._do_get())
-            self._admit_putters()
+            if self._putters:
+                self._admit_putters()
         else:
             self._getters.append(ev)
         return ev
@@ -193,8 +219,8 @@ class Store:
 
     def _admit_putters(self) -> None:
         while self._putters and len(self.items) < self.capacity:
-            putter = self._putters.popleft()
-            self._do_put(putter.item)
+            putter, item = self._putters.popleft()
+            self._do_put(item)
             putter.succeed(None)
             self._wake_getters()
 
