@@ -27,6 +27,20 @@ workloads exercise the kernel's hot paths from different directions:
     state, and a strictly serialized dependency chain, so throughput is
     dominated by wake-one-resume-one kernel latency rather than batch
     drains.
+``coll_4k``
+    Forced-style collective algorithms at scale: a 4096-rank binomial
+    broadcast (8 KB payload) plus the auto-selected tree barrier, and a
+    128-rank ring + recursive-doubling allreduce pair (16 KB payloads,
+    results cross-checked).  Guards the algorithm library's per-message
+    costs — a ring allreduce at thousands of ranks is O(P²) messages
+    and intentionally NOT benched (that's what the crossover tables are
+    for; see docs/COLLECTIVES.md).
+``coll_10k``
+    The O(10k)-rank scaling gate: a 10,000-rank Meiko world (2048 in
+    quick mode) constructs, then runs hardware bcast + reduce_bcast
+    allreduce + tree barrier to completion.  Exercises lazy
+    communicator construction, sparse matching state, and the
+    wide-communicator algorithm crossovers end to end.
 
 ``run_suite`` returns one record per workload (events scheduled,
 wall-clock seconds, events per second) ready to be serialized as
@@ -57,6 +71,11 @@ FLOORS = {
     "chaos": 85_000,
     "timer_churn": 400_000,
     "ring_1k": 100_000,
+    # collective-scale workloads (measured full-mode ~190k and ~75k
+    # events/s on the dev box; the 10k world's throughput is dominated
+    # by wide-tree wakeup chains, hence the lower floor)
+    "coll_4k": 90_000,
+    "coll_10k": 35_000,
 }
 
 
@@ -158,6 +177,61 @@ def _ring_1k(quick: bool) -> int:
     return world.sim._seq
 
 
+def _coll_4k(quick: bool) -> int:
+    import numpy as np
+
+    from repro.mpi import World
+
+    nbig = 1024 if quick else 4096
+    nring = 64 if quick else 128
+
+    def body_big(comm):
+        buf = np.zeros(1024, dtype=np.int64)
+        if comm.rank == 0:
+            buf[:] = 7
+        yield from comm.bcast(buf, root=0, style="binomial")
+        yield from comm.barrier()  # auto-selects the tree barrier
+        assert int(buf[0]) == 7
+        return None
+
+    def body_ring(comm):
+        val = np.full(2048, comm.rank, dtype=np.int64)
+        tot = yield from comm.allreduce(val, style="ring")
+        tot2 = yield from comm.allreduce(val, style="recursive_doubling")
+        assert int(tot[0]) == comm.size * (comm.size - 1) // 2
+        assert np.array_equal(tot, tot2)
+        return None
+
+    big = World(nbig, platform="meiko", device="lowlatency")
+    big.run(body_big)
+    ring = World(nring, platform="meiko", device="lowlatency")
+    ring.run(body_ring)
+    return big.sim._seq + ring.sim._seq
+
+
+def _coll_10k(quick: bool) -> int:
+    import numpy as np
+
+    from repro.mpi import World
+
+    world = World(2048 if quick else 10_000, platform="meiko", device="lowlatency")
+
+    def main(comm):
+        buf = np.zeros(64, dtype=np.int64)
+        if comm.rank == 0:
+            buf[:] = np.arange(64)
+        yield from comm.bcast(buf, root=0)      # hardware broadcast
+        val = np.array([comm.rank], dtype=np.int64)
+        tot = yield from comm.allreduce(val)    # reduce_bcast
+        yield from comm.barrier()               # tree (wide crossover)
+        assert int(tot[0]) == comm.size * (comm.size - 1) // 2
+        assert int(buf[63]) == 63
+        return None
+
+    world.run(main)
+    return world.sim._seq
+
+
 def _timer_churn(quick: bool) -> int:
     from repro.sim import Simulator
 
@@ -186,6 +260,8 @@ WORKLOADS: Dict[str, Callable[[bool], int]] = {
     "chaos": _chaos,
     "timer_churn": _timer_churn,
     "ring_1k": _ring_1k,
+    "coll_4k": _coll_4k,
+    "coll_10k": _coll_10k,
 }
 
 

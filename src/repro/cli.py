@@ -200,9 +200,11 @@ def build_parser() -> argparse.ArgumentParser:
     fz.add_argument("--seeds", default=None,
                     help="comma-separated list of seeds to check")
     fz.add_argument("--profile", default="mixed",
-                    choices=["mixed", "pt2pt", "collective", "fault", "ft"],
+                    choices=["mixed", "pt2pt", "collective", "algos",
+                             "fault", "ft"],
                     help="generator op-mix profile (default: mixed); "
-                         "'ft' generates ULFM crash-recovery programs")
+                         "'algos' forces a collective-algorithm style per "
+                         "round; 'ft' generates ULFM crash-recovery programs")
     fz.add_argument("--nprocs", type=int, default=None,
                     help="force the rank count (default: seed-derived)")
     fz.add_argument("--corpus", default=None, choices=["ci"],

@@ -27,8 +27,9 @@ from repro.conformance.shrink import shrink, write_artifacts
 
 __all__ = ["CI_CORPUS", "run_corpus"]
 
-#: the pinned CI corpus: (seed, profile) — 32 programs mixing
-#: point-to-point, collectives, fault-composed, and ULFM-recovery runs
+#: the pinned CI corpus: (seed, profile) — 39 programs mixing
+#: point-to-point, collectives, forced collective algorithms,
+#: fault-composed, and ULFM-recovery runs
 CI_CORPUS: List[Tuple[int, str]] = [
     (1, "mixed"), (2, "mixed"), (3, "mixed"), (4, "mixed"), (5, "mixed"),
     (6, "mixed"), (7, "mixed"), (8, "mixed"),
@@ -39,6 +40,12 @@ CI_CORPUS: List[Tuple[int, str]] = [
     (27, "collective"), (28, "collective"),
     (31, "fault"), (32, "fault"), (33, "fault"), (34, "fault"),
     (41, "ft"), (42, "ft"), (43, "ft"), (44, "ft"),
+    # forced collective-algorithm programs: every collective carries a
+    # style from the repro.mpi.coll registry; the executor also diffs
+    # each against a style-stripped reference run.  These seven seeds
+    # jointly exercise every registered algorithm of every collective
+    (51, "algos"), (58, "algos"), (59, "algos"), (61, "algos"),
+    (76, "algos"), (83, "algos"), (88, "algos"),
 ]
 
 

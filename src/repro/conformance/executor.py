@@ -226,22 +226,25 @@ def _exec_collective(comm, rnd: CollectiveRound, program: Program, rec: List[dic
 
     ops = {"sum": SUM, "max": MAX, "min": MIN, "prod": PROD}
     seed, cid, rank, size = program.seed, rnd.cid, comm.rank, comm.size
+    style = getattr(rnd, "style", None)  # forced algorithm ("algos" profile)
     ev = {"e": "coll", "cid": cid, "op": rnd.op}
     if rnd.op == "barrier":
-        yield from comm.barrier()
+        yield from comm.barrier(style=style)
     elif rnd.op == "bcast":
         if rank == rnd.root:
             buf = payload_array(seed, cid, 0, rnd.dtype, rnd.nelems)
         else:
             buf = np.zeros(rnd.nelems, dtype=_NP_DTYPES[rnd.dtype])
-        yield from comm.bcast(buf, root=rnd.root)
+        yield from comm.bcast(buf, root=rnd.root, style=style)
         ev["d"] = _digest(buf.tobytes())
     elif rnd.op in ("reduce", "allreduce", "scan", "exscan", "reduce_scatter"):
         send = payload_array(seed, cid, rank, rnd.dtype, rnd.nelems)
         if rnd.op == "reduce":
-            result = yield from comm.reduce(send, root=rnd.root, op=ops[rnd.redop])
+            result = yield from comm.reduce(
+                send, root=rnd.root, op=ops[rnd.redop], style=style
+            )
         elif rnd.op == "allreduce":
-            result = yield from comm.allreduce(send, op=ops[rnd.redop])
+            result = yield from comm.allreduce(send, op=ops[rnd.redop], style=style)
         elif rnd.op == "scan":
             result = yield from comm.scan(send, op=ops[rnd.redop])
         elif rnd.op == "exscan":
@@ -252,9 +255,9 @@ def _exec_collective(comm, rnd: CollectiveRound, program: Program, rec: List[dic
     elif rnd.op in ("gather", "allgather"):
         obj = payload_bytes(seed, cid, rank, rnd.nelems)
         if rnd.op == "gather":
-            out = yield from comm.gather(obj, root=rnd.root)
+            out = yield from comm.gather(obj, root=rnd.root, style=style)
         else:
-            out = yield from comm.allgather(obj)
+            out = yield from comm.allgather(obj, style=style)
         ev["d"] = "-" if out is None else _digest(b"|".join(out))
     elif rnd.op == "scatter":
         chunks = None
@@ -262,7 +265,7 @@ def _exec_collective(comm, rnd: CollectiveRound, program: Program, rec: List[dic
             chunks = [
                 payload_bytes(seed, cid, 1000 + r, rnd.nelems) for r in range(size)
             ]
-        mine = yield from comm.scatter(chunks, root=rnd.root)
+        mine = yield from comm.scatter(chunks, root=rnd.root, style=style)
         ev["d"] = _digest(mine)
     elif rnd.op == "alltoall":
         objs = [
@@ -409,6 +412,23 @@ def canonical_trace(trace: dict) -> str:
 
 
 # ------------------------------------------------------------- differential
+def _strip_styles(program: Program) -> Optional[Program]:
+    """A copy of *program* with every forced collective ``style``
+    removed, or None when no round carries one.
+
+    Algorithm styles must never change a collective's *result* — the
+    fuzzer's payloads are exact-arithmetic, so a styled program and its
+    stripped twin (running the device/selector defaults) must produce
+    byte-identical semantic traces.
+    """
+    if not any(getattr(r, "style", None) for r in program.rounds):
+        return None
+    d = program.to_dict()
+    for r in d["rounds"]:
+        r.pop("style", None)
+    return Program.from_dict(d)
+
+
 @dataclass
 class DifferentialResult:
     """Outcome of one program across the device matrix."""
@@ -487,6 +507,18 @@ def differential(
         key for key, canon in canons.items()
         if reference is not None and canon != canons[reference]
     ]
+    # styled programs additionally diff against a style-stripped run on
+    # the reference cell: forcing an algorithm must not change semantics
+    stripped = _strip_styles(program)
+    if stripped is not None and reference is not None and not mismatched:
+        platform, device = matrix[0]
+        try:
+            naive = canonical_trace(run_program(stripped, platform, device))
+        except Exception as exc:  # noqa: BLE001 - any failure is a finding
+            errors["styled-reference"] = f"{type(exc).__name__}: {exc}"
+        else:
+            if naive != canons[reference]:
+                mismatched.append("styled-reference")
     ok = not errors and not mismatched and bool(canons)
     return DifferentialResult(
         program=program, ok=ok, reference=reference, canons=canons,

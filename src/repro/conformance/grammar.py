@@ -51,6 +51,7 @@ __all__ = [
     "Program",
     "generate",
     "validate",
+    "collective_styles",
     "payload_bytes",
     "payload_array",
 ]
@@ -210,13 +211,22 @@ class CollectiveRound:
     dtype: str = "long"          # numeric collectives
     nelems: int = 8              # per-rank elements (total for scatter root)
     redop: str = "sum"
+    #: forced algorithm choice (the "algos" profile); None = the
+    #: device/selector default.  Styles never change semantics — the
+    #: payloads are exact-arithmetic, so every algorithm must produce
+    #: the byte-identical trace (checked against a style-stripped
+    #: reference run in ``executor.differential``).
+    style: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        d = {
             "kind": "collective", "cid": self.cid, "op": self.op,
             "root": self.root, "dtype": self.dtype, "nelems": self.nelems,
             "redop": self.redop,
         }
+        if self.style is not None:
+            d["style"] = self.style
+        return d
 
     @classmethod
     def from_dict(cls, d: Dict[str, Any]) -> "CollectiveRound":
@@ -357,6 +367,12 @@ def validate(program: Program) -> List[str]:
         elif rnd.kind == "collective":
             if not 0 <= rnd.root < n:
                 problems.append(f"round {i}: collective root out of range")
+            style = getattr(rnd, "style", None)
+            if style is not None and style not in collective_styles(rnd.op):
+                problems.append(
+                    f"round {i}: style {style!r} is not a registered "
+                    f"{rnd.op} algorithm"
+                )
             if rnd.op == "reduce_scatter" and rnd.nelems % n:
                 problems.append(
                     f"round {i}: reduce_scatter buffer of {rnd.nelems} elements "
@@ -496,12 +512,38 @@ def _gen_collective(rng: random.Random, nprocs: int, ids: _Ids) -> CollectiveRou
     )
 
 
+def collective_styles(op: str) -> List[str]:
+    """Registered algorithm names for *op* (empty for ops without a
+    forced-``style`` knob, e.g. scan/exscan/alltoall)."""
+    from repro.mpi.coll import registry
+
+    return registry.algorithms(op)
+
+
+def _gen_collective_styled(rng: random.Random, nprocs: int, ids: _Ids) -> CollectiveRound:
+    """A collective round with a forced algorithm choice.
+
+    Used only by the "algos" profile: the style is drawn *after* the
+    base round, so the RNG stream consumed by :func:`_gen_collective`
+    is untouched and every other profile's pinned seeds stay
+    byte-identical.
+    """
+    rnd = _gen_collective(rng, nprocs, ids)
+    styles = collective_styles(rnd.op)
+    if styles:
+        rnd.style = rng.choice(styles)
+    return rnd
+
+
 #: round-kind weights per profile: (exchange, pingpong, collective).
-#: the "ft" profile is special-cased: one FtRound + a pinned NodeCrash
+#: the "ft" profile is special-cased: one FtRound + a pinned NodeCrash;
+#: "algos" is collective-heavy with every collective carrying a forced
+#: algorithm style drawn from the repro.mpi.coll registry
 PROFILES = {
     "mixed": (5, 2, 3),
     "pt2pt": (7, 3, 0),
     "collective": (1, 1, 8),
+    "algos": (1, 1, 8),
     "fault": (6, 3, 1),
     "ft": (0, 0, 0),
 }
@@ -547,7 +589,8 @@ def generate(seed: int, nprocs: Optional[int] = None, profile: str = "mixed") ->
     ids = _Ids()
     weights = PROFILES[profile]
     gens = {"exchange": _gen_exchange, "pingpong": _gen_pingpong,
-            "collective": _gen_collective}
+            "collective": (_gen_collective_styled if profile == "algos"
+                           else _gen_collective)}
     rounds: List[Any] = []
     for _ in range(rng.randint(2, 5)):
         kind = _weighted(rng, ["exchange", "pingpong", "collective"], weights)

@@ -1,0 +1,113 @@
+"""Shared collective machinery: reduction operators, tag generations,
+and the pickled-object send/recv helpers every algorithm builds on.
+
+All collective traffic uses tags at or above
+:data:`~repro.mpi.constants.INTERNAL_TAG_BASE`, which user wildcard
+receives never match.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.mpi.constants import INTERNAL_TAG_BASE
+
+__all__ = [
+    "Op", "SUM", "PROD", "MAX", "MIN", "LAND", "LOR", "BAND", "BOR",
+    "TAG_BCAST", "TAG_BARRIER", "TAG_REDUCE", "TAG_GATHER", "TAG_SCATTER",
+    "TAG_ALLGATHER", "TAG_ALLTOALL", "TAG_OBJ", "TAG_SCAN", "TAG_RSCAT",
+    "TAG_AGREE", "is_agree_tag",
+]
+
+TAG_BCAST = INTERNAL_TAG_BASE + 1
+TAG_BARRIER = INTERNAL_TAG_BASE + 2
+TAG_REDUCE = INTERNAL_TAG_BASE + 3
+TAG_GATHER = INTERNAL_TAG_BASE + 4
+TAG_SCATTER = INTERNAL_TAG_BASE + 5
+TAG_ALLGATHER = INTERNAL_TAG_BASE + 6
+TAG_ALLTOALL = INTERNAL_TAG_BASE + 7
+TAG_OBJ = INTERNAL_TAG_BASE + 8
+TAG_SCAN = INTERNAL_TAG_BASE + 9
+TAG_RSCAT = INTERNAL_TAG_BASE + 10
+TAG_AGREE = INTERNAL_TAG_BASE + 11  # crash-tolerant agreement (repro.mpi.ft)
+
+# Every collective invocation gets its own tag *generation*: the
+# per-communicator sequence number (Communicator._coll_seq) selects a
+# block of _SEQ_SLOTS tags above _SEQ_BASE, so two collectives on the
+# same communicator — even back-to-back ones whose traffic overlaps in
+# flight — can never cross-match each other's messages.  The window
+# wraps after _SEQ_WINDOW generations; two collectives that many calls
+# apart can never be concurrently in flight.  The resulting tags stay
+# inside [INTERNAL_TAG_BASE, 2**31) so they fit the devices' signed
+# 32-bit wire fields, stay invisible to user ANY_TAG receives, and
+# clear the device-internal tags (e.g. the Meiko hardware-broadcast tag
+# at INTERNAL_TAG_BASE + 101) parked below _SEQ_BASE.
+_SEQ_BASE = 1024
+_SEQ_SLOTS = 16
+_SEQ_WINDOW = 2 ** 20
+
+
+def _coll_tag(comm, base: int) -> int:
+    """Draw this communicator's next collective sequence number and
+    scope *base* (one of the TAG_* constants) to that generation."""
+    seq = comm._coll_seq
+    comm._coll_seq = seq + 1
+    slot = base - INTERNAL_TAG_BASE
+    return INTERNAL_TAG_BASE + _SEQ_BASE + slot + _SEQ_SLOTS * (seq % _SEQ_WINDOW)
+
+
+def is_agree_tag(tag: int) -> bool:
+    """Is *tag* any generation of the agreement slot?  Agreement traffic
+    must keep flowing on a revoked communicator (ULFM), so the FT layer
+    exempts it when poisoning pending operations."""
+    off = tag - INTERNAL_TAG_BASE - _SEQ_BASE
+    return off >= 0 and off % _SEQ_SLOTS == TAG_AGREE - INTERNAL_TAG_BASE
+
+
+class Op:
+    """A reduction operator over NumPy arrays (elementwise, associative)."""
+
+    def __init__(self, name: str, fn: Callable):
+        self.name = name
+        self.fn = fn
+
+    def __call__(self, a, b):
+        return self.fn(a, b)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Op {self.name}>"
+
+
+SUM = Op("MPI_SUM", np.add)
+PROD = Op("MPI_PROD", np.multiply)
+MAX = Op("MPI_MAX", np.maximum)
+MIN = Op("MPI_MIN", np.minimum)
+LAND = Op("MPI_LAND", np.logical_and)
+LOR = Op("MPI_LOR", np.logical_or)
+BAND = Op("MPI_BAND", np.bitwise_and)
+BOR = Op("MPI_BOR", np.bitwise_or)
+
+
+def _just(value):
+    """Generator returning *value* without yielding (0-event no-op)."""
+    return value
+    yield  # pragma: no cover - makes this a generator function
+
+
+# ---------------------------------------------------- pickled-object helpers
+def _send_obj(comm, obj: Any, dest: int, tag: int):
+    wire = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    yield from comm.send(wire, dest, tag)
+
+
+def _isend_obj(comm, obj: Any, dest: int, tag: int):
+    wire = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    return (yield from comm.isend(wire, dest, tag))
+
+
+def _recv_obj(comm, source: int, tag: int):
+    data, status = yield from comm.recv(source=source, tag=tag)
+    return pickle.loads(data), status

@@ -1,384 +1,17 @@
-"""Collective operations.
+"""Compatibility shim: collectives now live in :mod:`repro.mpi.coll`.
 
-The paper implements **broadcast** (hardware broadcast on the Meiko,
-a succession of point-to-point messages on the cluster; the MPICH
-baseline uses point-to-point on both).  The remaining collectives —
-barrier, reduce, allreduce, gather, scatter, allgather, alltoall — are
-extensions built over point-to-point exactly the way MPICH builds them,
-so they run on every device.
-
-Buffer-based: ``bcast``, ``reduce``, ``allreduce`` (NumPy arrays or
-bytes).  Object-based (pickled, mpi4py-lowercase style): ``gather``,
-``scatter``, ``allgather``, ``alltoall``.
-
-All collective traffic uses tags at or above
-:data:`~repro.mpi.constants.INTERNAL_TAG_BASE`, which user wildcard
-receives never match.
+Historical import site — the collective layer grew from this single
+module into the ``repro.mpi.coll`` package (algorithm registry,
+per-platform auto-selector, multiple implementations per collective).
+Everything that was ever importable from here, public or private, is
+re-exported so existing imports keep working unchanged.
 """
 
-from __future__ import annotations
-
-import pickle
-from typing import Any, Callable, List, Optional
-
-import numpy as np
-
-from repro.mpi.constants import INTERNAL_TAG_BASE
-from repro.mpi.exceptions import MPIError
-
-__all__ = [
-    "Op",
-    "SUM",
-    "PROD",
-    "MAX",
-    "MIN",
-    "LAND",
-    "LOR",
-    "BAND",
-    "BOR",
-    "bcast",
-    "barrier",
-    "reduce",
-    "allreduce",
-    "gather",
-    "scatter",
-    "allgather",
-    "allgather_obj",
-    "alltoall",
-    "scan",
-    "exscan",
-    "reduce_scatter",
-]
-
-TAG_BCAST = INTERNAL_TAG_BASE + 1
-TAG_BARRIER = INTERNAL_TAG_BASE + 2
-TAG_REDUCE = INTERNAL_TAG_BASE + 3
-TAG_GATHER = INTERNAL_TAG_BASE + 4
-TAG_SCATTER = INTERNAL_TAG_BASE + 5
-TAG_ALLGATHER = INTERNAL_TAG_BASE + 6
-TAG_ALLTOALL = INTERNAL_TAG_BASE + 7
-TAG_OBJ = INTERNAL_TAG_BASE + 8
-TAG_SCAN = INTERNAL_TAG_BASE + 9
-TAG_RSCAT = INTERNAL_TAG_BASE + 10
-TAG_AGREE = INTERNAL_TAG_BASE + 11  # crash-tolerant agreement (repro.mpi.ft)
-
-# Every collective invocation gets its own tag *generation*: the
-# per-communicator sequence number (Communicator._coll_seq) selects a
-# block of _SEQ_SLOTS tags above _SEQ_BASE, so two collectives on the
-# same communicator — even back-to-back ones whose traffic overlaps in
-# flight — can never cross-match each other's messages.  The window
-# wraps after _SEQ_WINDOW generations; two collectives that many calls
-# apart can never be concurrently in flight.  The resulting tags stay
-# inside [INTERNAL_TAG_BASE, 2**31) so they fit the devices' signed
-# 32-bit wire fields, stay invisible to user ANY_TAG receives, and
-# clear the device-internal tags (e.g. the Meiko hardware-broadcast tag
-# at INTERNAL_TAG_BASE + 101) parked below _SEQ_BASE.
-_SEQ_BASE = 1024
-_SEQ_SLOTS = 16
-_SEQ_WINDOW = 2 ** 20
-
-
-def _coll_tag(comm, base: int) -> int:
-    """Draw this communicator's next collective sequence number and
-    scope *base* (one of the TAG_* constants) to that generation."""
-    seq = comm._coll_seq
-    comm._coll_seq = seq + 1
-    slot = base - INTERNAL_TAG_BASE
-    return INTERNAL_TAG_BASE + _SEQ_BASE + slot + _SEQ_SLOTS * (seq % _SEQ_WINDOW)
-
-
-def is_agree_tag(tag: int) -> bool:
-    """Is *tag* any generation of the agreement slot?  Agreement traffic
-    must keep flowing on a revoked communicator (ULFM), so the FT layer
-    exempts it when poisoning pending operations."""
-    off = tag - INTERNAL_TAG_BASE - _SEQ_BASE
-    return off >= 0 and off % _SEQ_SLOTS == TAG_AGREE - INTERNAL_TAG_BASE
-
-
-class Op:
-    """A reduction operator over NumPy arrays (elementwise, associative)."""
-
-    def __init__(self, name: str, fn: Callable):
-        self.name = name
-        self.fn = fn
-
-    def __call__(self, a, b):
-        return self.fn(a, b)
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Op {self.name}>"
-
-
-SUM = Op("MPI_SUM", np.add)
-PROD = Op("MPI_PROD", np.multiply)
-MAX = Op("MPI_MAX", np.maximum)
-MIN = Op("MPI_MIN", np.minimum)
-LAND = Op("MPI_LAND", np.logical_and)
-LOR = Op("MPI_LOR", np.logical_or)
-BAND = Op("MPI_BAND", np.bitwise_and)
-BOR = Op("MPI_BOR", np.bitwise_or)
-
-
-# --------------------------------------------------------------------- bcast
-def _just(value):
-    """Generator returning *value* without yielding (0-event no-op)."""
-    return value
-    yield  # pragma: no cover - makes this a generator function
-
-
-def bcast(comm, buf, root: int, count: int, datatype, style=None):
-    """Broadcast *buf* from *root*; returns the (filled) buffer.
-
-    Algorithm selection follows the paper (overridable via *style*):
-
-    * ``hardware`` (low-latency Meiko device): single hardware-broadcast
-      injection;
-    * ``binomial`` (MPICH): log₂P point-to-point rounds;
-    * ``linear`` (TCP/UDP cluster): root sends to each rank in turn
-      ("a succession of point-to-point messages").
-
-    Plain dispatcher (not a generator function): it hands back the
-    innermost generator so the hot hardware path runs without a
-    delegating frame per resume.
-    """
-    # drawn unconditionally (even for the hardware path and size 1) so
-    # every member's _coll_seq advances identically per collective call
-    tag = _coll_tag(comm, TAG_BCAST)
-    if comm.size == 1:
-        return _just(buf)
-    if style is None:
-        style = comm.endpoint.bcast_style
-    if style == "hardware":
-        gen = comm.endpoint.bcast_hw(comm, buf, count, datatype, root)
-        if gen is not None:
-            return gen
-        style = "binomial"
-    return _bcast_ptp(comm, buf, root, count, datatype, tag, style)
-
-
-def _bcast_ptp(comm, buf, root: int, count: int, datatype, tag: int, style):
-    if style == "linear":
-        if comm.rank == root:
-            for r in range(comm.size):
-                if r != root:
-                    yield from comm.send(buf, r, tag, count, datatype)
-        else:
-            yield from comm.recv(source=root, tag=tag, buf=buf, count=count,
-                                 datatype=datatype)
-        return buf
-    # binomial tree (the classic MPICH algorithm)
-    size, rank = comm.size, comm.rank
-    vrank = (rank - root) % size
-    mask = 1
-    while mask < size:
-        if vrank & mask:
-            src = (vrank - mask + root) % size
-            yield from comm.recv(source=src, tag=tag, buf=buf, count=count,
-                                 datatype=datatype)
-            break
-        mask <<= 1
-    mask >>= 1
-    while mask > 0:
-        if vrank + mask < size:
-            dst = (vrank + mask + root) % size
-            yield from comm.send(buf, dst, tag, count, datatype)
-        mask >>= 1
-    return buf
-
-
-# -------------------------------------------------------------------- barrier
-def barrier(comm):
-    """Dissemination barrier: ⌈log₂P⌉ rounds of pairwise messages."""
-    tag = _coll_tag(comm, TAG_BARRIER)
-    size, rank = comm.size, comm.rank
-    if size == 1:
-        return
-    offset = 1
-    while offset < size:
-        dst = (rank + offset) % size
-        src = (rank - offset) % size
-        req = yield from comm.isend(b"", dst, tag)
-        yield from comm.recv(source=src, tag=tag)
-        yield from comm.wait(req)
-        offset <<= 1
-
-
-# --------------------------------------------------------------------- reduce
-def reduce(comm, sendbuf, root: int, op: Op):
-    """Binomial-tree reduction to *root*; returns the result there."""
-    if not isinstance(sendbuf, np.ndarray):
-        raise MPIError("reduce requires a NumPy array buffer")
-    tag = _coll_tag(comm, TAG_REDUCE)
-    size, rank = comm.size, comm.rank
-    result = np.array(sendbuf, copy=True)
-    if size == 1:
-        return result
-    vrank = (rank - root) % size
-    mask = 1
-    while mask < size:
-        if vrank & mask:
-            parent = (vrank - mask + root) % size
-            yield from comm.send(result, parent, tag)
-            return None
-        peer = vrank + mask
-        if peer < size:
-            partial = np.empty_like(result)
-            src = (peer + root) % size
-            yield from comm.recv(source=src, tag=tag, buf=partial)
-            result = op(result, partial)
-        mask <<= 1
-    return result if rank == root else None
-
-
-def allreduce(comm, sendbuf, op: Op):
-    """Reduce to rank 0 then broadcast; returns the result everywhere."""
-    result = yield from reduce(comm, sendbuf, 0, op)
-    if comm.rank != 0:
-        result = np.empty_like(np.asarray(sendbuf))
-    from repro.mpi.datatypes import from_numpy_dtype
-
-    dtype = from_numpy_dtype(result.dtype)
-    yield from bcast(comm, result, 0, result.size, dtype)
-    return result
-
-
-def scan(comm, sendbuf, op: Op):
-    """Inclusive prefix reduction (MPI_Scan): rank r gets
-    op(sendbuf_0, ..., sendbuf_r).  Linear chain algorithm."""
-    if not isinstance(sendbuf, np.ndarray):
-        raise MPIError("scan requires a NumPy array buffer")
-    tag = _coll_tag(comm, TAG_SCAN)
-    result = np.array(sendbuf, copy=True)
-    if comm.rank > 0:
-        partial = np.empty_like(result)
-        yield from comm.recv(source=comm.rank - 1, tag=tag, buf=partial)
-        result = op(partial, result)
-    if comm.rank < comm.size - 1:
-        yield from comm.send(result, comm.rank + 1, tag)
-    return result
-
-
-def exscan(comm, sendbuf, op: Op):
-    """Exclusive prefix reduction (MPI_Exscan): rank r gets
-    op(sendbuf_0, ..., sendbuf_{r-1}); rank 0 gets None."""
-    if not isinstance(sendbuf, np.ndarray):
-        raise MPIError("exscan requires a NumPy array buffer")
-    tag = _coll_tag(comm, TAG_SCAN)
-    prefix = None
-    if comm.rank > 0:
-        prefix = np.empty_like(np.asarray(sendbuf))
-        yield from comm.recv(source=comm.rank - 1, tag=tag, buf=prefix)
-    if comm.rank < comm.size - 1:
-        outgoing = (
-            np.array(sendbuf, copy=True) if prefix is None else op(prefix, sendbuf)
-        )
-        yield from comm.send(outgoing, comm.rank + 1, tag)
-    return prefix
-
-
-def reduce_scatter(comm, sendbuf, op: Op):
-    """MPI_Reduce_scatter_block: reduce elementwise across ranks, then
-    scatter equal blocks — rank r gets block r of the reduction.
-
-    ``sendbuf`` must have ``size * blocklen`` elements on every rank.
-    """
-    if not isinstance(sendbuf, np.ndarray):
-        raise MPIError("reduce_scatter requires a NumPy array buffer")
-    if sendbuf.size % comm.size:
-        raise MPIError(
-            f"reduce_scatter buffer of {sendbuf.size} elements does not split "
-            f"over {comm.size} ranks"
-        )
-    total = yield from reduce(comm, sendbuf, 0, op)
-    blocklen = sendbuf.size // comm.size
-    if comm.rank == 0:
-        flat = total.reshape(-1)
-        chunks = [flat[r * blocklen : (r + 1) * blocklen].copy() for r in range(comm.size)]
-    else:
-        chunks = None
-    mine = yield from scatter(comm, chunks, 0)
-    return mine
-
-
-# -------------------------------------------------- object-based collectives
-def _send_obj(comm, obj: Any, dest: int, tag: int):
-    wire = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
-    yield from comm.send(wire, dest, tag)
-
-
-def _isend_obj(comm, obj: Any, dest: int, tag: int):
-    wire = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
-    return (yield from comm.isend(wire, dest, tag))
-
-
-def _recv_obj(comm, source: int, tag: int):
-    data, status = yield from comm.recv(source=source, tag=tag)
-    return pickle.loads(data), status
-
-
-def gather(comm, obj: Any, root: int) -> Optional[List[Any]]:
-    """Gather one object per rank to *root* (rank order)."""
-    tag = _coll_tag(comm, TAG_GATHER)
-    if comm.rank == root:
-        out: List[Any] = [None] * comm.size
-        out[root] = obj
-        for r in range(comm.size):
-            if r != root:
-                out[r], _ = yield from _recv_obj(comm, r, tag)
-        return out
-    yield from _send_obj(comm, obj, root, tag)
-    return None
-
-
-def scatter(comm, objs: Optional[List[Any]], root: int) -> Any:
-    """Scatter a list of per-rank objects from *root*."""
-    tag = _coll_tag(comm, TAG_SCATTER)
-    if comm.rank == root:
-        if objs is None or len(objs) != comm.size:
-            raise MPIError(f"scatter needs one object per rank ({comm.size})")
-        for r in range(comm.size):
-            if r != root:
-                yield from _send_obj(comm, objs[r], r, tag)
-        return objs[root]
-    obj, _ = yield from _recv_obj(comm, root, tag)
-    return obj
-
-
-def allgather(comm, obj: Any) -> List[Any]:
-    """Ring allgather: P-1 steps, each forwarding the newest block."""
-    return (yield from allgather_obj(comm, obj, tag=TAG_ALLGATHER))
-
-
-def allgather_obj(comm, obj: Any, tag: int = TAG_OBJ) -> List[Any]:
-    tag = _coll_tag(comm, tag)
-    size, rank = comm.size, comm.rank
-    out: List[Any] = [None] * size
-    out[rank] = obj
-    if size == 1:
-        return out
-    right = (rank + 1) % size
-    left = (rank - 1) % size
-    for step in range(size - 1):
-        outgoing = out[(rank - step) % size]
-        req = yield from _isend_obj(comm, outgoing, right, tag)
-        incoming, _ = yield from _recv_obj(comm, left, tag)
-        out[(rank - step - 1) % size] = incoming
-        yield from comm.wait(req)
-    return out
-
-
-def alltoall(comm, objs: List[Any]) -> List[Any]:
-    """Pairwise-exchange alltoall: objs[r] goes to rank r."""
-    tag = _coll_tag(comm, TAG_ALLTOALL)
-    size, rank = comm.size, comm.rank
-    if len(objs) != size:
-        raise MPIError(f"alltoall needs one object per rank ({size})")
-    out: List[Any] = [None] * size
-    out[rank] = objs[rank]
-    for offset in range(1, size):
-        dst = (rank + offset) % size
-        src = (rank - offset) % size
-        req = yield from _isend_obj(comm, objs[dst], dst, tag)
-        out[src], _ = yield from _recv_obj(comm, src, tag)
-        yield from comm.wait(req)
-    return out
+from repro.mpi.coll import *  # noqa: F401,F403
+from repro.mpi.coll import (  # noqa: F401
+    TAG_AGREE, TAG_ALLGATHER, TAG_ALLTOALL, TAG_BARRIER, TAG_BCAST,
+    TAG_GATHER, TAG_OBJ, TAG_REDUCE, TAG_RSCAT, TAG_SCAN, TAG_SCATTER,
+    _SEQ_BASE, _SEQ_SLOTS, _SEQ_WINDOW, _bcast_ptp, _coll_tag,
+    _isend_obj, _just, _recv_obj, _send_obj, is_agree_tag,
+)
+from repro.mpi.coll import __all__ as __all__  # noqa: F401

@@ -769,36 +769,41 @@ class Communicator:
             peer=root,
         )
 
-    def barrier(self):
-        """Generator: MPI_Barrier (dissemination algorithm)."""
-        yield from self._traced("barrier", self._coll_fatal(_coll.barrier(self)))
+    def barrier(self, style=None):
+        """Generator: MPI_Barrier ("dissemination" default; "tree" for
+        wide communicators per the tuning table)."""
+        yield from self._traced("barrier", self._coll_fatal(_coll.barrier(self, style=style)))
 
-    def reduce(self, sendbuf, root: int = 0, op=None):
+    def reduce(self, sendbuf, root: int = 0, op=None, style=None):
         """Generator -> result at root (None elsewhere): MPI_Reduce."""
         self._check_rank(root, "root")
         return (
             yield from self._traced(
-                "reduce", self._coll_fatal(_coll.reduce(self, sendbuf, root, op or _coll.SUM)), peer=root
+                "reduce",
+                self._coll_fatal(_coll.reduce(self, sendbuf, root, op or _coll.SUM, style=style)),
+                peer=root,
             )
         )
 
-    def allreduce(self, sendbuf, op=None):
-        """Generator -> result everywhere: MPI_Allreduce."""
+    def allreduce(self, sendbuf, op=None, style=None):
+        """Generator -> result everywhere: MPI_Allreduce
+        ("reduce_bcast", "ring", or "recursive_doubling")."""
         return (
             yield from self._traced(
-                "allreduce", self._coll_fatal(_coll.allreduce(self, sendbuf, op or _coll.SUM))
+                "allreduce",
+                self._coll_fatal(_coll.allreduce(self, sendbuf, op or _coll.SUM, style=style)),
             )
         )
 
-    def gather(self, sendbuf, root: int = 0):
+    def gather(self, sendbuf, root: int = 0, style=None):
         """Generator -> list of per-rank buffers at root: MPI_Gather."""
         self._check_rank(root, "root")
-        return (yield from self._coll_fatal(_coll.gather(self, sendbuf, root)))
+        return (yield from self._coll_fatal(_coll.gather(self, sendbuf, root, style=style)))
 
-    def scatter(self, chunks, root: int = 0):
+    def scatter(self, chunks, root: int = 0, style=None):
         """Generator -> this rank's chunk: MPI_Scatter."""
         self._check_rank(root, "root")
-        return (yield from self._coll_fatal(_coll.scatter(self, chunks, root)))
+        return (yield from self._coll_fatal(_coll.scatter(self, chunks, root, style=style)))
 
     def scan(self, sendbuf, op=None):
         """Generator -> inclusive prefix reduction at this rank: MPI_Scan."""
@@ -812,9 +817,10 @@ class Communicator:
         """Generator -> this rank's block of the reduction: MPI_Reduce_scatter_block."""
         return (yield from self._coll_fatal(_coll.reduce_scatter(self, sendbuf, op or _coll.SUM)))
 
-    def allgather(self, sendbuf):
-        """Generator -> list of per-rank buffers: MPI_Allgather (ring)."""
-        return (yield from self._coll_fatal(_coll.allgather(self, sendbuf)))
+    def allgather(self, sendbuf, style=None):
+        """Generator -> list of per-rank buffers: MPI_Allgather
+        ("ring" default, "gather_bcast" for wide communicators)."""
+        return (yield from self._coll_fatal(_coll.allgather(self, sendbuf, style=style)))
 
     def alltoall(self, chunks):
         """Generator -> list of received chunks: MPI_Alltoall."""

@@ -85,6 +85,10 @@ class Endpoint:
     #: broadcast style the device prefers: "hardware", "binomial", "linear"
     bcast_style = "binomial"
 
+    #: per-platform collective tuning table (platforms.COLL_TUNING entry),
+    #: stamped by the platform builders; None = legacy per-device defaults
+    coll_tuning = None
+
     def bcast_hw(self, comm, buf, count, datatype, root: int):
         """Hardware broadcast fast path; None if unsupported."""
         return None

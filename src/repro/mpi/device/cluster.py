@@ -126,6 +126,15 @@ class StreamEndpoint(Endpoint):
 
     bcast_style = "linear"
 
+    #: above this many ranks, ``wire`` defers pair construction to first
+    #: use instead of pre-building the O(P²) full mesh.  Lazy creation
+    #: spawns each connection's sender process mid-run, which shifts
+    #: event ordering relative to the eager mesh — so small worlds (all
+    #: the pinned determinism goldens) keep the eager, byte-identical
+    #: wiring, and only large worlds (where O(P²) construction takes
+    #: minutes and idle pairs waste O(P²) kernel state) go lazy.
+    LAZY_MESH_THRESHOLD = 32
+
     def __init__(self, world_rank: int, host, config: Optional[ClusterConfig] = None):
         super().__init__(world_rank, host)
         self.host = host
@@ -135,6 +144,9 @@ class StreamEndpoint(Endpoint):
         self.peers = []
         #: peer world rank -> stream connection
         self.conns: Dict[int, object] = {}
+        #: lazy-mesh state, set by ``wire`` above LAZY_MESH_THRESHOLD
+        self._lazy_mesh = False
+        self._mesh_endpoints = None
         self.kick = Notify(self.sim, f"mpi{world_rank}-kick")
         self._rx: Dict[int, _RxState] = defaultdict(_RxState)
         #: send credit remaining at each peer
@@ -161,6 +173,21 @@ class StreamEndpoint(Endpoint):
     def attach_conn(self, peer_world: int, conn) -> None:
         self.conns[peer_world] = conn
         conn.on_data = self.kick.set
+
+    @staticmethod
+    def _connect_pair_now(ep_i, ep_j) -> None:  # pragma: no cover - abstract
+        """Build and attach the connection pair between two endpoints."""
+        raise NotImplementedError
+
+    def _ensure_conn(self, dest: int) -> None:
+        """Lazy mesh: build the pair to *dest* on first outbound use.
+
+        Both directions attach (the peer gets its ``on_data`` kick), so
+        a rank that only ever receives from us never needs its own
+        ensure call.
+        """
+        if dest not in self.conns:
+            self._connect_pair_now(self, self._mesh_endpoints[dest])
 
     def _next_cookie(self) -> int:
         self._cookie += 1
@@ -227,7 +254,10 @@ class StreamEndpoint(Endpoint):
         obs = self.sim.obs
         for dest in list(self.sendq):
             if dest not in self.conns:
-                continue  # connection still being established; stay queued
+                if self._lazy_mesh:
+                    self._ensure_conn(dest)
+                else:
+                    continue  # connection still being established; stay queued
             q = self.sendq[dest]
             while q:
                 op = q[0]

@@ -30,14 +30,26 @@ class TcpEndpoint(StreamEndpoint):
         if endpoints and endpoints[0].config.handshake:
             cls._wire_handshake(machine, endpoints)
             return
+        if len(endpoints) > cls.LAZY_MESH_THRESHOLD:
+            # large worlds: defer each pair until a first send needs it —
+            # pre-building O(P²) connections dominates construction time
+            # and memory, and most pairs of a wide collective never talk
+            for ep in endpoints:
+                ep._lazy_mesh = True
+                ep._mesh_endpoints = endpoints
+            return
         for i, ep_i in enumerate(endpoints):
             for j in range(i + 1, len(endpoints)):
-                ep_j = endpoints[j]
-                conn_i, conn_j = TcpLayer.connect_pair(
-                    ep_i.kernel, ep_j.kernel, _PORT_BASE + j, _PORT_BASE + i
-                )
-                ep_i.attach_conn(j, conn_i)
-                ep_j.attach_conn(i, conn_j)
+                cls._connect_pair_now(ep_i, endpoints[j])
+
+    @staticmethod
+    def _connect_pair_now(ep_i, ep_j) -> None:
+        i, j = ep_i.world_rank, ep_j.world_rank
+        conn_i, conn_j = TcpLayer.connect_pair(
+            ep_i.kernel, ep_j.kernel, _PORT_BASE + j, _PORT_BASE + i
+        )
+        ep_i.attach_conn(j, conn_i)
+        ep_j.attach_conn(i, conn_j)
 
     @classmethod
     def _wire_handshake(cls, machine, endpoints) -> None:

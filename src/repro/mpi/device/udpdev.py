@@ -23,16 +23,23 @@ class UdpEndpoint(StreamEndpoint):
 
     @classmethod
     def wire(cls, machine, endpoints) -> None:
+        if len(endpoints) > cls.LAZY_MESH_THRESHOLD:
+            # large worlds: defer each pair until a first send needs it
+            # (see StreamEndpoint.LAZY_MESH_THRESHOLD)
+            for ep in endpoints:
+                ep._lazy_mesh = True
+                ep._mesh_endpoints = endpoints
+            return
         for i, ep_i in enumerate(endpoints):
             for j in range(i + 1, len(endpoints)):
-                ep_j = endpoints[j]
-                sock_i = ep_i.kernel.udp.bind(_PORT_BASE + j)
-                sock_j = ep_j.kernel.udp.bind(_PORT_BASE + i)
-                conn_i = RudpConnection(
-                    ep_i.kernel, sock_i, ep_j.world_rank, _PORT_BASE + i
-                )
-                conn_j = RudpConnection(
-                    ep_j.kernel, sock_j, ep_i.world_rank, _PORT_BASE + j
-                )
-                ep_i.attach_conn(j, conn_i)
-                ep_j.attach_conn(i, conn_j)
+                cls._connect_pair_now(ep_i, endpoints[j])
+
+    @staticmethod
+    def _connect_pair_now(ep_i, ep_j) -> None:
+        i, j = ep_i.world_rank, ep_j.world_rank
+        sock_i = ep_i.kernel.udp.bind(_PORT_BASE + j)
+        sock_j = ep_j.kernel.udp.bind(_PORT_BASE + i)
+        conn_i = RudpConnection(ep_i.kernel, sock_i, j, _PORT_BASE + i)
+        conn_j = RudpConnection(ep_j.kernel, sock_j, i, _PORT_BASE + j)
+        ep_i.attach_conn(j, conn_i)
+        ep_j.attach_conn(i, conn_j)

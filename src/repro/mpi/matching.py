@@ -131,6 +131,29 @@ class MatchQueues:
         return None
 
     @staticmethod
+    def _prune_bucket(
+        buckets: Dict[Tuple[int, int, int], Deque[_Entry]],
+        key: Tuple[int, int, int],
+    ) -> None:
+        """Drop dead entries off *key*'s bucket head and delete the
+        bucket once empty.
+
+        Collective traffic makes this matter at scale: every collective
+        call runs on a fresh tag generation, i.e. a fresh bucket key, so
+        without eager deletion a long-running rank accretes one empty
+        deque per collective ever performed — O(calls) dict growth for
+        O(1) live state.  Called at every match consumption so the
+        bucket dicts stay proportional to *live* entries.
+        """
+        bucket = buckets.get(key)
+        if bucket is None:
+            return
+        while bucket and not bucket[0].alive:
+            bucket.popleft()
+        if not bucket:
+            del buckets[key]
+
+    @staticmethod
     def _scan_count(fifo: Deque[_Entry], entry: _Entry) -> int:
         """Entries a FIFO scan would inspect to find *entry* (inclusive).
 
@@ -197,6 +220,10 @@ class MatchQueues:
             comparisons = self._scan_count(self._unexp_fifo, match)
             match.alive = False
             self._unexp_live -= 1
+            menv = match.item.envelope
+            self._prune_bucket(
+                self._unexp_buckets, (menv.context, menv.src, menv.tag)
+            )
             self._unexp_fifo = self._compact(
                 self._unexp_fifo, self._unexp_buckets, self._unexp_live
             )
@@ -241,6 +268,10 @@ class MatchQueues:
             match.alive = False
             self._posted_live -= 1
             del self._posted_by_req[id(req)]
+            self._prune_bucket(
+                self._posted_buckets,
+                (req.comm.context_id, req.peer, req.tag),
+            )
             self._posted_fifo = self._compact(
                 self._posted_fifo, self._posted_buckets, self._posted_live
             )
@@ -283,6 +314,9 @@ class MatchQueues:
             return False
         entry.alive = False
         self._posted_live -= 1
+        self._prune_bucket(
+            self._posted_buckets, (req.comm.context_id, req.peer, req.tag)
+        )
         self._posted_fifo = self._compact(
             self._posted_fifo, self._posted_buckets, self._posted_live
         )

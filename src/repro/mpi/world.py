@@ -26,6 +26,45 @@ __all__ = ["World"]
 #: context id of MPI_COMM_WORLD
 WORLD_CONTEXT = 0
 
+#: deadlock diagnostics snapshot at most this many stuck ranks — a
+#: 10k-rank deadlock must not build 10k state dicts (satellite of the
+#: O(10k)-rank scaling work); the message reports how many were elided
+WATCHDOG_SNAPSHOT_CAP = 16
+
+
+class _LazyComms:
+    """``world.comms`` as a lazily-materialized sequence.
+
+    ``Communicator.__init__`` is pure (no endpoint side effects), but at
+    O(10k) ranks eagerly building one per rank dominates World
+    construction for jobs that then run on a handful of ranks
+    (``ranks=`` subsets, figure sweeps).  Each rank's world communicator
+    is built on first access and cached, so idle ranks stay O(1).
+    """
+
+    def __init__(self, world, group):
+        self._world = world
+        self._group = group
+        self._cache: Dict[int, Communicator] = {}
+
+    def __len__(self) -> int:
+        return self._world.nprocs
+
+    def __getitem__(self, rank: int) -> Communicator:
+        comm = self._cache.get(rank)
+        if comm is None:
+            if not -len(self) <= rank < len(self):
+                raise IndexError(rank)
+            rank %= len(self)
+            comm = self._cache[rank] = Communicator(
+                self._world, self._group, WORLD_CONTEXT,
+                self._world.endpoints[rank],
+            )
+        return comm
+
+    def __iter__(self):
+        return (self[r] for r in range(len(self)))
+
 
 class World:
     """A complete MPI job on a simulated machine.
@@ -117,9 +156,7 @@ class World:
         self._contexts: Dict[Any, int] = {}
         self._next_context = WORLD_CONTEXT + 1
         world_group = Group(range(nprocs))
-        self.comms: List[Communicator] = [
-            Communicator(self, world_group, WORLD_CONTEXT, ep) for ep in self.endpoints
-        ]
+        self.comms = _LazyComms(self, world_group)
 
     # ----------------------------------------------------------------- setup
     def allocate_context(self, key: Any) -> int:
@@ -330,14 +367,17 @@ class World:
 
         The machine-readable per-rank snapshots ride along on the
         exception as ``rank_states`` (rank -> dict); the rendered lines
-        in the message come from the same snapshots.
+        in the message come from the same snapshots.  Snapshots stop at
+        ``WATCHDOG_SNAPSHOT_CAP`` stuck ranks (the full stuck-rank list
+        still rides on ``stuck_ranks``) so a 10k-rank deadlock costs 16
+        state dicts, not 10k.
         """
         lines = []
         rank_states = {}
         crashed = self._crashed_ranks()
-        for p, r in zip(procs, ranks):
-            if p.triggered or r in crashed:
-                continue
+        stuck = [r for p, r in zip(procs, ranks)
+                 if not p.triggered and r not in crashed]
+        for r in stuck[:WATCHDOG_SNAPSHOT_CAP]:
             endpoint = self.endpoints[r]
             try:
                 rank_states[r] = endpoint.state_snapshot()
@@ -345,9 +385,9 @@ class World:
             except Exception as exc:  # pragma: no cover - diagnostics must not mask
                 state = f"<state_snapshot failed: {exc!r}>"
             lines.append(f"  rank {r}: {state}")
+        if len(stuck) > WATCHDOG_SNAPSHOT_CAP:
+            lines.append(f"  ... {len(stuck) - WATCHDOG_SNAPSHOT_CAP} more ranks elided")
         detail = "\n".join(lines)
-        stuck = [r for p, r in zip(procs, ranks)
-                 if not p.triggered and r not in crashed]
         obs = self.sim.obs
         if obs is not None:
             obs.emit(self.sim.now, "mpi", "world.deadlock",

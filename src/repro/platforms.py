@@ -24,6 +24,7 @@ __all__ = [
     "DEFAULT_DEVICES",
     "PLATFORM_DEVICES",
     "DEVICE_MATRIX",
+    "COLL_TUNING",
 ]
 
 
@@ -53,6 +54,65 @@ DEVICE_MATRIX = tuple(
     for platform in ("meiko", "atm", "ethernet")
     for device in PLATFORM_DEVICES[platform]
 )
+
+
+# Per-cell collective tuning tables consumed by the auto-selector in
+# repro.mpi.coll.registry (schema documented there; catalog + measured
+# crossover numbers in docs/COLLECTIVES.md).  The "small" entries are
+# exactly the paper-era defaults, so worlds in the golden determinism
+# regimes (<= 8 ranks, sub-crossover payloads) run byte-identical
+# traffic; "large"/"wide" entries switch to bandwidth/latency shapes
+# where the defaults stop scaling.  Stamped onto every endpoint as
+# ``ep.coll_tuning`` by the platform builders.
+
+def _cluster_tuning(shared_medium: bool = False) -> dict:
+    # on the shared 10 Mb/s Ethernet every byte serializes onto one
+    # wire, so the scatter-allgather broadcast's extra messages never
+    # pay off (measured: docs/COLLECTIVES.md) — only the switched ATM
+    # fabric gets the large-payload bcast crossover
+    bcast = {"small": "linear", "wide": "binomial", "wide_ranks": 16}
+    if not shared_medium:
+        bcast.update({"large": "scatter_allgather", "large_bytes": 65536,
+                      "large_max_ranks": 64})
+    return {
+        "bcast": bcast,
+        "allreduce": {"small": "reduce_bcast", "large": "ring",
+                      "large_bytes": 65536, "large_max_ranks": 64},
+        "barrier": {"small": "dissemination", "wide": "tree", "wide_ranks": 512},
+        "gather": {"small": "linear", "wide": "binomial", "wide_ranks": 16},
+        "scatter": {"small": "linear", "wide": "binomial", "wide_ranks": 16},
+        "allgather": {"small": "ring", "wide": "gather_bcast", "wide_ranks": 16},
+    }
+
+
+COLL_TUNING = {
+    # the CS/2 hardware broadcast beats every point-to-point tree at
+    # all sizes measured (docs/COLLECTIVES.md), so bcast never crosses
+    # over; allreduce still profits from ring reduce-scatter bandwidth
+    "meiko-lowlatency": {
+        "bcast": {"small": "hardware"},
+        "allreduce": {"small": "reduce_bcast", "large": "ring",
+                      "large_bytes": 65536, "large_max_ranks": 128},
+        "barrier": {"small": "dissemination", "wide": "tree", "wide_ranks": 512},
+        "gather": {"small": "linear", "wide": "binomial", "wide_ranks": 16},
+        "scatter": {"small": "linear", "wide": "binomial", "wide_ranks": 16},
+        "allgather": {"small": "ring", "wide": "gather_bcast", "wide_ranks": 16},
+    },
+    "meiko-mpich": {
+        "bcast": {"small": "binomial", "large": "scatter_allgather",
+                  "large_bytes": 65536, "large_max_ranks": 128},
+        "allreduce": {"small": "reduce_bcast", "large": "ring",
+                      "large_bytes": 65536, "large_max_ranks": 128},
+        "barrier": {"small": "dissemination", "wide": "tree", "wide_ranks": 512},
+        "gather": {"small": "linear", "wide": "binomial", "wide_ranks": 16},
+        "scatter": {"small": "linear", "wide": "binomial", "wide_ranks": 16},
+        "allgather": {"small": "ring", "wide": "gather_bcast", "wide_ranks": 16},
+    },
+    "atm-tcp": _cluster_tuning(),
+    "atm-udp": _cluster_tuning(),
+    "ethernet-tcp": _cluster_tuning(shared_medium=True),
+    "ethernet-udp": _cluster_tuning(shared_medium=True),
+}
 
 
 @dataclass
@@ -123,6 +183,7 @@ def _build_meiko(
         ]
         for ep in endpoints:
             ep.peers = endpoints
+            ep.coll_tuning = COLL_TUNING["meiko-lowlatency"]
     elif device == "mpich":
         from repro.mpi.device.mpich import MpichEndpoint
 
@@ -133,6 +194,7 @@ def _build_meiko(
         ]
         for ep in endpoints:
             ep.peers = endpoints
+            ep.coll_tuning = COLL_TUNING["meiko-mpich"]
     else:
         raise ConfigurationError(
             f"device {device!r} not available on the meiko platform "
@@ -169,7 +231,9 @@ def _build_cluster(
             f"device {device!r} not available on the {platform} platform "
             "(choose 'tcp' or 'udp')"
         )
+    tuning = COLL_TUNING[device_key(platform, device)]
     for ep in endpoints:
         ep.peers = endpoints
+        ep.coll_tuning = tuning
     machine.connect_endpoints(endpoints)
     return Platform(platform, device, sim, list(machine.hosts), endpoints, machine)

@@ -75,3 +75,23 @@ def test_deadlock_error_carries_rank_states():
     assert {"source": 0, "tag": 9} in e.rank_states[1]["posted"]
     assert e.rank_states[0]["flow"]["ssends_awaiting_ack"] == 1
     assert "tag=9" in str(e)
+
+
+def test_watchdog_caps_snapshots_on_wide_deadlocks():
+    """A wide deadlock ships at most WATCHDOG_SNAPSHOT_CAP per-rank
+    snapshots (with an elision note); the full stuck-rank list still
+    rides on ``stuck_ranks``."""
+    from repro.mpi.world import WATCHDOG_SNAPSHOT_CAP
+
+    nprocs = WATCHDOG_SNAPSHOT_CAP + 4
+
+    def main(comm):
+        # everyone waits on a message nobody sends
+        yield from comm.recv(source=(comm.rank + 1) % comm.size, tag=3)
+
+    with pytest.raises(DeadlockError) as ei:
+        World(nprocs, platform="meiko", device="lowlatency").run(main)
+    e = ei.value
+    assert len(e.stuck_ranks) == nprocs
+    assert len(e.rank_states) == WATCHDOG_SNAPSHOT_CAP
+    assert f"{nprocs - WATCHDOG_SNAPSHOT_CAP} more ranks elided" in str(e)
