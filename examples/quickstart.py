@@ -42,6 +42,8 @@ def main():
         ("atm", "tcp", "~1485 (1065 + overheads)"),
         ("ethernet", "udp", "similar to TCP"),
         ("atm", "udp", "similar to TCP"),
+        ("modern", "rdma", "~2-3 (2020s fabric)"),
+        ("modern", "cxl", "~2-3 (2020s fabric)"),
     ]
     rows = []
     for platform, device, paper in configs:

@@ -28,6 +28,7 @@ from repro.mpi.exceptions import CommError
 
 __all__ = [
     "CLUSTER_PLATFORMS",
+    "SOAK_CRASH_AT",
     "chaos_cell",
     "chaos_sweep",
     "format_chaos",
@@ -225,6 +226,16 @@ def chaos_sweep(
     return rows
 
 
+#: default crash time of the soak scenario, per platform.  The pinned
+#: instant must land after the first checkpoint commit and before the
+#: final (unprotected) gather of the survivable workload — on the
+#: modern fabrics the whole job runs in ~90 µs, so the paper-era
+#: 900 µs crash would fire after completion and never be recovered.
+SOAK_CRASH_AT = {
+    "meiko": 900.0, "atm": 900.0, "ethernet": 900.0, "modern": 40.0,
+}
+
+
 # --------------------------------------------------------------- chaos soak
 #
 # The soak gate: a pinned crash schedule driven through the full ULFM
@@ -259,7 +270,7 @@ def soak_cell(
     device: str,
     nprocs: int = 8,
     victim: int = 3,
-    crash_at: float = 900.0,
+    crash_at: Optional[float] = None,
     n: int = 64,
     iters: int = 12,
     checkpoint_every: int = 4,
@@ -275,6 +286,9 @@ def soak_cell(
     ``"ft"`` recovery events (crash/detect/revoke/shrink/agree/
     checkpoint), the determinism witness the sweep compares across
     repeated runs.
+
+    ``crash_at=None`` picks the platform's pinned default from
+    :data:`SOAK_CRASH_AT`.
     """
     import numpy as np
 
@@ -284,6 +298,8 @@ def soak_cell(
     from repro.obs import EventBus
     from repro.platforms import device_key
 
+    if crash_at is None:
+        crash_at = SOAK_CRASH_AT.get(platform, 900.0)
     bus = obs if obs is not None else EventBus()
     if obs is not None:
         obs.set_run(f"soak/{device_key(platform, device)}/crash@{crash_at:g}")
@@ -342,7 +358,7 @@ def soak_sweep(
     cells=None,
     nprocs: int = 8,
     victim: int = 3,
-    crash_at: float = 900.0,
+    crash_at: Optional[float] = None,
     n: int = 64,
     iters: int = 12,
     checkpoint_every: int = 4,

@@ -35,6 +35,7 @@ __all__ = [
     "fig04_atm_latency",
     "fig05_tcp_latency",
     "fig06_tcp_bandwidth",
+    "fig10_modern_crossover",
     "table1_overheads",
     "fig07_linsolve",
     "fig08_meiko_nbody",
@@ -205,6 +206,52 @@ def fig06_tcp_bandwidth(sizes: Sequence[int] = BANDWIDTH_SIZES[:-1],
             "tcp/atm": sizes, "tcp/eth": sizes,
         }, runner),
         "paper": {"note": "ATM roughly an order of magnitude above 10 Mb/s Ethernet"},
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figure 10: the Figure-1 experiment replayed on the modern fabrics
+# ---------------------------------------------------------------------------
+
+
+def fig10_modern_crossover(
+    sizes: Sequence[int] = (256, 1024, 2048, 4096, 8192, 12288, 16384,
+                            24576, 32768, 65536),
+    runner: Optional[Runner] = None,
+):
+    """Eager vs rendezvous RTT, each forced on for all sizes, on the
+    modern ``rdma`` and ``cxl`` cells — the paper's protocol-crossover
+    experiment (Figure 1) replayed cross-era.  Returns one measured
+    crossover per device (tables in docs/FABRICS.md)."""
+    series: Dict[str, List] = {}
+    crossover: Dict[str, Optional[float]] = {}
+    for device in ("rdma", "cxl"):
+        cells = [
+            {"kind": "pingpong_rtt", "platform": "modern", "device": device,
+             "nbytes": n, "config": {"eager_threshold": 10**9}}
+            for n in sizes
+        ] + [
+            {"kind": "pingpong_rtt", "platform": "modern", "device": device,
+             "nbytes": n, "config": {"eager_threshold": -1}}
+            for n in sizes
+        ]
+        dev_series = _series(
+            cells, {f"{device} eager": sizes, f"{device} rendezvous": sizes},
+            runner,
+        )
+        series.update(dev_series)
+        crossover[device] = harness.crossover(
+            dev_series[f"{device} eager"], dev_series[f"{device} rendezvous"]
+        )
+    return {
+        "series": series,
+        "crossover": crossover,
+        "paper": {
+            "crossover": 180,
+            "note": "paper-era Meiko crossover was 180 B; registration "
+                    "and copy costs push the modern switch points into "
+                    "the KiB range",
+        },
     }
 
 

@@ -65,6 +65,7 @@ FIGURES = {
     "fig07": (figures.fig07_linsolve, "procs", False),
     "fig08": (figures.fig08_meiko_nbody, "procs", False),
     "fig09": (figures.fig09_tcp_nbody, "procs", False),
+    "fig10": (figures.fig10_modern_crossover, "bytes", False),
 }
 
 
@@ -152,8 +153,10 @@ def build_parser() -> argparse.ArgumentParser:
     ch.add_argument("--cells", default="all", metavar="CELLS",
                     help="soak mode: comma-separated platform-device cells "
                          "(default: the full device matrix)")
-    ch.add_argument("--crash-at", type=float, default=900.0,
-                    help="soak mode: simulated us at which the victim dies")
+    ch.add_argument("--crash-at", type=float, default=None,
+                    help="soak mode: simulated us at which the victim dies "
+                         "(default: the platform's pinned schedule, "
+                         "repro.bench.chaos.SOAK_CRASH_AT)")
     ch.add_argument("--victim", type=int, default=3,
                     help="soak mode: world rank that crashes")
     ch.add_argument("--nprocs", type=int, default=8,
@@ -285,8 +288,15 @@ def _print_figure(name, result, chart, out) -> None:
     unit = "MB/s" if is_bandwidth else "us"
     print(format_series(result["series"], xlabel=xlabel,
                         title=f"{name} ({unit})"), file=out)
-    if "crossover" in result and result["crossover"]:
-        print(f"crossover: {result['crossover']:.0f} B "
+    cross = result.get("crossover")
+    if isinstance(cross, dict):
+        for cell, value in cross.items():
+            if value:
+                print(f"crossover[{cell}]: {value:.0f} B "
+                      f"(paper-era: {result['paper'].get('crossover')} B)",
+                      file=out)
+    elif cross:
+        print(f"crossover: {cross:.0f} B "
               f"(paper: {result['paper'].get('crossover')})", file=out)
     if chart:
         logx = xlabel == "bytes"

@@ -27,7 +27,7 @@ from repro.conformance.shrink import shrink, write_artifacts
 
 __all__ = ["CI_CORPUS", "run_corpus"]
 
-#: the pinned CI corpus: (seed, profile) — 39 programs mixing
+#: the pinned CI corpus: (seed, profile) — 45 programs mixing
 #: point-to-point, collectives, forced collective algorithms,
 #: fault-composed, and ULFM-recovery runs
 CI_CORPUS: List[Tuple[int, str]] = [
@@ -46,6 +46,12 @@ CI_CORPUS: List[Tuple[int, str]] = [
     # jointly exercise every registered algorithm of every collective
     (51, "algos"), (58, "algos"), (59, "algos"), (61, "algos"),
     (76, "algos"), (83, "algos"), (88, "algos"),
+    # appended with the modern rdma/cxl cells (8-cell matrix): one seed
+    # per profile whose differential traces were verified byte-identical
+    # across all eight cells, including the RDMA-READ rendezvous and
+    # CXL zero-copy handoff paths
+    (91, "pt2pt"), (92, "collective"), (93, "mixed"), (94, "fault"),
+    (95, "ft"), (96, "algos"),
 ]
 
 

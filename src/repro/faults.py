@@ -67,8 +67,10 @@ __all__ = [
     "FaultInjector",
 ]
 
-#: fabric names a rule may be scoped to (None in a rule means "all")
-FABRICS = ("ethernet", "atm", "meiko")
+#: fabric names a rule may be scoped to (None in a rule means "all").
+#: "rdma" and "cxl" are the modern platform's fabrics — there the
+#: fabric name doubles as the device name.
+FABRICS = ("ethernet", "atm", "meiko", "rdma", "cxl")
 
 # packet-level actions returned by FaultInjector.decide()
 DELIVER = "deliver"

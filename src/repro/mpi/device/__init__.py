@@ -8,12 +8,18 @@
 :class:`TcpEndpoint`         envelopes + piggybacked data over TCP with
                              credit flow control (ATM/Ethernet cluster)
 :class:`UdpEndpoint`         the same protocol over reliable UDP
+:class:`RdmaEndpoint`        RDMA-write eager / RDMA-READ rendezvous with
+                             a registration cache (modern fabric)
+:class:`CxlEndpoint`         load/store shared-memory eager / zero-copy
+                             handoff rendezvous (modern fabric)
 ========================  ==================================================
 """
 
 from repro.mpi.device.base import Endpoint
+from repro.mpi.device.cxl import CxlConfig, CxlEndpoint
 from repro.mpi.device.lowlatency import LowLatencyEndpoint, LowLatencyConfig
 from repro.mpi.device.mpich import MpichEndpoint, MpichConfig
+from repro.mpi.device.rdma import RdmaConfig, RdmaEndpoint, RegistrationCache
 
 __all__ = [
     "Endpoint",
@@ -21,4 +27,9 @@ __all__ = [
     "LowLatencyConfig",
     "MpichEndpoint",
     "MpichConfig",
+    "RdmaEndpoint",
+    "RdmaConfig",
+    "RegistrationCache",
+    "CxlEndpoint",
+    "CxlConfig",
 ]

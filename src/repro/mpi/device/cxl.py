@@ -1,0 +1,103 @@
+"""The ``cxl`` device: cMPI-style MPI over shared CXL memory.
+
+Two-sided messaging over load/store-addressable far memory (after
+"cMPI: Using CXL Memory Sharing for MPI One-Sided and Two-Sided
+Inter-Node Communications"):
+
+* **eager** — the sender stores the payload into its outgoing shared
+  segment (copy-in: ``coherence_base`` to take ownership of the mailbox
+  line plus ``copy_per_byte`` of streaming stores) and raises the
+  mailbox flag; the receiver polls the flag, loads the payload out into
+  the user buffer (copy-out), and the segment space is recycled.  Flow
+  control counts *segment bytes*.
+* **rendezvous** — zero-copy handoff: the sender publishes the region's
+  descriptor (one flag-line ownership transfer), the receiver maps it
+  (``map_overhead``) and pulls the payload straight into the user
+  buffer with the CXL port's DMA engine — no staging copy on either
+  side — then posts a FIN.
+
+There is no memory registration on this path: CXL segments are mapped
+once at startup, which is exactly the cross-era contrast with the
+``rdma`` cell's pinning costs (docs/FABRICS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.mpi.device.modern import CONTROL_BYTES, ModernEndpoint
+
+__all__ = ["CxlConfig", "CxlEndpoint"]
+
+
+@dataclass(frozen=True)
+class CxlConfig:
+    """Cost model of the CXL endpoint (µs / bytes)."""
+
+    #: payloads at most this long go eager through the shared segment
+    eager_threshold: int = 4096
+    #: outgoing shared-segment bytes per peer (the flow-control credit)
+    segment_bytes: int = 1 << 20
+    #: freed bytes owed before an explicit credit update is sent
+    credit_refresh: int = 1 << 19
+    #: software send/receive-post overheads
+    send_overhead: float = 0.2
+    recv_overhead: float = 0.2
+    #: mailbox-flag poll cost per delivery
+    cq_poll_cost: float = 0.08
+    #: matching engine: first comparison / each additional
+    match_cost: float = 0.25
+    match_per_comparison: float = 0.05
+    #: streaming load/store to far memory (µs per byte, ~20 GB/s)
+    copy_per_byte: float = 1.0 / 20000.0
+    #: ownership transfer of the mailbox cache line
+    coherence_base: float = 0.25
+    #: rendezvous: map the peer's exposed descriptor
+    map_overhead: float = 0.3
+    #: retire a completed zero-copy pull
+    completion_overhead: float = 0.1
+    max_unexpected: int = 4096
+    strict_ready: bool = True
+
+    def with_overrides(self, **kw) -> "CxlConfig":
+        return replace(self, **kw)
+
+
+class CxlEndpoint(ModernEndpoint):
+    """One rank's endpoint on the ``cxl`` fabric."""
+
+    def __init__(self, world_rank: int, host, config: Optional[CxlConfig] = None):
+        super().__init__(world_rank, host, config or CxlConfig())
+
+    # ------------------------------------------------------------ flow units
+    def _flow_initial(self) -> int:
+        return self.config.segment_bytes
+
+    def _flow_need(self, nbytes: int, eager: bool) -> int:
+        # an eager message occupies header + payload in the segment;
+        # an RTS only its descriptor
+        return CONTROL_BYTES + (nbytes if eager else 0)
+
+    # ------------------------------------------------------------ cost hooks
+    def _eager_inject(self, nbytes: int):
+        # copy-in: own the mailbox line, stream the payload into the segment
+        cfg = self.config
+        yield from self.host.cpu.execute(
+            cfg.coherence_base + nbytes * cfg.copy_per_byte)
+
+    def _eager_deliver(self, nbytes: int):
+        # copy-out: stream the payload from far memory to the user buffer
+        cfg = self.config
+        yield from self.host.cpu.execute(
+            cfg.coherence_base + nbytes * cfg.copy_per_byte)
+
+    def _rdv_expose(self, req, nbytes: int):
+        # publish the region descriptor: one flag-line ownership transfer
+        yield from self.host.cpu.execute(self.config.coherence_base)
+
+    def _rdv_prepare_pull(self, req, nbytes: int):
+        yield from self.host.cpu.execute(self.config.map_overhead)
+
+    def _rdv_complete(self, nbytes: int):
+        yield from self.host.cpu.execute(self.config.completion_overhead)

@@ -54,7 +54,8 @@ __all__ = ["FTConfig", "FTState", "CheckpointStore", "DETECT_DELAY"]
 
 #: default failure-detection latency (simulated microseconds) per
 #: platform — Elan queue probe vs. kernel retransmit/credit timeout
-DETECT_DELAY = {"meiko": 60.0, "atm": 400.0, "ethernet": 400.0}
+#: vs. RDMA/CXL transport-level retry exhaustion surfacing in the CQ
+DETECT_DELAY = {"meiko": 60.0, "atm": 400.0, "ethernet": 400.0, "modern": 25.0}
 
 
 class FTConfig:

@@ -45,9 +45,24 @@ def cacheable_spec(cell: dict):
 
 # ------------------------------------------------------- figure sweep points
 def _device_config(cell):
+    """Rebuild the cell's device-config dataclass from its plain dict.
+
+    The config class follows the cell's device: figure sweeps override
+    per-device knobs (e.g. a forced ``eager_threshold``) and the cells
+    must round-trip through the engine's JSON-ish cell spec.
+    """
     cfg = cell.get("config")
     if not cfg:
         return None
+    device = cell.get("device")
+    if device == "rdma":
+        from repro.mpi.device.rdma import RdmaConfig
+
+        return RdmaConfig(**cfg)
+    if device == "cxl":
+        from repro.mpi.device.cxl import CxlConfig
+
+        return CxlConfig(**cfg)
     from repro.mpi.device.lowlatency import LowLatencyConfig
 
     return LowLatencyConfig(**cfg)

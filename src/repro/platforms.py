@@ -6,7 +6,13 @@ platform    machine                 devices
 meiko       Meiko CS/2 (fat tree)   lowlatency (default), mpich
 atm         SGI cluster + ATM       tcp (default), udp
 ethernet    SGI cluster + Ethernet  tcp (default), udp
+modern      RDMA / CXL testbed      rdma (default), cxl
 ==========  ======================  =============================
+
+The ``modern`` platform is the cross-era control group: the same
+protocol questions (matching locus, eager/rendezvous crossover, credit
+flow control) on today's fabrics — an RDMA NIC (MVAPICH-style) and a
+CXL shared-memory switch (cMPI-style).  See docs/FABRICS.md.
 """
 
 from __future__ import annotations
@@ -37,21 +43,28 @@ def device_key(platform: str, device: str) -> str:
     """
     return f"{platform}-{device}"
 
-DEFAULT_DEVICES = {"meiko": "lowlatency", "atm": "tcp", "ethernet": "tcp"}
+DEFAULT_DEVICES = {
+    "meiko": "lowlatency", "atm": "tcp", "ethernet": "tcp", "modern": "rdma",
+}
 
 #: every device available on each platform (the default listed first)
 PLATFORM_DEVICES = {
     "meiko": ("lowlatency", "mpich"),
     "atm": ("tcp", "udp"),
     "ethernet": ("tcp", "udp"),
+    "modern": ("rdma", "cxl"),
 }
 
-#: the full (platform, device) matrix — the five device implementations
-#: of the paper (lowlatency, mpich, and the cluster tcp/udp endpoints on
-#: both fabrics).  Test fixtures and the conformance fuzzer iterate this.
+#: the full (platform, device) matrix — the paper's device
+#: implementations (lowlatency, mpich, and the cluster tcp/udp
+#: endpoints on both fabrics) plus the modern rdma/cxl cells.  Test
+#: fixtures and the conformance fuzzer iterate this.  Order matters:
+#: the modern cells are appended *last* so the legacy cell order (and
+#: the fuzzer's reference cell, the first entry) is untouched and the
+#: pinned determinism goldens stay byte-identical.
 DEVICE_MATRIX = tuple(
     (platform, device)
-    for platform in ("meiko", "atm", "ethernet")
+    for platform in ("meiko", "atm", "ethernet", "modern")
     for device in PLATFORM_DEVICES[platform]
 )
 
@@ -78,6 +91,23 @@ def _cluster_tuning(shared_medium: bool = False) -> dict:
         "bcast": bcast,
         "allreduce": {"small": "reduce_bcast", "large": "ring",
                       "large_bytes": 65536, "large_max_ranks": 64},
+        "barrier": {"small": "dissemination", "wide": "tree", "wide_ranks": 512},
+        "gather": {"small": "linear", "wide": "binomial", "wide_ranks": 16},
+        "scatter": {"small": "linear", "wide": "binomial", "wide_ranks": 16},
+        "allgather": {"small": "ring", "wide": "gather_bcast", "wide_ranks": 16},
+    }
+
+
+def _modern_tuning() -> dict:
+    # switched, full-bisection fabrics: MPICH-style defaults with the
+    # bandwidth crossovers pushed out (the wire is ~2 orders of
+    # magnitude faster than ATM, so latency shapes win until well past
+    # the paper-era 64 KiB switch point — measured: docs/FABRICS.md)
+    return {
+        "bcast": {"small": "binomial", "large": "scatter_allgather",
+                  "large_bytes": 131072, "large_max_ranks": 128},
+        "allreduce": {"small": "reduce_bcast", "large": "ring",
+                      "large_bytes": 131072, "large_max_ranks": 128},
         "barrier": {"small": "dissemination", "wide": "tree", "wide_ranks": 512},
         "gather": {"small": "linear", "wide": "binomial", "wide_ranks": 16},
         "scatter": {"small": "linear", "wide": "binomial", "wide_ranks": 16},
@@ -112,6 +142,8 @@ COLL_TUNING = {
     "atm-udp": _cluster_tuning(),
     "ethernet-tcp": _cluster_tuning(shared_medium=True),
     "ethernet-udp": _cluster_tuning(shared_medium=True),
+    "modern-rdma": _modern_tuning(),
+    "modern-cxl": _modern_tuning(),
 }
 
 
@@ -161,6 +193,14 @@ def build_platform(
         return _build_meiko(
             device, nprocs, sim, seed, machine_params, device_config, faults
         )
+    if platform == "modern":
+        if host_speeds is not None or kernel_params is not None or drop_fn is not None:
+            raise ConfigurationError(
+                "host_speeds/kernel_params/drop_fn apply to the workstation clusters only"
+            )
+        return _build_modern(
+            device, nprocs, sim, seed, machine_params, device_config, faults
+        )
     return _build_cluster(
         platform, device, nprocs, sim, seed, machine_params, device_config,
         host_speeds, kernel_params, drop_fn, faults,
@@ -201,6 +241,42 @@ def _build_meiko(
             "(choose 'lowlatency' or 'mpich')"
         )
     return Platform("meiko", device, sim, list(machine.nodes), endpoints, machine)
+
+
+def _build_modern(
+    device, nprocs, sim, seed, machine_params, device_config, faults=None
+) -> Platform:
+    from repro.hw.modern import ModernMachine
+
+    if device not in ("rdma", "cxl"):
+        raise ConfigurationError(
+            f"device {device!r} not available on the modern platform "
+            "(choose 'rdma' or 'cxl')"
+        )
+    machine = ModernMachine(
+        sim, nprocs, network=device, params=machine_params, seed=seed,
+        faults=faults,
+    )
+    if device == "rdma":
+        from repro.mpi.device.rdma import RdmaEndpoint
+
+        endpoints = [
+            RdmaEndpoint(i, machine.hosts[i], config=device_config)
+            for i in range(nprocs)
+        ]
+    else:
+        from repro.mpi.device.cxl import CxlEndpoint
+
+        endpoints = [
+            CxlEndpoint(i, machine.hosts[i], config=device_config)
+            for i in range(nprocs)
+        ]
+    tuning = COLL_TUNING[device_key("modern", device)]
+    for ep in endpoints:
+        ep.peers = endpoints
+        ep.coll_tuning = tuning
+    machine.connect_endpoints(endpoints)
+    return Platform("modern", device, sim, list(machine.hosts), endpoints, machine)
 
 
 def _build_cluster(

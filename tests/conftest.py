@@ -15,9 +15,14 @@ MEIKO_DEVICES = [
     (platform, device) for platform, device in DEVICE_MATRIX if platform == "meiko"
 ]
 CLUSTER_DEVICES = [
-    (platform, device) for platform, device in DEVICE_MATRIX if platform != "meiko"
+    (platform, device)
+    for platform, device in DEVICE_MATRIX
+    if platform in ("atm", "ethernet")
 ]
-ALL_DEVICES = MEIKO_DEVICES + CLUSTER_DEVICES
+MODERN_DEVICES = [
+    (platform, device) for platform, device in DEVICE_MATRIX if platform == "modern"
+]
+ALL_DEVICES = MEIKO_DEVICES + CLUSTER_DEVICES + MODERN_DEVICES
 
 assert set(ALL_DEVICES) == set(DEVICE_MATRIX)
 assert set(p for p, _ in ALL_DEVICES) == set(PLATFORM_DEVICES)
@@ -35,6 +40,11 @@ def meiko_device(request):
 
 @pytest.fixture(params=CLUSTER_DEVICES, ids=lambda p: f"{p[0]}-{p[1]}")
 def cluster_device(request):
+    return request.param
+
+
+@pytest.fixture(params=MODERN_DEVICES, ids=lambda p: f"{p[0]}-{p[1]}")
+def modern_device(request):
     return request.param
 
 

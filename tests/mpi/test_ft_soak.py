@@ -1,11 +1,13 @@
 """The chaos-soak gate: pinned mid-run crash through ULFM recovery.
 
-The acceptance scenario for survivable MPI: 8 ranks, rank 3 crashes at
-t=900 µs mid-relaxation, and on **every** device cell the survivors
-detect, revoke, shrink, agree, restore the last committed checkpoint,
-and finish with the right answer — with a byte-identical recovery
-trace (``trace_sha``) across repeated seeded runs.  This is what the
-``chaos-soak`` CI job runs via ``repro chaos --soak``.
+The acceptance scenario for survivable MPI: 8 ranks, rank 3 crashes
+mid-relaxation (t=900 µs on the paper-era platforms, t=40 µs on the
+modern fabrics, where the whole job runs in ~90 µs), and on **every**
+device cell the survivors detect, revoke, shrink, agree, restore the
+last committed checkpoint, and finish with the right answer — with a
+byte-identical recovery trace (``trace_sha``) across repeated seeded
+runs *and* across revisions (the pinned ``SOAK_TRACE_SHA`` goldens).
+This is what the ``chaos-soak`` CI job runs via ``repro chaos --soak``.
 """
 
 import io
@@ -15,8 +17,23 @@ import pytest
 
 from repro.bench.chaos import format_soak, soak_cell, soak_sweep
 from repro.mpi.ft import DETECT_DELAY
+from repro.platforms import DEVICE_MATRIX, device_key
 
 PHASES = ("crash", "detect", "revoke", "shrink", "agree")
+
+#: golden recovery-trace digests of the pinned soak scenario, one per
+#: matrix cell.  A digest shift means the recovery path's event
+#: sequence changed — bump deliberately, never accidentally.
+SOAK_TRACE_SHA = {
+    "meiko-lowlatency": "1e9fa1699053de1d93f1c21375149a2d3e3060ab4e9cb90c168783ba87fe251e",
+    "meiko-mpich": "7f4e795140af3ad21d80b6edd62d144c04a8b60b87f8b2ade10515e1ff84bf90",
+    "atm-tcp": "03ab96dcbbde56fa15e4ae690537d43cbb74ceccc49aa394b761ab9d24829a0d",
+    "atm-udp": "b876a930efff6c1d1b789be82747c3928527b10c167f61b56a1c6e82dacf45f8",
+    "ethernet-tcp": "74b50a231869f77b9c2b7e8fdc16a4b5118f28f6da89b3022936cc3df46beada",
+    "ethernet-udp": "7ce63bd2b2d02b5b91c09c969c9ed9a5bd750526b2bd7779a543d2ff50d566f2",
+    "modern-rdma": "df5945e07ff072507477afaa1ee94d297223a15ba9535cf87266cecfbb409246",
+    "modern-cxl": "b1610aa1d07e1593a11a4be8451133cc0dfd8764932c1f3e12f3a8a5511f1a7d",
+}
 
 
 def test_soak_cell_recovers(all_devices):
@@ -33,6 +50,7 @@ def test_soak_cell_recovers(all_devices):
     assert row["detect_us"] == pytest.approx(DETECT_DELAY[platform])
     assert row["recover_us"] > 0
     assert re.fullmatch(r"[0-9a-f]{64}", row["trace_sha"])
+    assert row["trace_sha"] == SOAK_TRACE_SHA[row["cell"]]
 
 
 def test_soak_cell_is_deterministic(all_devices):
@@ -44,11 +62,14 @@ def test_soak_sweep_gate():
     """The gate itself: every cell of the device matrix recovers, and
     every repetition reproduces the recovery trace byte-for-byte."""
     rows = soak_sweep(repeat=2)
-    assert len(rows) == 6
-    assert len({r["cell"] for r in rows}) == 6
+    assert len(rows) == len(DEVICE_MATRIX)
+    assert {r["cell"] for r in rows} == {
+        device_key(p, d) for p, d in DEVICE_MATRIX
+    }
     for row in rows:
         assert row["outcome"] == "ok", (row["cell"], row["diagnostic"])
         assert row["deterministic"], row["cell"]
+        assert row["trace_sha"] == SOAK_TRACE_SHA[row["cell"]], row["cell"]
 
 
 def test_soak_sweep_parallel_matches_serial():

@@ -32,6 +32,10 @@ def _traced_pingpong(platform, device, nbytes):
         ("meiko", "lowlatency", 16384, "rdv", 2),     # > 180 B threshold
         ("ethernet", "tcp", 1, "eager", 0),
         ("ethernet", "tcp", 32768, "rdv", 0),         # > 16 KiB threshold
+        ("modern", "rdma", 1024, "eager", 0),         # RDMA-write eager
+        ("modern", "rdma", 65536, "rdv", 0),          # RDMA-READ pull
+        ("modern", "cxl", 1024, "eager", 0),          # segment copy-in/out
+        ("modern", "cxl", 65536, "rdv", 0),           # zero-copy handoff
     ],
 )
 def test_phase_sum_equals_round_trip(platform, device, nbytes, proto, wakeups):
